@@ -1,0 +1,202 @@
+//! Load insulation with ticket currencies (Section 5.5, Figure 9).
+//!
+//! Two currencies A and B are identically funded. A runs two Dhrystone
+//! tasks (100.A and 200.A); B runs two (100.B and 200.B). Halfway through,
+//! a third task funded 300.B joins currency B — inflating B's internal
+//! ticket supply from 300 to 600. The inflation is *locally contained*:
+//! B1 and B2 slow to half their rates, while A1, A2, and the aggregate
+//! A : B ratio are unaffected.
+
+use lottery_sim::prelude::*;
+use lottery_stats::ProgressSeries;
+
+/// Configuration for the insulation experiment.
+#[derive(Debug, Clone)]
+pub struct InsulationExperiment {
+    /// Base funding of each of the two currencies.
+    pub currency_funding: u64,
+    /// Ticket amounts of the two initial tasks in each currency.
+    pub initial_tasks: (u64, u64),
+    /// Ticket amount of the task that joins currency B mid-run.
+    pub intruder: u64,
+    /// When the intruder starts.
+    pub intruder_at: SimTime,
+    /// Total duration.
+    pub duration: SimTime,
+    /// Sampling step for the cumulative curves.
+    pub sample: SimDuration,
+    /// Scheduling quantum.
+    pub quantum: SimDuration,
+    /// RNG seed.
+    pub seed: u32,
+}
+
+impl Default for InsulationExperiment {
+    fn default() -> Self {
+        Self {
+            currency_funding: 1000,
+            initial_tasks: (100, 200),
+            intruder: 300,
+            intruder_at: SimTime::from_secs(150),
+            duration: SimTime::from_secs(300),
+            sample: SimDuration::from_secs(5),
+            quantum: SimDuration::from_ms(100),
+            seed: 1,
+        }
+    }
+}
+
+/// Results, in task order A1, A2, B1, B2, B3.
+#[derive(Debug)]
+pub struct InsulationReport {
+    /// Cumulative CPU seconds per task, sampled.
+    pub progress: Vec<ProgressSeries>,
+    /// CPU seconds accrued before the intruder, per task.
+    pub before: Vec<f64>,
+    /// CPU seconds accrued after the intruder, per task.
+    pub after: Vec<f64>,
+}
+
+impl InsulationReport {
+    /// Aggregate currency-A CPU after the intruder.
+    pub fn a_after(&self) -> f64 {
+        self.after[0] + self.after[1]
+    }
+
+    /// Aggregate currency-B CPU after the intruder (including it).
+    pub fn b_after(&self) -> f64 {
+        self.after[2] + self.after[3] + self.after[4]
+    }
+}
+
+/// Runs the Figure 9 experiment.
+pub fn run(config: &InsulationExperiment) -> InsulationReport {
+    let mut policy = LotteryPolicy::with_quantum(config.seed, config.quantum);
+    let a = policy
+        .create_currency("A", config.currency_funding)
+        .expect("fresh ledger");
+    let b = policy
+        .create_currency("B", config.currency_funding)
+        .expect("fresh ledger");
+    let mut kernel = Kernel::new(policy);
+    let (small, large) = config.initial_tasks;
+    let mut tids = vec![
+        kernel.spawn("A1", Box::new(ComputeBound), FundingSpec::new(a, small)),
+        kernel.spawn("A2", Box::new(ComputeBound), FundingSpec::new(a, large)),
+        kernel.spawn("B1", Box::new(ComputeBound), FundingSpec::new(b, small)),
+        kernel.spawn("B2", Box::new(ComputeBound), FundingSpec::new(b, large)),
+    ];
+
+    let mut series: Vec<ProgressSeries> = (0..5).map(|_| ProgressSeries::new()).collect();
+    let mut before = vec![0.0; 5];
+    let mut started = false;
+    let mut now = SimTime::ZERO;
+    while now < config.duration {
+        let next = (now + config.sample).min(config.duration);
+        if !started && next >= config.intruder_at {
+            kernel.run_until(config.intruder_at);
+            for (i, &tid) in tids.iter().enumerate() {
+                before[i] = kernel.metrics().cpu_us(tid) as f64 / 1e6;
+            }
+            tids.push(kernel.spawn(
+                "B3",
+                Box::new(ComputeBound),
+                FundingSpec::new(b, config.intruder),
+            ));
+            started = true;
+        }
+        kernel.run_until(next);
+        now = kernel.now().max(next);
+        for (i, &tid) in tids.iter().enumerate() {
+            series[i].record(now.as_us(), kernel.metrics().cpu_us(tid) as f64 / 1e6);
+        }
+    }
+
+    let after: Vec<f64> = (0..5)
+        .map(|i| {
+            let total = tids
+                .get(i)
+                .map(|&tid| kernel.metrics().cpu_us(tid) as f64 / 1e6)
+                .unwrap_or(0.0);
+            total - before[i]
+        })
+        .collect();
+    InsulationReport {
+        progress: series,
+        before,
+        after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_shape() {
+        let r = run(&InsulationExperiment::default());
+
+        // Phase 1: A1:A2 = 1:2 and B1:B2 = 1:2; A and B split evenly.
+        assert!(
+            (r.before[1] / r.before[0] - 2.0).abs() < 0.25,
+            "{:?}",
+            r.before
+        );
+        assert!(
+            (r.before[3] / r.before[2] - 2.0).abs() < 0.25,
+            "{:?}",
+            r.before
+        );
+        let a1 = r.before[0] + r.before[1];
+        let b1 = r.before[2] + r.before[3];
+        assert!((a1 / b1 - 1.0).abs() < 0.1, "A:B before = {}", a1 / b1);
+
+        // Phase 2: the intruder inflates B from 300 to 600 — B1 and B2
+        // halve, A1 and A2 are untouched, and A:B aggregate stays 1:1.
+        assert!(
+            (r.after[0] / r.before[0] - 1.0).abs() < 0.15,
+            "A1 must be insulated: {} vs {}",
+            r.after[0],
+            r.before[0]
+        );
+        assert!(
+            (r.after[2] / r.before[2] - 0.5).abs() < 0.15,
+            "B1 must halve: {} vs {}",
+            r.after[2],
+            r.before[2]
+        );
+        let ratio = r.a_after() / r.b_after();
+        assert!((ratio - 1.0).abs() < 0.1, "A:B after = {ratio}");
+        // B3 runs at 300/600 of B's half of the machine.
+        assert!(r.after[4] > 0.0);
+        assert!(
+            (r.after[4] / r.b_after() - 0.5).abs() < 0.1,
+            "B3 share {}",
+            r.after[4] / r.b_after()
+        );
+    }
+
+    #[test]
+    fn without_intruder_everything_is_stationary() {
+        let r = run(&InsulationExperiment {
+            intruder_at: SimTime::from_secs(150),
+            intruder: 1,
+            ..InsulationExperiment::default()
+        });
+        // A tiny 1.B intruder barely shifts B's internal split.
+        assert!(
+            (r.after[2] / r.before[2] - 300.0 / 301.0).abs() < 0.2,
+            "{} vs {}",
+            r.after[2],
+            r.before[2]
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&InsulationExperiment::default());
+        let b = run(&InsulationExperiment::default());
+        assert_eq!(a.before, b.before);
+        assert_eq!(a.after, b.after);
+    }
+}

@@ -1,0 +1,21 @@
+//! # lottery-apps
+//!
+//! The paper's evaluation workloads (Section 5), implemented as drivers
+//! over the [`lottery_sim`] kernel:
+//!
+//! * [`dhrystone`] — compute-bound rate-accuracy runs (Figures 4, 5).
+//! * [`montecarlo`] — error²-driven dynamic ticket inflation (Figure 6).
+//! * [`dbserver`] — multithreaded query server with RPC ticket transfers
+//!   (Figure 7).
+//! * [`mpeg`] — video viewers under mid-run allocation changes (Figure 8).
+//! * [`insulation`] — currencies containing load and inflation (Figure 9).
+//! * [`textsearch`] — a *real* (OS-thread) text-search server whose query
+//!   queue is lottery-scheduled, with the corpus search implemented for
+//!   real rather than simulated.
+
+pub mod dbserver;
+pub mod dhrystone;
+pub mod insulation;
+pub mod montecarlo;
+pub mod mpeg;
+pub mod textsearch;

@@ -1,0 +1,257 @@
+//! Monte-Carlo tasks with error-driven ticket inflation (Section 5.2).
+//!
+//! "Scientists frequently execute several separate Monte-Carlo experiments
+//! ... It is often desirable to obtain approximate results quickly whenever
+//! a new experiment is started, while allowing older experiments to
+//! continue reducing their error at a slower rate." The paper achieves this
+//! by having each task periodically set its ticket value proportional to
+//! the **square of its relative error** — since Monte-Carlo error scales as
+//! `1/sqrt(trials)`, a task's funding is inversely proportional to its
+//! completed trials, so a freshly started task executes quickly and then
+//! tapers (Figure 6).
+
+use lottery_core::rng::{SchedRng, SplitMix64};
+use lottery_sim::prelude::*;
+use lottery_stats::ProgressSeries;
+
+/// Trials computed per second of CPU (the reference machine's rate; only
+/// sets the axis scale of Figure 6).
+pub const TRIALS_PER_CPU_SEC: f64 = 50_000.0;
+
+/// Configuration for the staggered Monte-Carlo experiment.
+#[derive(Debug, Clone)]
+pub struct MonteCarloExperiment {
+    /// Start time of each task.
+    pub starts: Vec<SimTime>,
+    /// Total experiment length.
+    pub duration: SimTime,
+    /// How often tasks re-evaluate their funding (the paper says
+    /// "periodically"; 2 s keeps the control loop responsive at Figure 6's
+    /// time scale).
+    pub control_interval: SimDuration,
+    /// Funding scale: tickets = ceil(scale × relative_error²), clamped to
+    /// at least one ticket. Must be large enough that funding ratios stay
+    /// resolvable late in the run (error² is 1/trials, so the default
+    /// 1e12 keeps ~5 significant digits at 10⁷ trials).
+    pub funding_scale: f64,
+    /// Scheduling quantum.
+    pub quantum: SimDuration,
+    /// RNG seed.
+    pub seed: u32,
+}
+
+impl Default for MonteCarloExperiment {
+    fn default() -> Self {
+        Self {
+            // Figure 6: three identical integrations started two minutes
+            // apart, over a 1000-second window.
+            starts: vec![
+                SimTime::ZERO,
+                SimTime::from_secs(120),
+                SimTime::from_secs(240),
+            ],
+            duration: SimTime::from_secs(1000),
+            control_interval: SimDuration::from_secs(2),
+            funding_scale: 1e12,
+            quantum: SimDuration::from_ms(100),
+            seed: 1,
+        }
+    }
+}
+
+/// Results: per-task cumulative trials over time.
+#[derive(Debug)]
+pub struct MonteCarloReport {
+    /// One series per task: `(time_us, cumulative trials)`.
+    pub trials: Vec<ProgressSeries>,
+    /// Final trial counts.
+    pub totals: Vec<f64>,
+    /// Final relative errors (`1/sqrt(trials)`).
+    pub errors: Vec<f64>,
+}
+
+/// A real Monte-Carlo integration, for the computation itself (the
+/// simulator only needs the trial *counts*, but the experiment is named
+/// after \[Pre88\]'s actual numerical method — here estimating π by
+/// sampling the unit square).
+///
+/// Returns `(estimate, observed relative error)` after `trials` samples.
+///
+/// # Examples
+///
+/// ```
+/// use lottery_apps::montecarlo::estimate_pi;
+///
+/// let (pi, err) = estimate_pi(200_000, 7);
+/// assert!((pi - std::f64::consts::PI).abs() < 0.02, "{pi}");
+/// assert!(err < 0.01);
+/// ```
+pub fn estimate_pi(trials: u64, seed: u64) -> (f64, f64) {
+    assert!(trials > 0, "at least one trial is required");
+    let mut rng = SplitMix64::new(seed);
+    let mut hits = 0u64;
+    for _ in 0..trials {
+        let x = rng.next_f64();
+        let y = rng.next_f64();
+        if x * x + y * y <= 1.0 {
+            hits += 1;
+        }
+    }
+    let estimate = 4.0 * hits as f64 / trials as f64;
+    let observed_error = (estimate - std::f64::consts::PI).abs() / std::f64::consts::PI;
+    (estimate, observed_error)
+}
+
+/// The relative error of a task after `trials` trials.
+pub fn relative_error(trials: f64) -> f64 {
+    if trials <= 0.0 {
+        1.0
+    } else {
+        1.0 / trials.sqrt()
+    }
+}
+
+/// Runs the staggered Monte-Carlo experiment under lottery scheduling with
+/// dynamic, error-quadratic ticket inflation.
+pub fn run(config: &MonteCarloExperiment) -> MonteCarloReport {
+    let policy = LotteryPolicy::with_quantum(config.seed, config.quantum);
+    let base = policy.base_currency();
+    let mut kernel = Kernel::new(policy);
+
+    let mut tids: Vec<Option<ThreadId>> = vec![None; config.starts.len()];
+    let mut series: Vec<ProgressSeries> = config
+        .starts
+        .iter()
+        .map(|_| ProgressSeries::new())
+        .collect();
+
+    let mut now = SimTime::ZERO;
+    while now < config.duration {
+        let next = (now + config.control_interval).min(config.duration);
+
+        // Start any tasks whose start time has arrived.
+        for (i, &start) in config.starts.iter().enumerate() {
+            if tids[i].is_none() && start <= now {
+                let tid = kernel.spawn(
+                    format!("mc{i}"),
+                    Box::new(ComputeBound),
+                    FundingSpec::new(base, config.funding_scale.ceil() as u64),
+                );
+                tids[i] = Some(tid);
+            }
+        }
+
+        kernel.run_until(next);
+        now = kernel.now().max(next);
+
+        // Control step: each task re-funds itself proportionally to the
+        // square of its relative error. error² = 1/trials, so funding is
+        // scale/trials.
+        for (i, tid) in tids.iter().enumerate() {
+            let Some(tid) = *tid else { continue };
+            let cpu = SimDuration::from_us(kernel.metrics().cpu_us(tid));
+            let trials = cpu.as_secs_f64() * TRIALS_PER_CPU_SEC;
+            series[i].record(now.as_us(), trials);
+            let err = relative_error(trials);
+            let funding = (config.funding_scale * err * err).ceil().max(1.0) as u64;
+            kernel
+                .policy_mut()
+                .set_funding(tid, funding)
+                .expect("task is live");
+        }
+    }
+
+    let totals: Vec<f64> = series.iter().map(ProgressSeries::final_value).collect();
+    let errors = totals.iter().map(|&t| relative_error(t)).collect();
+    MonteCarloReport {
+        trials: series,
+        totals,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_estimate_converges_as_inverse_sqrt() {
+        // The whole premise of the error²-driven funding: error shrinks
+        // as 1/sqrt(trials). Check an order-of-magnitude improvement from
+        // 100x the trials (allowing sampling noise).
+        let (_, e_small) = estimate_pi(2_000, 11);
+        let (_, e_large) = estimate_pi(2_000_000, 11);
+        assert!(
+            e_large < e_small,
+            "more trials, smaller error: {e_small} vs {e_large}"
+        );
+        assert!(e_large < 0.005, "2M trials should be accurate: {e_large}");
+    }
+
+    #[test]
+    fn pi_estimate_is_deterministic_per_seed() {
+        assert_eq!(estimate_pi(10_000, 3), estimate_pi(10_000, 3));
+        assert_ne!(estimate_pi(10_000, 3).0, estimate_pi(10_000, 4).0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(0.0), 1.0);
+        assert_eq!(relative_error(100.0), 0.1);
+        assert_eq!(relative_error(10_000.0), 0.01);
+    }
+
+    fn short_config() -> MonteCarloExperiment {
+        MonteCarloExperiment {
+            starts: vec![SimTime::ZERO, SimTime::from_secs(30)],
+            duration: SimTime::from_secs(120),
+            ..MonteCarloExperiment::default()
+        }
+    }
+
+    #[test]
+    fn late_starter_catches_up() {
+        let report = run(&short_config());
+        // The late task starts 30 s behind but, funded by its larger
+        // error, must close most of the gap by the end.
+        let t0 = report.totals[0];
+        let t1 = report.totals[1];
+        assert!(t1 > 0.0);
+        let gap = (t0 - t1) / t0;
+        assert!(
+            gap < 0.2,
+            "late task should close to within 20%: {t0} vs {t1} (gap {gap:.3})"
+        );
+    }
+
+    #[test]
+    fn errors_converge_toward_each_other() {
+        let report = run(&short_config());
+        let e0 = report.errors[0];
+        let e1 = report.errors[1];
+        assert!((e1 / e0) < 1.2, "errors should converge: {e0} vs {e1}");
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let report = run(&MonteCarloExperiment {
+            starts: vec![SimTime::ZERO],
+            duration: SimTime::from_secs(10),
+            ..MonteCarloExperiment::default()
+        });
+        // 10 s of CPU at the calibrated rate.
+        assert!((report.totals[0] - 10.0 * TRIALS_PER_CPU_SEC).abs() < TRIALS_PER_CPU_SEC * 0.05);
+    }
+
+    #[test]
+    fn series_are_monotone() {
+        let report = run(&short_config());
+        for s in &report.trials {
+            let mut last = -1.0;
+            for &(_, v) in s.points() {
+                assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! MPEG video viewers under dynamic ticket control (Section 5.4, Figure 8).
+//!
+//! Compton and Tennenhouse needed cooperating viewers and fragile feedback
+//! loops to control display rates at application level; lottery scheduling
+//! achieves it at the OS level by simply adjusting ticket allocations. The
+//! paper runs three `mpeg_play` viewers of the same video with a 3 : 2 : 1
+//! allocation, switched to 3 : 1 : 2 halfway through; the cumulative frame
+//! curves (Figure 8) kink at the switch.
+//!
+//! A simulated viewer decodes continuously: each frame costs a fixed CPU
+//! budget, so a viewer's display rate is its CPU share divided by the frame
+//! cost. (The paper's own numbers were distorted by the single-threaded X11
+//! server; the simulator shows the undistorted mechanism, which is also
+//! what the paper's -no display runs measured.)
+
+use lottery_sim::prelude::*;
+use lottery_stats::ProgressSeries;
+
+/// CPU cost of decoding one frame.
+///
+/// Chosen so a viewer owning the whole CPU displays ≈ 6 frames/sec, the
+/// magnitude `mpeg_play` achieved on the paper's hardware.
+pub const FRAME_COST: SimDuration = SimDuration::from_ms(167);
+
+/// Configuration for the viewer experiment.
+#[derive(Debug, Clone)]
+pub struct MpegExperiment {
+    /// Initial ticket allocation per viewer (Figure 8 uses 3 : 2 : 1).
+    pub initial: Vec<u64>,
+    /// Allocation after the switch point (3 : 1 : 2).
+    pub switched: Vec<u64>,
+    /// When the allocation changes.
+    pub switch_at: SimTime,
+    /// Total duration.
+    pub duration: SimTime,
+    /// Sampling step for the cumulative frame curves.
+    pub sample: SimDuration,
+    /// Scheduling quantum.
+    pub quantum: SimDuration,
+    /// RNG seed.
+    pub seed: u32,
+}
+
+impl Default for MpegExperiment {
+    fn default() -> Self {
+        Self {
+            initial: vec![300, 200, 100],
+            switched: vec![300, 100, 200],
+            switch_at: SimTime::from_secs(150),
+            duration: SimTime::from_secs(300),
+            sample: SimDuration::from_secs(5),
+            quantum: SimDuration::from_ms(100),
+            seed: 1,
+        }
+    }
+}
+
+/// Results: cumulative frames per viewer plus per-phase rates.
+#[derive(Debug)]
+pub struct MpegReport {
+    /// Cumulative frames displayed: `(time_us, frames)`, sampled.
+    pub frames: Vec<ProgressSeries>,
+    /// Average frame rates (frames/sec) before the switch.
+    pub rates_before: Vec<f64>,
+    /// Average frame rates after the switch.
+    pub rates_after: Vec<f64>,
+}
+
+/// Runs the viewer experiment: three viewers, allocation switched mid-run.
+pub fn run(config: &MpegExperiment) -> MpegReport {
+    assert_eq!(
+        config.initial.len(),
+        config.switched.len(),
+        "allocations must cover the same viewers"
+    );
+    let policy = LotteryPolicy::with_quantum(config.seed, config.quantum);
+    let base = policy.base_currency();
+    let mut kernel = Kernel::new(policy);
+    let viewers: Vec<ThreadId> = config
+        .initial
+        .iter()
+        .enumerate()
+        .map(|(i, &tickets)| {
+            kernel.spawn(
+                format!("viewer{i}"),
+                Box::new(ComputeBound),
+                FundingSpec::new(base, tickets),
+            )
+        })
+        .collect();
+
+    let mut series: Vec<ProgressSeries> = viewers.iter().map(|_| ProgressSeries::new()).collect();
+    let mut switched = false;
+    let mut cpu_at_switch = vec![0u64; viewers.len()];
+    let mut now = SimTime::ZERO;
+    while now < config.duration {
+        let next = (now + config.sample).min(config.duration);
+        if !switched && next >= config.switch_at {
+            kernel.run_until(config.switch_at);
+            for (i, &v) in viewers.iter().enumerate() {
+                cpu_at_switch[i] = kernel.metrics().cpu_us(v);
+                kernel
+                    .policy_mut()
+                    .set_funding(v, config.switched[i])
+                    .expect("viewer is live");
+            }
+            switched = true;
+        }
+        kernel.run_until(next);
+        now = kernel.now().max(next);
+        for (i, &v) in viewers.iter().enumerate() {
+            let frames = kernel.metrics().cpu_us(v) as f64 / FRAME_COST.as_us() as f64;
+            series[i].record(now.as_us(), frames);
+        }
+    }
+
+    let switch_secs = config.switch_at.as_secs_f64();
+    let tail_secs = config.duration.as_secs_f64() - switch_secs;
+    let rates_before = viewers
+        .iter()
+        .enumerate()
+        .map(|(i, _)| cpu_at_switch[i] as f64 / 1e6 / FRAME_COST.as_secs_f64() / switch_secs)
+        .collect();
+    let rates_after = viewers
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let cpu = kernel.metrics().cpu_us(v) - cpu_at_switch[i];
+            cpu as f64 / 1e6 / FRAME_COST.as_secs_f64() / tail_secs
+        })
+        .collect();
+    MpegReport {
+        frames: series,
+        rates_before,
+        rates_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_follow_the_allocation_switch() {
+        let report = run(&MpegExperiment::default());
+        let b = &report.rates_before;
+        // Before: 3 : 2 : 1.
+        assert!((b[0] / b[2] - 3.0).abs() < 0.5, "{b:?}");
+        assert!((b[1] / b[2] - 2.0).abs() < 0.4, "{b:?}");
+        // After: 3 : 1 : 2 — viewers 1 and 2 swap.
+        let a = &report.rates_after;
+        assert!((a[0] / a[1] - 3.0).abs() < 0.6, "{a:?}");
+        assert!((a[2] / a[1] - 2.0).abs() < 0.5, "{a:?}");
+    }
+
+    #[test]
+    fn total_rate_is_cpu_bound() {
+        let report = run(&MpegExperiment::default());
+        let total_before: f64 = report.rates_before.iter().sum();
+        let max_rate = 1.0 / FRAME_COST.as_secs_f64();
+        assert!((total_before - max_rate).abs() < 0.1, "{total_before}");
+    }
+
+    #[test]
+    fn cumulative_curves_kink_at_switch() {
+        let report = run(&MpegExperiment::default());
+        // Viewer 1 slows down after the switch: its second-half gain is
+        // well below its first-half gain.
+        let s = &report.frames[1];
+        let half = 150_000_000u64;
+        let first = s.value_at(half);
+        let second = s.final_value() - first;
+        assert!(
+            second < first * 0.7,
+            "viewer1 should slow: {first} then {second}"
+        );
+        // Viewer 2 speeds up.
+        let s = &report.frames[2];
+        let first = s.value_at(half);
+        let second = s.final_value() - first;
+        assert!(
+            second > first * 1.4,
+            "viewer2 should speed up: {first} then {second}"
+        );
+    }
+
+    #[test]
+    fn frames_are_monotone() {
+        let report = run(&MpegExperiment::default());
+        for s in &report.frames {
+            let mut last = -1.0;
+            for &(_, v) in s.points() {
+                assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Section 4.4: ticket-currency valuation cost.
+//!
+//! "Currency conversions can be accelerated by caching values or exchange
+//! rates" — the `Valuator` memoizes per-currency values within one
+//! valuation pass. This bench measures valuation against graph depth and
+//! client fan-out, and the cost of the activation zero-crossing cascade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lottery_bench::{deep_ledger, flat_ledger};
+use lottery_core::ledger::Valuator;
+
+fn bench_valuation_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("currencies/value-all-clients-by-depth");
+    for &depth in &[0usize, 2, 4, 8, 16] {
+        let (ledger, clients) = deep_ledger(depth, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut v = Valuator::new(&ledger);
+                let mut total = 0.0;
+                for &cl in &clients {
+                    total += v.client_value(cl).unwrap();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_valuation_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("currencies/value-all-clients-by-fanout");
+    for &n in &[4usize, 32, 256, 2048] {
+        let (ledger, clients) = flat_ledger(n, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = Valuator::new(&ledger);
+                let mut total = 0.0;
+                for &cl in &clients {
+                    total += v.client_value(cl).unwrap();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_activation_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("currencies/activate-deactivate-cascade");
+    for &depth in &[1usize, 4, 16] {
+        let (mut ledger, clients) = deep_ledger(depth, 1);
+        let client = clients[0];
+        // Each iteration deactivates (cascading to the base) and
+        // reactivates (cascading back).
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                ledger.deactivate_client(client).unwrap();
+                ledger.activate_client(client).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_valuation_depth,
+    bench_valuation_fanout,
+    bench_activation_cascade
+);
+criterion_main!(benches);

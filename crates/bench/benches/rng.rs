@@ -1,0 +1,36 @@
+//! Appendix A: the Park–Miller generator.
+//!
+//! The paper's assembly implementation runs in roughly 10 RISC
+//! instructions. This bench measures the Rust implementation's raw step,
+//! the unbiased bounded draw, and the unit-interval float used by
+//! currency-valued lotteries, against SplitMix64 for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lottery_core::rng::{ParkMiller, SchedRng, SplitMix64};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+
+    let mut pm = ParkMiller::new(1);
+    group.bench_function("park-miller/next_u31", |b| b.iter(|| pm.next_u31()));
+
+    let mut pm = ParkMiller::new(1);
+    group.bench_function("park-miller/below-20", |b| b.iter(|| pm.below(20)));
+
+    let mut pm = ParkMiller::new(1);
+    group.bench_function("park-miller/below-large", |b| {
+        b.iter(|| pm.below((1 << 40) - 17))
+    });
+
+    let mut pm = ParkMiller::new(1);
+    group.bench_function("park-miller/next_f64", |b| b.iter(|| pm.next_f64()));
+
+    let mut sm = SplitMix64::new(1);
+    group.bench_function("splitmix64/next_u64", |b| b.iter(|| sm.next_u64()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng);
+criterion_main!(benches);

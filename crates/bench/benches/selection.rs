@@ -1,0 +1,83 @@
+//! Section 4.2: lottery selection structures.
+//!
+//! "A straightforward way to implement a centralized lottery scheduler is
+//! to randomly select a winning ticket, and then search a list of clients
+//! ... For large n, a more efficient implementation is to use a tree of
+//! partial ticket sums." This bench quantifies that trade-off on this
+//! implementation: draw cost for the plain list, the move-to-front list
+//! (under a skewed distribution, where MTF shines), and the tree, across
+//! client counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lottery_core::prelude::*;
+
+const SIZES: &[usize] = &[4, 16, 64, 256, 1024, 4096];
+
+/// Skewed ticket distribution: 1/8 of clients hold 100x the tickets.
+fn tickets(i: usize, n: usize) -> u64 {
+    if i >= n - n / 8 {
+        1000
+    } else {
+        10
+    }
+}
+
+fn bench_draws(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection/draw");
+    for &n in SIZES {
+        group.throughput(Throughput::Elements(1));
+
+        let mut plain: ListLottery<usize, u64> = ListLottery::without_move_to_front();
+        let mut mtf: ListLottery<usize, u64> = ListLottery::new();
+        let mut tree: TreeLottery<usize, u64> = TreeLottery::with_capacity(n);
+        for i in 0..n {
+            plain.insert(i, tickets(i, n));
+            mtf.insert(i, tickets(i, n));
+            tree.insert(i, tickets(i, n));
+        }
+
+        let mut rng = ParkMiller::new(1);
+        group.bench_with_input(BenchmarkId::new("list", n), &n, |b, _| {
+            b.iter(|| *plain.draw(&mut rng).unwrap())
+        });
+        let mut rng = ParkMiller::new(1);
+        group.bench_with_input(BenchmarkId::new("list-mtf", n), &n, |b, _| {
+            b.iter(|| *mtf.draw(&mut rng).unwrap())
+        });
+        let mut rng = ParkMiller::new(1);
+        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+            b.iter(|| *tree.draw(&mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection/set_weight");
+    for &n in &[64usize, 1024] {
+        let mut list: ListLottery<usize, u64> = ListLottery::new();
+        let mut tree: TreeLottery<usize, u64> = TreeLottery::with_capacity(n);
+        for i in 0..n {
+            list.insert(i, 10);
+            tree.insert(i, 10);
+        }
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("list", n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 7) % n;
+                list.set_weight(&i, (i as u64 % 50) + 1)
+            })
+        });
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 7) % n;
+                tree.set_weight(&i, (i as u64 % 50) + 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_draws, bench_updates);
+criterion_main!(benches);

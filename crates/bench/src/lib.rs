@@ -1,0 +1,77 @@
+//! # lottery-bench
+//!
+//! Shared builders for the Criterion benchmarks. The benches themselves
+//! live in `benches/`:
+//!
+//! * `selection` — list vs move-to-front vs partial-sum tree draw cost as
+//!   the client count grows (Section 4.2's data-structure discussion).
+//! * `dispatch` — full scheduling-decision cost per policy (Section 5.6).
+//! * `currencies` — valuation cost vs currency-graph depth and fan-out.
+//! * `rng` — Park–Miller draw throughput (Appendix A's "10 RISC
+//!   instructions" claim, in relative terms).
+//! * `mutex` — lottery mutex handoff throughput vs a plain mutex.
+
+use lottery_core::ledger::Ledger;
+use lottery_core::prelude::*;
+
+/// Builds a ledger with `clients` active clients funded directly from the
+/// base currency with `tickets` each.
+pub fn flat_ledger(clients: usize, tickets: u64) -> (Ledger, Vec<ClientId>) {
+    let mut ledger = Ledger::new();
+    let ids: Vec<ClientId> = (0..clients)
+        .map(|i| {
+            let c = ledger.create_client(format!("c{i}"));
+            let t = ledger.issue_root(ledger.base(), tickets).unwrap();
+            ledger.fund_client(t, c).unwrap();
+            ledger.activate_client(c).unwrap();
+            c
+        })
+        .collect();
+    (ledger, ids)
+}
+
+/// Builds a ledger whose clients sit below a chain of `depth` currencies
+/// (base ← c1 ← c2 ← ... ← c_depth ← clients).
+pub fn deep_ledger(depth: usize, clients: usize) -> (Ledger, Vec<ClientId>) {
+    let mut ledger = Ledger::new();
+    let mut cur = ledger.base();
+    for d in 0..depth {
+        let next = ledger.create_currency(format!("level{d}")).unwrap();
+        let back = ledger.issue_root(cur, 1000).unwrap();
+        ledger.fund_currency(back, next).unwrap();
+        cur = next;
+    }
+    let ids: Vec<ClientId> = (0..clients)
+        .map(|i| {
+            let c = ledger.create_client(format!("c{i}"));
+            let t = ledger.issue_root(cur, 10).unwrap();
+            ledger.fund_client(t, c).unwrap();
+            ledger.activate_client(c).unwrap();
+            c
+        })
+        .collect();
+    (ledger, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lottery_core::ledger::Valuator;
+
+    #[test]
+    fn flat_ledger_values() {
+        let (ledger, ids) = flat_ledger(4, 25);
+        let mut v = Valuator::new(&ledger);
+        for &c in &ids {
+            assert_eq!(v.client_value(c).unwrap(), 25.0);
+        }
+    }
+
+    #[test]
+    fn deep_ledger_conserves_value() {
+        let (ledger, ids) = deep_ledger(6, 10);
+        let mut v = Valuator::new(&ledger);
+        let total: f64 = ids.iter().map(|&c| v.client_value(c).unwrap()).sum();
+        assert!((total - 1000.0).abs() < 1e-9, "{total}");
+    }
+}

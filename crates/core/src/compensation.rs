@@ -1,0 +1,110 @@
+//! Compensation tickets (Sections 3.4 and 4.5).
+//!
+//! A client that consumes only a fraction `f` of its allocated quantum
+//! would, without correction, receive less than its entitled share of the
+//! processor: it competes in the same number of lotteries but banks less
+//! CPU per win. The paper's remedy is a *compensation ticket* that inflates
+//! the client's value by `1/f` until the client starts its next quantum, so
+//! its win frequency rises to exactly offset its shorter runs.
+//!
+//! In the Mach prototype the compensation ticket is a real ticket valued at
+//! `value * (q/used - 1)` base units (the Section 4.5 example grants a
+//! 1600-base-unit ticket to a 400-unit thread that used 1/5 of its
+//! quantum). Base-unit values are not integers in general, so this library
+//! records the equivalent multiplicative factor on the client; the
+//! observable lottery behaviour is identical and EXPERIMENTS.md's ablation
+//! (`compensation-ablation`) verifies the 1:1 outcome of the paper's
+//! example.
+
+use crate::client::ClientId;
+use crate::errors::Result;
+use crate::ledger::Ledger;
+
+/// Grants a compensation ticket to `client` for having used only
+/// `used` of its `quantum` allocation.
+///
+/// Does nothing when the client consumed its full quantum (or more, which
+/// can happen when a workload runs past quantum expiry by one tick). A
+/// `used` of zero is clamped to one tick's worth to keep the factor finite;
+/// in practice the dispatcher never charges zero time.
+pub fn grant(ledger: &mut Ledger, client: ClientId, used: u64, quantum: u64) -> Result<()> {
+    debug_assert!(quantum > 0);
+    if used >= quantum {
+        return clear(ledger, client);
+    }
+    let used = used.max(1);
+    let factor = quantum as f64 / used as f64;
+    ledger.set_compensation(client, factor)
+}
+
+/// Revokes any compensation when `client` starts its next full quantum.
+pub fn clear(ledger: &mut Ledger, client: ClientId) -> Result<()> {
+    ledger.set_compensation(client, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::Valuator;
+
+    /// Section 4.5's worked example: thread B holds 400 base units and uses
+    /// 20 ms of a 100 ms quantum, so it competes with 2000 base units
+    /// (equivalently: a compensation ticket worth 1600) until its next
+    /// quantum.
+    #[test]
+    fn section_4_5_example() {
+        let mut l = Ledger::new();
+        let b = l.create_client("B");
+        let t = l.issue_root(l.base(), 400).unwrap();
+        l.fund_client(t, b).unwrap();
+        l.activate_client(b).unwrap();
+
+        grant(&mut l, b, 20, 100).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(b).unwrap(), 2000.0);
+        // The implicit compensation ticket's worth.
+        let comp_value = v.client_value(b).unwrap() - v.client_funded_value(b).unwrap();
+        assert_eq!(comp_value, 1600.0);
+
+        clear(&mut l, b).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(b).unwrap(), 400.0);
+    }
+
+    #[test]
+    fn full_quantum_clears_compensation() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        l.set_compensation(c, 3.0).unwrap();
+        grant(&mut l, c, 100, 100).unwrap();
+        assert_eq!(l.client(c).unwrap().compensation(), 1.0);
+    }
+
+    #[test]
+    fn overrun_clears_compensation() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        grant(&mut l, c, 150, 100).unwrap();
+        assert_eq!(l.client(c).unwrap().compensation(), 1.0);
+    }
+
+    #[test]
+    fn zero_usage_is_clamped() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        grant(&mut l, c, 0, 100).unwrap();
+        let f = l.client(c).unwrap().compensation();
+        assert!(f.is_finite());
+        assert_eq!(f, 100.0);
+    }
+
+    #[test]
+    fn factor_is_quantum_over_used() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        grant(&mut l, c, 25, 100).unwrap();
+        assert_eq!(l.client(c).unwrap().compensation(), 4.0);
+        grant(&mut l, c, 50, 100).unwrap();
+        assert_eq!(l.client(c).unwrap().compensation(), 2.0);
+    }
+}

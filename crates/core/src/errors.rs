@@ -1,0 +1,110 @@
+//! Error types for the lottery-scheduling core.
+//!
+//! Every mutating operation on a [`crate::ledger::Ledger`] is fallible and
+//! reports failures through [`LotteryError`] rather than panicking, per the
+//! kernel Rust guidance that fallible approaches are preferred over panics.
+
+use core::fmt;
+
+use crate::arena::RawHandle;
+
+/// Errors produced by ticket, currency, and lottery operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LotteryError {
+    /// A handle referred to an object that no longer exists (or never did).
+    StaleHandle {
+        /// Which kind of object the handle named.
+        kind: ObjectKind,
+        /// The raw handle value, for diagnostics.
+        handle: RawHandle,
+    },
+    /// Funding the currency would create a cycle in the currency graph.
+    ///
+    /// The paper requires currency relationships to form an *acyclic* graph
+    /// (Section 3.3); a cycle would make ticket valuation ill-defined.
+    CurrencyCycle,
+    /// The principal is not permitted to issue tickets in this currency.
+    ///
+    /// Currencies carry an issue permission list so that ticket inflation is
+    /// contained within a trust boundary (Sections 3.2 and 3.3).
+    PermissionDenied,
+    /// A ticket amount of zero was supplied where a positive amount is
+    /// required.
+    ZeroAmount,
+    /// The currency still has issued or backing tickets and cannot be
+    /// destroyed.
+    CurrencyInUse,
+    /// The client still holds tickets and cannot be destroyed.
+    ClientInUse,
+    /// The base currency cannot be destroyed or re-funded.
+    BaseCurrencyImmutable,
+    /// A lottery was held over an empty or zero-valued pool.
+    EmptyLottery,
+    /// An inverse lottery needs at least two clients to pick a loser.
+    InverseLotteryTooSmall,
+    /// A transfer referred to a ticket that is not currently lent out.
+    NotTransferred,
+    /// Arithmetic on ticket amounts overflowed.
+    AmountOverflow,
+}
+
+/// The kinds of ledger object a handle may refer to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A lottery ticket.
+    Ticket,
+    /// A ticket currency.
+    Currency,
+    /// A schedulable client (thread).
+    Client,
+}
+
+impl fmt::Display for LotteryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::StaleHandle { kind, handle } => {
+                write!(f, "stale {kind:?} handle {handle:?}")
+            }
+            Self::CurrencyCycle => write!(f, "funding would create a currency cycle"),
+            Self::PermissionDenied => write!(f, "principal may not issue tickets in this currency"),
+            Self::ZeroAmount => write!(f, "ticket amount must be positive"),
+            Self::CurrencyInUse => write!(f, "currency still has issued or backing tickets"),
+            Self::ClientInUse => write!(f, "client still holds tickets"),
+            Self::BaseCurrencyImmutable => write!(f, "the base currency cannot be modified"),
+            Self::EmptyLottery => write!(f, "lottery held over an empty or zero-valued pool"),
+            Self::InverseLotteryTooSmall => {
+                write!(f, "inverse lottery requires at least two clients")
+            }
+            Self::NotTransferred => write!(f, "ticket is not currently transferred"),
+            Self::AmountOverflow => write!(f, "ticket amount arithmetic overflowed"),
+        }
+    }
+}
+
+impl std::error::Error for LotteryError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, LotteryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LotteryError::CurrencyCycle;
+        assert!(e.to_string().contains("cycle"));
+        let e = LotteryError::StaleHandle {
+            kind: ObjectKind::Ticket,
+            handle: RawHandle::new(3, 7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Ticket"), "{s}");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LotteryError::EmptyLottery);
+    }
+}

@@ -1,0 +1,1142 @@
+//! The ledger: the kernel object graph of tickets, currencies, and clients.
+//!
+//! This module implements the interface of Section 4.3 — operations to
+//! create and destroy tickets and currencies, to fund and unfund a currency
+//! (by adding or removing a ticket from its list of backing tickets), and to
+//! compute the current value of tickets and currencies in base units — plus
+//! the activation propagation of Section 4.4.
+//!
+//! # Structure
+//!
+//! All objects live in generational [`crate::arena::Arena`]s and reference
+//! each other by copyable handles, so the arbitrary acyclic currency graph
+//! of Figure 3 needs no shared-ownership gymnastics. A distinguished,
+//! conserved **base** currency roots the graph; a ticket denominated in base
+//! is worth exactly its face amount.
+//!
+//! # Example
+//!
+//! Reconstructing Figure 3's currency graph:
+//!
+//! ```
+//! use lottery_core::ledger::Ledger;
+//!
+//! let mut ledger = Ledger::new();
+//! let base = ledger.base();
+//! let alice = ledger.create_currency("alice").unwrap();
+//! let t = ledger.issue_root(base, 1000).unwrap();
+//! ledger.fund_currency(t, alice).unwrap();
+//! ```
+
+use std::collections::HashMap;
+
+use crate::arena::Arena;
+use crate::client::{Client, ClientId};
+use crate::currency::{Currency, CurrencyId, IssuePolicy, Principal};
+use crate::errors::{LotteryError, ObjectKind, Result};
+use crate::ticket::{FundingTarget, Ticket, TicketId};
+
+/// The ledger of all tickets, currencies, and clients.
+///
+/// Every mutating operation bumps an internal *epoch*; callers that cache
+/// valuations can compare epochs to decide when to recompute.
+#[derive(Debug)]
+pub struct Ledger {
+    tickets: Arena<Ticket>,
+    currencies: Arena<Currency>,
+    clients: Arena<Client>,
+    base: CurrencyId,
+    epoch: u64,
+}
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ledger {
+    /// Creates a ledger containing only the base currency.
+    pub fn new() -> Self {
+        let mut currencies = Arena::new();
+        let base = currencies.insert(Currency::new("base", IssuePolicy::Restricted(Vec::new())));
+        Self {
+            tickets: Arena::new(),
+            currencies,
+            clients: Arena::new(),
+            base,
+            epoch: 0,
+        }
+    }
+
+    /// The conserved base currency.
+    pub fn base(&self) -> CurrencyId {
+        self.base
+    }
+
+    /// The current mutation epoch.
+    ///
+    /// Incremented by every operation that can change any valuation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bump(&mut self) {
+        self.epoch += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Object accessors.
+    // ------------------------------------------------------------------
+
+    /// Shared access to a ticket.
+    pub fn ticket(&self, id: TicketId) -> Result<&Ticket> {
+        self.tickets.get(id).ok_or(LotteryError::StaleHandle {
+            kind: ObjectKind::Ticket,
+            handle: id.raw(),
+        })
+    }
+
+    /// Shared access to a currency.
+    pub fn currency(&self, id: CurrencyId) -> Result<&Currency> {
+        self.currencies.get(id).ok_or(LotteryError::StaleHandle {
+            kind: ObjectKind::Currency,
+            handle: id.raw(),
+        })
+    }
+
+    /// Shared access to a client.
+    pub fn client(&self, id: ClientId) -> Result<&Client> {
+        self.clients.get(id).ok_or(LotteryError::StaleHandle {
+            kind: ObjectKind::Client,
+            handle: id.raw(),
+        })
+    }
+
+    /// Iterates over all live currencies.
+    pub fn currencies(&self) -> impl Iterator<Item = (CurrencyId, &Currency)> {
+        self.currencies.iter()
+    }
+
+    /// Iterates over all live clients.
+    pub fn clients(&self) -> impl Iterator<Item = (ClientId, &Client)> {
+        self.clients.iter()
+    }
+
+    /// Iterates over all live tickets.
+    pub fn tickets(&self) -> impl Iterator<Item = (TicketId, &Ticket)> {
+        self.tickets.iter()
+    }
+
+    // ------------------------------------------------------------------
+    // Currency lifecycle.
+    // ------------------------------------------------------------------
+
+    /// Creates a currency whose tickets anyone may issue.
+    pub fn create_currency(&mut self, name: impl Into<String>) -> Result<CurrencyId> {
+        self.create_currency_with_policy(name, IssuePolicy::Anyone)
+    }
+
+    /// Creates a currency with an explicit issue policy.
+    pub fn create_currency_with_policy(
+        &mut self,
+        name: impl Into<String>,
+        policy: IssuePolicy,
+    ) -> Result<CurrencyId> {
+        self.bump();
+        Ok(self.currencies.insert(Currency::new(name, policy)))
+    }
+
+    /// Replaces a currency's issue policy.
+    pub fn set_policy(&mut self, id: CurrencyId, policy: IssuePolicy) -> Result<()> {
+        if id == self.base {
+            return Err(LotteryError::BaseCurrencyImmutable);
+        }
+        let cur = self
+            .currencies
+            .get_mut(id)
+            .ok_or(LotteryError::StaleHandle {
+                kind: ObjectKind::Currency,
+                handle: id.raw(),
+            })?;
+        cur.set_policy(policy);
+        Ok(())
+    }
+
+    /// Destroys an empty currency.
+    ///
+    /// Fails with [`LotteryError::CurrencyInUse`] if any tickets are still
+    /// issued in or backing the currency, and with
+    /// [`LotteryError::BaseCurrencyImmutable`] for the base currency.
+    pub fn destroy_currency(&mut self, id: CurrencyId) -> Result<()> {
+        if id == self.base {
+            return Err(LotteryError::BaseCurrencyImmutable);
+        }
+        let cur = self.currency(id)?;
+        if !cur.issued().is_empty() || !cur.backing().is_empty() {
+            return Err(LotteryError::CurrencyInUse);
+        }
+        self.currencies.remove(id);
+        self.bump();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Client lifecycle.
+    // ------------------------------------------------------------------
+
+    /// Creates an inactive client with no funding.
+    pub fn create_client(&mut self, name: impl Into<String>) -> ClientId {
+        self.bump();
+        self.clients.insert(Client::new(name))
+    }
+
+    /// Destroys a client with no funding.
+    pub fn destroy_client(&mut self, id: ClientId) -> Result<()> {
+        let client = self.client(id)?;
+        if !client.funding().is_empty() {
+            return Err(LotteryError::ClientInUse);
+        }
+        self.clients.remove(id);
+        self.bump();
+        Ok(())
+    }
+
+    /// Destroys a client after destroying every ticket that funds it.
+    pub fn destroy_client_and_funding(&mut self, id: ClientId) -> Result<()> {
+        let funding: Vec<TicketId> = self.client(id)?.funding().to_vec();
+        for t in funding {
+            self.destroy_ticket(t)?;
+        }
+        self.destroy_client(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Ticket lifecycle.
+    // ------------------------------------------------------------------
+
+    /// Issues an unfunded ticket of `amount` units in `currency` on behalf
+    /// of `principal`.
+    ///
+    /// Fails with [`LotteryError::PermissionDenied`] when the currency's
+    /// issue policy rejects the principal — the mechanism that disallows
+    /// unsanctioned ticket inflation across trust boundaries (Section 3.2).
+    pub fn issue(
+        &mut self,
+        currency: CurrencyId,
+        amount: u64,
+        principal: Principal,
+    ) -> Result<TicketId> {
+        if amount == 0 {
+            return Err(LotteryError::ZeroAmount);
+        }
+        let cur = self.currency(currency)?;
+        if !cur.policy().permits(principal) {
+            return Err(LotteryError::PermissionDenied);
+        }
+        cur.total_amount()
+            .checked_add(amount)
+            .ok_or(LotteryError::AmountOverflow)?;
+        let id = self.tickets.insert(Ticket::new(amount, currency));
+        self.currencies
+            .get_mut(currency)
+            .expect("checked above")
+            .add_issued(id, amount);
+        self.bump();
+        Ok(id)
+    }
+
+    /// Issues a ticket as the root principal (always permitted).
+    pub fn issue_root(&mut self, currency: CurrencyId, amount: u64) -> Result<TicketId> {
+        self.issue(currency, amount, Principal::ROOT)
+    }
+
+    /// Destroys a ticket, unfunding it first if necessary.
+    pub fn destroy_ticket(&mut self, id: TicketId) -> Result<()> {
+        self.unfund(id)?;
+        let ticket = self.tickets.remove(id).expect("unfund verified liveness");
+        debug_assert!(!ticket.is_active());
+        if let Some(cur) = self.currencies.get_mut(ticket.currency()) {
+            cur.remove_issued(id, ticket.amount());
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Changes a ticket's face amount in place.
+    ///
+    /// This implements dynamic ticket inflation/deflation for an already
+    /// funded ticket (Section 5.2's Monte-Carlo experiment adjusts ticket
+    /// values this way). Activation state is preserved; currency sums are
+    /// adjusted.
+    pub fn set_amount(&mut self, id: TicketId, amount: u64) -> Result<()> {
+        if amount == 0 {
+            return Err(LotteryError::ZeroAmount);
+        }
+        let (old, currency, active) = {
+            let t = self.ticket(id)?;
+            (t.amount(), t.currency(), t.is_active())
+        };
+        if old == amount {
+            return Ok(());
+        }
+        let cur = self.currency(currency)?;
+        cur.total_amount()
+            .checked_sub(old)
+            .and_then(|v| v.checked_add(amount))
+            .ok_or(LotteryError::AmountOverflow)?;
+        self.currencies
+            .get_mut(currency)
+            .expect("checked above")
+            .adjust_amount(old, amount, active);
+        self.tickets
+            .get_mut(id)
+            .expect("checked above")
+            .set_amount(amount);
+        self.bump();
+        Ok(())
+    }
+
+    /// Splits a ticket into several of the same denomination and funding
+    /// target.
+    ///
+    /// Like breaking a monetary note (Section 3.1 likens tickets to notes
+    /// "issued in different denominations"): `parts` must be positive and
+    /// sum to the ticket's amount. The original ticket keeps the first
+    /// part; the returned tickets carry the rest, each funding the same
+    /// target with the same activation state. The total value anyone
+    /// derives from the currency is unchanged.
+    pub fn split_ticket(&mut self, id: TicketId, parts: &[u64]) -> Result<Vec<TicketId>> {
+        let (amount, currency, target) = {
+            let t = self.ticket(id)?;
+            (t.amount(), t.currency(), t.target())
+        };
+        if parts.is_empty() || parts.contains(&0) {
+            return Err(LotteryError::ZeroAmount);
+        }
+        let sum = parts
+            .iter()
+            .try_fold(0u64, |acc, &p| acc.checked_add(p))
+            .ok_or(LotteryError::AmountOverflow)?;
+        if sum != amount {
+            return Err(LotteryError::ZeroAmount);
+        }
+        self.set_amount(id, parts[0])?;
+        let mut rest = Vec::with_capacity(parts.len() - 1);
+        for &part in &parts[1..] {
+            let piece = self.issue_root(currency, part)?;
+            match target {
+                FundingTarget::Client(c) => self.fund_client(piece, c)?,
+                FundingTarget::Currency(c) => self.fund_currency(piece, c)?,
+                FundingTarget::Unfunded => {}
+            }
+            rest.push(piece);
+        }
+        Ok(rest)
+    }
+
+    /// Merges `other` into `ticket`: both must share a denomination and a
+    /// funding target; `other` is destroyed and its amount added.
+    pub fn merge_tickets(&mut self, ticket: TicketId, other: TicketId) -> Result<()> {
+        if ticket == other {
+            return Err(LotteryError::ZeroAmount);
+        }
+        let (a_amt, a_cur, a_target) = {
+            let t = self.ticket(ticket)?;
+            (t.amount(), t.currency(), t.target())
+        };
+        let (b_amt, b_cur, b_target) = {
+            let t = self.ticket(other)?;
+            (t.amount(), t.currency(), t.target())
+        };
+        if a_cur != b_cur || a_target != b_target {
+            return Err(LotteryError::NotTransferred);
+        }
+        let total = a_amt
+            .checked_add(b_amt)
+            .ok_or(LotteryError::AmountOverflow)?;
+        self.destroy_ticket(other)?;
+        self.set_amount(ticket, total)
+    }
+
+    // ------------------------------------------------------------------
+    // Funding.
+    // ------------------------------------------------------------------
+
+    /// Uses `ticket` to fund `client`.
+    ///
+    /// If the client is active, the ticket is activated and the activation
+    /// propagates through the currency graph.
+    pub fn fund_client(&mut self, ticket: TicketId, client: ClientId) -> Result<()> {
+        self.ticket(ticket)?;
+        self.client(client)?;
+        self.unfund(ticket)?;
+        self.tickets
+            .get_mut(ticket)
+            .expect("checked above")
+            .set_target(FundingTarget::Client(client));
+        self.clients
+            .get_mut(client)
+            .expect("checked above")
+            .add_funding(ticket);
+        if self.client(client)?.is_active() {
+            self.activate_ticket(ticket);
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Uses `ticket` to back (fund) `currency`.
+    ///
+    /// Fails with [`LotteryError::CurrencyCycle`] if the funding edge would
+    /// make the ticket's denomination depend on `currency` — currency
+    /// relationships must form an acyclic graph (Section 3.3). The base
+    /// currency cannot be funded: it is conserved by definition.
+    pub fn fund_currency(&mut self, ticket: TicketId, currency: CurrencyId) -> Result<()> {
+        let denom = self.ticket(ticket)?.currency();
+        self.currency(currency)?;
+        if currency == self.base {
+            return Err(LotteryError::BaseCurrencyImmutable);
+        }
+        // `currency`'s value will depend on `denom`; reject if `denom`
+        // already depends on `currency` (including `denom == currency`).
+        if self.depends_on(denom, currency)? {
+            return Err(LotteryError::CurrencyCycle);
+        }
+        self.unfund(ticket)?;
+        self.tickets
+            .get_mut(ticket)
+            .expect("checked above")
+            .set_target(FundingTarget::Currency(currency));
+        self.currencies
+            .get_mut(currency)
+            .expect("checked above")
+            .add_backing(ticket);
+        if self.currency(currency)?.is_active() {
+            self.activate_ticket(ticket);
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Removes `ticket` from whatever it funds, deactivating it.
+    pub fn unfund(&mut self, ticket: TicketId) -> Result<()> {
+        let target = self.ticket(ticket)?.target();
+        match target {
+            FundingTarget::Unfunded => return Ok(()),
+            FundingTarget::Client(c) => {
+                self.deactivate_ticket(ticket);
+                if let Some(client) = self.clients.get_mut(c) {
+                    client.remove_funding(ticket);
+                }
+            }
+            FundingTarget::Currency(c) => {
+                self.deactivate_ticket(ticket);
+                if let Some(cur) = self.currencies.get_mut(c) {
+                    cur.remove_backing(ticket);
+                }
+            }
+        }
+        self.tickets
+            .get_mut(ticket)
+            .expect("checked above")
+            .set_target(FundingTarget::Unfunded);
+        self.bump();
+        Ok(())
+    }
+
+    /// Whether currency `a`'s value (transitively) depends on currency `b`.
+    ///
+    /// Dependency edges run from a currency to the denominations of its
+    /// backing tickets.
+    pub fn depends_on(&self, a: CurrencyId, b: CurrencyId) -> Result<bool> {
+        if a == b {
+            return Ok(true);
+        }
+        let mut stack = vec![a];
+        let mut seen = vec![a];
+        while let Some(cur) = stack.pop() {
+            for &t in self.currency(cur)?.backing() {
+                let denom = self.ticket(t)?.currency();
+                if denom == b {
+                    return Ok(true);
+                }
+                if !seen.contains(&denom) {
+                    seen.push(denom);
+                    stack.push(denom);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Activation (Section 4.4).
+    // ------------------------------------------------------------------
+
+    /// Marks a client active (e.g. it joined the run queue) and activates
+    /// its funding tickets.
+    pub fn activate_client(&mut self, id: ClientId) -> Result<()> {
+        let client = self.clients.get_mut(id).ok_or(LotteryError::StaleHandle {
+            kind: ObjectKind::Client,
+            handle: id.raw(),
+        })?;
+        if client.is_active() {
+            return Ok(());
+        }
+        client.set_active(true);
+        let funding: Vec<TicketId> = client.funding().to_vec();
+        for t in funding {
+            self.activate_ticket(t);
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Marks a client inactive (e.g. it blocked) and deactivates its
+    /// funding tickets.
+    pub fn deactivate_client(&mut self, id: ClientId) -> Result<()> {
+        let client = self.clients.get_mut(id).ok_or(LotteryError::StaleHandle {
+            kind: ObjectKind::Client,
+            handle: id.raw(),
+        })?;
+        if !client.is_active() {
+            return Ok(());
+        }
+        client.set_active(false);
+        let funding: Vec<TicketId> = client.funding().to_vec();
+        for t in funding {
+            self.deactivate_ticket(t);
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Activates one ticket; if its denomination's active amount crosses
+    /// zero, the activation propagates to the denomination's backing
+    /// tickets, and so on toward the base currency.
+    fn activate_ticket(&mut self, id: TicketId) {
+        let mut work = vec![id];
+        while let Some(tid) = work.pop() {
+            let (amount, denom, already) = {
+                let t = self.tickets.get(tid).expect("ticket liveness invariant");
+                (t.amount(), t.currency(), t.is_active())
+            };
+            if already {
+                continue;
+            }
+            self.tickets
+                .get_mut(tid)
+                .expect("checked above")
+                .set_active(true);
+            let crossed = self
+                .currencies
+                .get_mut(denom)
+                .expect("denomination liveness invariant")
+                .activate_amount(amount);
+            if crossed {
+                let backing = self
+                    .currencies
+                    .get(denom)
+                    .expect("checked above")
+                    .backing()
+                    .to_vec();
+                work.extend(backing);
+            }
+        }
+    }
+
+    /// Deactivates one ticket with symmetric zero-crossing propagation.
+    fn deactivate_ticket(&mut self, id: TicketId) {
+        let mut work = vec![id];
+        while let Some(tid) = work.pop() {
+            let (amount, denom, active) = {
+                let t = self.tickets.get(tid).expect("ticket liveness invariant");
+                (t.amount(), t.currency(), t.is_active())
+            };
+            if !active {
+                continue;
+            }
+            self.tickets
+                .get_mut(tid)
+                .expect("checked above")
+                .set_active(false);
+            let crossed = self
+                .currencies
+                .get_mut(denom)
+                .expect("denomination liveness invariant")
+                .deactivate_amount(amount);
+            if crossed {
+                let backing = self
+                    .currencies
+                    .get(denom)
+                    .expect("checked above")
+                    .backing()
+                    .to_vec();
+                work.extend(backing);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compensation (Sections 3.4 / 4.5).
+    // ------------------------------------------------------------------
+
+    /// Sets a client's compensation factor directly.
+    ///
+    /// Prefer [`crate::compensation::grant`] and
+    /// [`crate::compensation::clear`], which derive the factor from quantum
+    /// usage.
+    pub fn set_compensation(&mut self, id: ClientId, factor: f64) -> Result<()> {
+        // NaN fails the finiteness check; negatives and sub-unity factors
+        // fail the comparison.
+        if factor < 1.0 || !factor.is_finite() {
+            // A factor below one would *penalize* the client; the mechanism
+            // only ever inflates (Section 3.4).
+            return Err(LotteryError::ZeroAmount);
+        }
+        let client = self.clients.get_mut(id).ok_or(LotteryError::StaleHandle {
+            kind: ObjectKind::Client,
+            handle: id.raw(),
+        })?;
+        client.set_compensation(factor);
+        self.bump();
+        Ok(())
+    }
+}
+
+/// Memoizing valuator over a ledger snapshot.
+///
+/// Computes currency, ticket, and client values in base units per
+/// Section 4.4:
+///
+/// * a currency's value is the sum of its *active* backing tickets' values;
+/// * a ticket's value is its denomination's value times the ticket's share
+///   of the denomination's active amount;
+/// * a ticket denominated in the base currency is worth its face amount;
+/// * a client's value is the sum of its active funding tickets' values,
+///   times its compensation factor.
+///
+/// Values are memoized per currency, so valuing every runnable client costs
+/// one graph walk. Construct a fresh `Valuator` (or call
+/// [`Valuator::refresh`]) after ledger mutations; [`Valuator::is_stale`]
+/// reports whether the ledger has moved on.
+pub struct Valuator<'a> {
+    ledger: &'a Ledger,
+    epoch: u64,
+    currency_values: HashMap<CurrencyId, f64>,
+}
+
+impl<'a> Valuator<'a> {
+    /// Creates a valuator for the ledger's current epoch.
+    pub fn new(ledger: &'a Ledger) -> Self {
+        Self {
+            ledger,
+            epoch: ledger.epoch(),
+            currency_values: HashMap::new(),
+        }
+    }
+
+    /// Whether the ledger has been mutated since this valuator was built.
+    pub fn is_stale(&self) -> bool {
+        self.epoch != self.ledger.epoch()
+    }
+
+    /// Drops memoized values (after external mutation via a new borrow).
+    pub fn refresh(&mut self) {
+        self.epoch = self.ledger.epoch();
+        self.currency_values.clear();
+    }
+
+    /// The value of `currency` in base units.
+    pub fn currency_value(&mut self, currency: CurrencyId) -> Result<f64> {
+        if let Some(&v) = self.currency_values.get(&currency) {
+            return Ok(v);
+        }
+        let v = if currency == self.ledger.base() {
+            // By definition a base ticket is worth its amount, so the base
+            // currency's value equals its active amount.
+            self.ledger.currency(currency)?.active_amount() as f64
+        } else {
+            let backing = self.ledger.currency(currency)?.backing().to_vec();
+            let mut sum = 0.0;
+            for t in backing {
+                if self.ledger.ticket(t)?.is_active() {
+                    sum += self.ticket_value(t)?;
+                }
+            }
+            sum
+        };
+        self.currency_values.insert(currency, v);
+        Ok(v)
+    }
+
+    /// The value of `ticket` in base units.
+    ///
+    /// An inactive ticket (or one denominated in a currency with zero
+    /// active amount) is worth zero.
+    pub fn ticket_value(&mut self, ticket: TicketId) -> Result<f64> {
+        let t = self.ledger.ticket(ticket)?;
+        if !t.is_active() {
+            return Ok(0.0);
+        }
+        let denom = t.currency();
+        let amount = t.amount() as f64;
+        if denom == self.ledger.base() {
+            return Ok(amount);
+        }
+        let active = self.ledger.currency(denom)?.active_amount();
+        if active == 0 {
+            return Ok(0.0);
+        }
+        let cv = self.currency_value(denom)?;
+        Ok(cv * amount / active as f64)
+    }
+
+    /// The value of `client` in base units, including compensation.
+    pub fn client_value(&mut self, client: ClientId) -> Result<f64> {
+        let c = self.ledger.client(client)?;
+        let comp = c.compensation();
+        let funding = c.funding().to_vec();
+        let mut sum = 0.0;
+        for t in funding {
+            sum += self.ticket_value(t)?;
+        }
+        Ok(sum * comp)
+    }
+
+    /// The value of `client` in base units, excluding compensation.
+    pub fn client_funded_value(&mut self, client: ClientId) -> Result<f64> {
+        let c = self.ledger.client(client)?;
+        let funding = c.funding().to_vec();
+        let mut sum = 0.0;
+        for t in funding {
+            sum += self.ticket_value(t)?;
+        }
+        Ok(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Figure 3 currency graph and checks the published values:
+    /// thread2 = 400, thread3 = 600, thread4 = 2000 base units.
+    #[test]
+    fn figure3_currency_graph() {
+        let mut l = Ledger::new();
+        let base = l.base();
+
+        let alice = l.create_currency("alice").unwrap();
+        let bob = l.create_currency("bob").unwrap();
+        let t_alice = l.issue_root(base, 1000).unwrap();
+        let t_bob = l.issue_root(base, 2000).unwrap();
+        l.fund_currency(t_alice, alice).unwrap();
+        l.fund_currency(t_bob, bob).unwrap();
+
+        let task1 = l.create_currency("task1").unwrap();
+        let task2 = l.create_currency("task2").unwrap();
+        let task3 = l.create_currency("task3").unwrap();
+        let t_task1 = l.issue_root(alice, 100).unwrap();
+        let t_task2 = l.issue_root(alice, 200).unwrap();
+        let t_task3 = l.issue_root(bob, 100).unwrap();
+        l.fund_currency(t_task1, task1).unwrap();
+        l.fund_currency(t_task2, task2).unwrap();
+        l.fund_currency(t_task3, task3).unwrap();
+
+        let thread1 = l.create_client("thread1");
+        let thread2 = l.create_client("thread2");
+        let thread3 = l.create_client("thread3");
+        let thread4 = l.create_client("thread4");
+        let f1 = l.issue_root(task1, 100).unwrap();
+        let f2 = l.issue_root(task2, 200).unwrap();
+        let f3 = l.issue_root(task2, 300).unwrap();
+        let f4 = l.issue_root(task3, 100).unwrap();
+        l.fund_client(f1, thread1).unwrap();
+        l.fund_client(f2, thread2).unwrap();
+        l.fund_client(f3, thread3).unwrap();
+        l.fund_client(f4, thread4).unwrap();
+
+        // task1 is inactive: thread1 never becomes runnable.
+        l.activate_client(thread2).unwrap();
+        l.activate_client(thread3).unwrap();
+        l.activate_client(thread4).unwrap();
+
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(thread1).unwrap(), 0.0);
+        assert_eq!(v.client_value(thread2).unwrap(), 400.0);
+        assert_eq!(v.client_value(thread3).unwrap(), 600.0);
+        assert_eq!(v.client_value(thread4).unwrap(), 2000.0);
+
+        // Figure 3's annotations: alice's active amount is 200 (task1's
+        // 100 inactive), task2's is 500, and the runnable total is 3000.
+        assert_eq!(l.currency(alice).unwrap().active_amount(), 200);
+        assert_eq!(l.currency(task2).unwrap().active_amount(), 500);
+        assert_eq!(v.currency_value(alice).unwrap(), 1000.0);
+        assert_eq!(v.currency_value(bob).unwrap(), 2000.0);
+        let total: f64 = [thread2, thread3, thread4]
+            .iter()
+            .map(|&c| v.client_value(c).unwrap())
+            .sum();
+        assert_eq!(total, 3000.0);
+    }
+
+    #[test]
+    fn base_ticket_value_is_face_amount() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), 123).unwrap();
+        l.fund_client(t, c).unwrap();
+        l.activate_client(c).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.ticket_value(t).unwrap(), 123.0);
+        assert_eq!(v.client_value(c).unwrap(), 123.0);
+    }
+
+    #[test]
+    fn inactive_client_is_worth_zero() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), 50).unwrap();
+        l.fund_client(t, c).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(c).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn deactivation_redistributes_value() {
+        // Two clients in one currency: deactivating one doubles the other's
+        // share of the currency's value (relative tickets, Section 2.1).
+        let mut l = Ledger::new();
+        let cur = l.create_currency("shared").unwrap();
+        let back = l.issue_root(l.base(), 1000).unwrap();
+        l.fund_currency(back, cur).unwrap();
+        let a = l.create_client("a");
+        let b = l.create_client("b");
+        let ta = l.issue_root(cur, 100).unwrap();
+        let tb = l.issue_root(cur, 100).unwrap();
+        l.fund_client(ta, a).unwrap();
+        l.fund_client(tb, b).unwrap();
+        l.activate_client(a).unwrap();
+        l.activate_client(b).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(a).unwrap(), 500.0);
+
+        l.deactivate_client(b).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(a).unwrap(), 1000.0);
+        assert_eq!(v.client_value(b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_crossing_propagates_to_base() {
+        let mut l = Ledger::new();
+        let cur = l.create_currency("c").unwrap();
+        let back = l.issue_root(l.base(), 10).unwrap();
+        l.fund_currency(back, cur).unwrap();
+        let a = l.create_client("a");
+        let ta = l.issue_root(cur, 1).unwrap();
+        l.fund_client(ta, a).unwrap();
+
+        assert!(!l.ticket(back).unwrap().is_active());
+        l.activate_client(a).unwrap();
+        assert!(l.ticket(back).unwrap().is_active());
+        assert_eq!(l.currency(l.base()).unwrap().active_amount(), 10);
+
+        l.deactivate_client(a).unwrap();
+        assert!(!l.ticket(back).unwrap().is_active());
+        assert_eq!(l.currency(l.base()).unwrap().active_amount(), 0);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut l = Ledger::new();
+        let a = l.create_currency("a").unwrap();
+        let b = l.create_currency("b").unwrap();
+        // a backed by ticket in b.
+        let t1 = l.issue_root(b, 10).unwrap();
+        l.fund_currency(t1, a).unwrap();
+        // b backed by ticket in a: cycle.
+        let t2 = l.issue_root(a, 10).unwrap();
+        assert_eq!(l.fund_currency(t2, b), Err(LotteryError::CurrencyCycle));
+    }
+
+    #[test]
+    fn self_cycle_rejected() {
+        let mut l = Ledger::new();
+        let a = l.create_currency("a").unwrap();
+        let t = l.issue_root(a, 10).unwrap();
+        assert_eq!(l.fund_currency(t, a), Err(LotteryError::CurrencyCycle));
+    }
+
+    #[test]
+    fn diamond_graph_is_legal() {
+        // Acyclic but not a tree: d backed by tickets in b and c, both
+        // backed by base. The paper allows arbitrary acyclic graphs.
+        let mut l = Ledger::new();
+        let b = l.create_currency("b").unwrap();
+        let c = l.create_currency("c").unwrap();
+        let d = l.create_currency("d").unwrap();
+        let tb = l.issue_root(l.base(), 100).unwrap();
+        let tc = l.issue_root(l.base(), 300).unwrap();
+        l.fund_currency(tb, b).unwrap();
+        l.fund_currency(tc, c).unwrap();
+        let db = l.issue_root(b, 1).unwrap();
+        let dc = l.issue_root(c, 1).unwrap();
+        l.fund_currency(db, d).unwrap();
+        l.fund_currency(dc, d).unwrap();
+        let cl = l.create_client("cl");
+        let t = l.issue_root(d, 7).unwrap();
+        l.fund_client(t, cl).unwrap();
+        l.activate_client(cl).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(cl).unwrap(), 400.0);
+    }
+
+    #[test]
+    fn base_cannot_be_funded_or_destroyed() {
+        let mut l = Ledger::new();
+        let c = l.create_currency("c").unwrap();
+        let t = l.issue_root(c, 5).unwrap();
+        assert_eq!(
+            l.fund_currency(t, l.base()),
+            Err(LotteryError::BaseCurrencyImmutable)
+        );
+        assert_eq!(
+            l.destroy_currency(l.base()),
+            Err(LotteryError::BaseCurrencyImmutable)
+        );
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let mut l = Ledger::new();
+        let c = l
+            .create_currency_with_policy("locked", IssuePolicy::Restricted(vec![Principal(3)]))
+            .unwrap();
+        assert_eq!(
+            l.issue(c, 5, Principal(4)),
+            Err(LotteryError::PermissionDenied)
+        );
+        assert!(l.issue(c, 5, Principal(3)).is_ok());
+        assert!(l.issue(c, 5, Principal::ROOT).is_ok());
+    }
+
+    #[test]
+    fn zero_amount_rejected() {
+        let mut l = Ledger::new();
+        assert_eq!(l.issue_root(l.base(), 0), Err(LotteryError::ZeroAmount));
+    }
+
+    #[test]
+    fn destroy_in_use_rejected() {
+        let mut l = Ledger::new();
+        let c = l.create_currency("c").unwrap();
+        let t = l.issue_root(c, 5).unwrap();
+        assert_eq!(l.destroy_currency(c), Err(LotteryError::CurrencyInUse));
+        l.destroy_ticket(t).unwrap();
+        assert!(l.destroy_currency(c).is_ok());
+    }
+
+    #[test]
+    fn destroy_client_with_funding_rejected_then_allowed() {
+        let mut l = Ledger::new();
+        let cl = l.create_client("cl");
+        let t = l.issue_root(l.base(), 5).unwrap();
+        l.fund_client(t, cl).unwrap();
+        assert_eq!(l.destroy_client(cl), Err(LotteryError::ClientInUse));
+        l.destroy_client_and_funding(cl).unwrap();
+        assert!(l.client(cl).is_err());
+        assert!(l.ticket(t).is_err());
+    }
+
+    #[test]
+    fn destroy_active_ticket_maintains_sums() {
+        let mut l = Ledger::new();
+        let cl = l.create_client("cl");
+        let t = l.issue_root(l.base(), 5).unwrap();
+        l.fund_client(t, cl).unwrap();
+        l.activate_client(cl).unwrap();
+        assert_eq!(l.currency(l.base()).unwrap().active_amount(), 5);
+        l.destroy_ticket(t).unwrap();
+        assert_eq!(l.currency(l.base()).unwrap().active_amount(), 0);
+        assert_eq!(l.currency(l.base()).unwrap().total_amount(), 0);
+        assert!(l.client(cl).unwrap().funding().is_empty());
+    }
+
+    #[test]
+    fn set_amount_adjusts_currency_sums() {
+        let mut l = Ledger::new();
+        let cl = l.create_client("cl");
+        let t = l.issue_root(l.base(), 100).unwrap();
+        l.fund_client(t, cl).unwrap();
+        l.activate_client(cl).unwrap();
+        l.set_amount(t, 400).unwrap();
+        assert_eq!(l.currency(l.base()).unwrap().active_amount(), 400);
+        assert_eq!(l.currency(l.base()).unwrap().total_amount(), 400);
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(cl).unwrap(), 400.0);
+    }
+
+    #[test]
+    fn refund_moves_ticket_between_clients() {
+        let mut l = Ledger::new();
+        let a = l.create_client("a");
+        let b = l.create_client("b");
+        let t = l.issue_root(l.base(), 10).unwrap();
+        l.fund_client(t, a).unwrap();
+        l.activate_client(a).unwrap();
+        l.activate_client(b).unwrap();
+        l.fund_client(t, b).unwrap();
+        assert!(l.client(a).unwrap().funding().is_empty());
+        assert_eq!(l.client(b).unwrap().funding(), &[t]);
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(a).unwrap(), 0.0);
+        assert_eq!(v.client_value(b).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn compensation_scales_client_value() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), 400).unwrap();
+        l.fund_client(t, c).unwrap();
+        l.activate_client(c).unwrap();
+        l.set_compensation(c, 5.0).unwrap();
+        let mut v = Valuator::new(&l);
+        // Section 4.5's example: a 400-unit thread using 1/5 of its quantum
+        // competes as if holding 2000 base units.
+        assert_eq!(v.client_value(c).unwrap(), 2000.0);
+        assert_eq!(v.client_funded_value(c).unwrap(), 400.0);
+    }
+
+    #[test]
+    fn compensation_below_one_rejected() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        assert!(l.set_compensation(c, 0.5).is_err());
+        assert!(l.set_compensation(c, f64::NAN).is_err());
+        assert!(l.set_compensation(c, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn valuator_staleness() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), 10).unwrap();
+        l.fund_client(t, c).unwrap();
+        let v = Valuator::new(&l);
+        assert!(!v.is_stale());
+        l.activate_client(c).unwrap();
+        let v2 = Valuator::new(&l);
+        assert!(!v2.is_stale());
+    }
+
+    #[test]
+    fn stale_handles_reported() {
+        let mut l = Ledger::new();
+        let c = l.create_currency("c").unwrap();
+        l.destroy_currency(c).unwrap();
+        assert!(matches!(
+            l.currency(c),
+            Err(LotteryError::StaleHandle { .. })
+        ));
+    }
+
+    #[test]
+    fn epoch_advances_on_mutation() {
+        let mut l = Ledger::new();
+        let e0 = l.epoch();
+        let _ = l.create_client("c");
+        assert!(l.epoch() > e0);
+    }
+
+    #[test]
+    fn issue_overflow_rejected() {
+        let mut l = Ledger::new();
+        let c = l.create_currency("c").unwrap();
+        let _ = l.issue_root(c, u64::MAX).unwrap();
+        assert_eq!(l.issue_root(c, 1), Err(LotteryError::AmountOverflow));
+    }
+}
+
+#[cfg(test)]
+mod split_merge_tests {
+    use super::*;
+
+    fn funded_client(l: &mut Ledger, amount: u64) -> (ClientId, TicketId) {
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), amount).unwrap();
+        l.fund_client(t, c).unwrap();
+        l.activate_client(c).unwrap();
+        (c, t)
+    }
+
+    #[test]
+    fn split_preserves_value_and_activation() {
+        let mut l = Ledger::new();
+        let (c, t) = funded_client(&mut l, 100);
+        let rest = l.split_ticket(t, &[60, 30, 10]).unwrap();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(l.ticket(t).unwrap().amount(), 60);
+        assert_eq!(l.client(c).unwrap().funding().len(), 3);
+        for &piece in &rest {
+            assert!(l.ticket(piece).unwrap().is_active());
+        }
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(c).unwrap(), 100.0);
+        assert_eq!(l.currency(l.base()).unwrap().active_amount(), 100);
+    }
+
+    #[test]
+    fn split_rejects_bad_parts() {
+        let mut l = Ledger::new();
+        let (_, t) = funded_client(&mut l, 100);
+        assert_eq!(l.split_ticket(t, &[]), Err(LotteryError::ZeroAmount));
+        assert_eq!(
+            l.split_ticket(t, &[50, 0, 50]),
+            Err(LotteryError::ZeroAmount)
+        );
+        assert_eq!(l.split_ticket(t, &[50, 40]), Err(LotteryError::ZeroAmount));
+        // Untouched on failure.
+        assert_eq!(l.ticket(t).unwrap().amount(), 100);
+    }
+
+    #[test]
+    fn split_unfunded_ticket_yields_unfunded_pieces() {
+        let mut l = Ledger::new();
+        let t = l.issue_root(l.base(), 10).unwrap();
+        let rest = l.split_ticket(t, &[4, 6]).unwrap();
+        assert_eq!(l.ticket(rest[0]).unwrap().target(), FundingTarget::Unfunded);
+        assert_eq!(l.currency(l.base()).unwrap().total_amount(), 10);
+    }
+
+    #[test]
+    fn merge_recombines() {
+        let mut l = Ledger::new();
+        let (c, t) = funded_client(&mut l, 100);
+        let rest = l.split_ticket(t, &[70, 30]).unwrap();
+        l.merge_tickets(t, rest[0]).unwrap();
+        assert_eq!(l.ticket(t).unwrap().amount(), 100);
+        assert!(l.ticket(rest[0]).is_err(), "merged ticket destroyed");
+        assert_eq!(l.client(c).unwrap().funding().len(), 1);
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(c).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn merge_rejects_mismatches() {
+        let mut l = Ledger::new();
+        let (_, t1) = funded_client(&mut l, 10);
+        let other_cur = l.create_currency("other").unwrap();
+        let t2 = l.issue_root(other_cur, 10).unwrap();
+        assert_eq!(l.merge_tickets(t1, t2), Err(LotteryError::NotTransferred));
+        assert_eq!(l.merge_tickets(t1, t1), Err(LotteryError::ZeroAmount));
+        // Same denomination, different targets.
+        let c2 = l.create_client("c2");
+        let t3 = l.issue_root(l.base(), 5).unwrap();
+        l.fund_client(t3, c2).unwrap();
+        assert_eq!(l.merge_tickets(t1, t3), Err(LotteryError::NotTransferred));
+    }
+}

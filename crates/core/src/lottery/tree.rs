@@ -1,0 +1,339 @@
+//! Tree-based lottery with partial ticket sums (Section 4.2).
+//!
+//! For large client counts the paper recommends "a tree of partial ticket
+//! sums, with clients at the leaves", which locates a winner with `lg n`
+//! additions and comparisons. This module implements that structure as an
+//! implicit complete binary tree (a segment tree over leaf slots): draws
+//! descend from the root comparing the winning value against the left
+//! subtree's sum; updates recompute the path from the touched leaf upward,
+//! so floating-point sums never drift.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use super::{TicketPool, Weight};
+
+/// A partial-sum tree lottery pool.
+///
+/// # Examples
+///
+/// ```
+/// use lottery_core::lottery::{tree::TreeLottery, TicketPool};
+/// use lottery_core::rng::ParkMiller;
+///
+/// let mut pool = TreeLottery::new();
+/// pool.insert("interactive", 75u64);
+/// pool.insert("batch", 25u64);
+/// let mut rng = ParkMiller::new(1);
+/// let winner = pool.draw(&mut rng).unwrap();
+/// assert!(["interactive", "batch"].contains(winner));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeLottery<T, W> {
+    /// Leaf slot -> (item, weight).
+    items: Vec<(T, W)>,
+    /// Item -> leaf slot.
+    index: HashMap<T, usize>,
+    /// 1-based implicit binary tree of `2 * capacity` sums.
+    tree: Vec<W>,
+    /// Number of leaf slots (a power of two).
+    capacity: usize,
+}
+
+impl<T: Eq + Hash + Clone, W: Weight> Default for TreeLottery<T, W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq + Hash + Clone, W: Weight> TreeLottery<T, W> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::with_capacity(1)
+    }
+
+    /// Creates an empty pool with room for `n` entries before regrowing.
+    pub fn with_capacity(n: usize) -> Self {
+        let capacity = n.max(1).next_power_of_two();
+        Self {
+            items: Vec::new(),
+            index: HashMap::new(),
+            tree: vec![W::ZERO; 2 * capacity],
+            capacity,
+        }
+    }
+
+    /// The depth of the sum tree: the number of comparisons per draw.
+    pub fn depth(&self) -> u32 {
+        self.capacity.trailing_zeros()
+    }
+
+    /// Iterates entries in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, W)> {
+        self.items.iter().map(|(t, w)| (t, *w))
+    }
+
+    /// Recomputes sums on the path from leaf `slot` to the root.
+    fn update_path(&mut self, slot: usize) {
+        let mut node = (self.capacity + slot) / 2;
+        while node >= 1 {
+            self.tree[node] = self.tree[2 * node].add(self.tree[2 * node + 1]);
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+    }
+
+    fn set_leaf(&mut self, slot: usize, weight: W) {
+        self.tree[self.capacity + slot] = weight;
+        self.update_path(slot);
+    }
+
+    fn grow(&mut self) {
+        let new_capacity = self.capacity * 2;
+        let mut tree = vec![W::ZERO; 2 * new_capacity];
+        for (slot, (_, w)) in self.items.iter().enumerate() {
+            tree[new_capacity + slot] = *w;
+        }
+        for node in (1..new_capacity).rev() {
+            tree[node] = tree[2 * node].add(tree[2 * node + 1]);
+        }
+        self.capacity = new_capacity;
+        self.tree = tree;
+    }
+}
+
+impl<T: Eq + Hash + Clone, W: Weight> TicketPool<T, W> for TreeLottery<T, W> {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn total(&self) -> W {
+        self.tree[1]
+    }
+
+    fn insert(&mut self, item: T, weight: W) {
+        if let Some(&slot) = self.index.get(&item) {
+            self.items[slot].1 = weight;
+            self.set_leaf(slot, weight);
+            return;
+        }
+        if self.items.len() == self.capacity {
+            self.grow();
+        }
+        let slot = self.items.len();
+        self.index.insert(item.clone(), slot);
+        self.items.push((item, weight));
+        self.set_leaf(slot, weight);
+    }
+
+    fn remove(&mut self, item: &T) -> Option<W> {
+        let slot = self.index.remove(item)?;
+        let (_, weight) = self.items.swap_remove(slot);
+        if slot < self.items.len() {
+            // The former last entry now occupies `slot`.
+            let moved_weight = self.items[slot].1;
+            self.index.insert(self.items[slot].0.clone(), slot);
+            self.set_leaf(slot, moved_weight);
+        }
+        // Clear the vacated last leaf.
+        self.set_leaf(self.items.len(), W::ZERO);
+        Some(weight)
+    }
+
+    fn set_weight(&mut self, item: &T, weight: W) -> bool {
+        let Some(&slot) = self.index.get(item) else {
+            return false;
+        };
+        self.items[slot].1 = weight;
+        self.set_leaf(slot, weight);
+        true
+    }
+
+    fn select(&mut self, winner: W) -> Option<&T> {
+        if self.total().is_zero() {
+            return None;
+        }
+        let mut winner = winner;
+        let mut node = 1usize;
+        while node < self.capacity {
+            let left = 2 * node;
+            let left_sum = self.tree[left];
+            if winner < left_sum {
+                node = left;
+            } else {
+                winner = winner.sub(left_sum);
+                node = left + 1;
+            }
+        }
+        let mut slot = node - self.capacity;
+        // Floating rounding can land the descent on a zero leaf at an
+        // interval boundary; step back to the nearest positive entry.
+        if slot >= self.items.len() || self.items[slot].1.is_zero() {
+            slot = self.items[..slot.min(self.items.len())]
+                .iter()
+                .rposition(|(_, w)| !w.is_zero())
+                .or_else(|| self.items.iter().position(|(_, w)| !w.is_zero()))?;
+        }
+        self.items.get(slot).map(|(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::LotteryError;
+    use crate::rng::ParkMiller;
+
+    fn figure1_pool() -> TreeLottery<&'static str, u64> {
+        let mut pool = TreeLottery::new();
+        for (client, tickets) in [("c1", 10u64), ("c2", 2), ("c3", 5), ("c4", 1), ("c5", 2)] {
+            pool.insert(client, tickets);
+        }
+        pool
+    }
+
+    /// The tree lottery must agree with Figure 1's list walk.
+    #[test]
+    fn figure1_example() {
+        let mut pool = figure1_pool();
+        assert_eq!(pool.total(), 20);
+        assert_eq!(pool.select(15), Some(&"c3"));
+    }
+
+    #[test]
+    fn agrees_with_list_on_every_winning_value() {
+        use crate::lottery::list::ListLottery;
+        let mut tree = figure1_pool();
+        let mut list = ListLottery::without_move_to_front();
+        for (client, tickets) in [("c1", 10u64), ("c2", 2), ("c3", 5), ("c4", 1), ("c5", 2)] {
+            list.insert(client, tickets);
+        }
+        for w in 0..20 {
+            assert_eq!(tree.select(w), list.select(w), "winning value {w}");
+        }
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut pool = TreeLottery::with_capacity(2);
+        for i in 0..40u64 {
+            pool.insert(i, i + 1);
+        }
+        assert_eq!(pool.len(), 40);
+        assert_eq!(pool.total(), (1..=40).sum::<u64>());
+        assert_eq!(pool.select(0), Some(&0));
+    }
+
+    #[test]
+    fn remove_swaps_last_into_slot() {
+        let mut pool = figure1_pool();
+        assert_eq!(pool.remove(&"c1"), Some(10));
+        assert_eq!(pool.total(), 10);
+        assert_eq!(pool.len(), 4);
+        // c5 (the last entry) moved into slot 0; selection still works.
+        assert_eq!(pool.select(0), Some(&"c5"));
+        assert_eq!(pool.remove(&"c1"), None);
+    }
+
+    #[test]
+    fn remove_last_entry() {
+        let mut pool: TreeLottery<&str, u64> = TreeLottery::new();
+        pool.insert("only", 5);
+        assert_eq!(pool.remove(&"only"), Some(5));
+        assert!(pool.is_empty());
+        assert_eq!(pool.total(), 0);
+    }
+
+    #[test]
+    fn set_weight_and_reinsert() {
+        let mut pool = figure1_pool();
+        assert!(pool.set_weight(&"c2", 8));
+        assert_eq!(pool.total(), 26);
+        pool.insert("c2", 1);
+        assert_eq!(pool.total(), 19);
+        assert_eq!(pool.len(), 5);
+    }
+
+    #[test]
+    fn empty_draw_fails() {
+        let mut pool: TreeLottery<u32, u64> = TreeLottery::new();
+        let mut rng = ParkMiller::new(1);
+        assert_eq!(pool.draw(&mut rng), Err(LotteryError::EmptyLottery));
+    }
+
+    #[test]
+    fn zero_weight_entries_never_win() {
+        let mut pool = TreeLottery::new();
+        pool.insert("zero", 0u64);
+        pool.insert("winner", 1u64);
+        let mut rng = ParkMiller::new(9);
+        for _ in 0..64 {
+            assert_eq!(pool.draw(&mut rng), Ok(&"winner"));
+        }
+    }
+
+    #[test]
+    fn draws_converge_to_shares() {
+        let mut pool = TreeLottery::new();
+        pool.insert("a", 30u64);
+        pool.insert("b", 10u64);
+        let mut rng = ParkMiller::new(77);
+        let mut wins_a = 0u32;
+        let n = 40_000;
+        for _ in 0..n {
+            if *pool.draw(&mut rng).unwrap() == "a" {
+                wins_a += 1;
+            }
+        }
+        let share = f64::from(wins_a) / f64::from(n);
+        assert!((share - 0.75).abs() < 0.01, "share {share}");
+    }
+
+    #[test]
+    fn f64_weights_select_correctly() {
+        let mut pool: TreeLottery<u32, f64> = TreeLottery::new();
+        pool.insert(1, 400.0);
+        pool.insert(2, 600.0);
+        pool.insert(3, 2000.0);
+        assert_eq!(pool.select(0.0), Some(&1));
+        assert_eq!(pool.select(399.9), Some(&1));
+        assert_eq!(pool.select(400.0), Some(&2));
+        assert_eq!(pool.select(999.9), Some(&2));
+        assert_eq!(pool.select(1000.0), Some(&3));
+        assert_eq!(pool.select(2999.9), Some(&3));
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        let mut pool: TreeLottery<u64, u64> = TreeLottery::with_capacity(1);
+        for i in 0..1000u64 {
+            pool.insert(i, 1);
+        }
+        assert_eq!(pool.depth(), 10, "1024 leaves -> depth 10");
+    }
+
+    #[test]
+    fn many_inserts_removes_stay_consistent() {
+        let mut pool: TreeLottery<u64, u64> = TreeLottery::new();
+        let mut rng = ParkMiller::new(3);
+        use crate::rng::SchedRng;
+        let mut expected_total = 0u64;
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for i in 0..500u64 {
+            let w = rng.below(100) + 1;
+            pool.insert(i, w);
+            live.push((i, w));
+            expected_total += w;
+            if i % 3 == 0 && !live.is_empty() {
+                let victim = (rng.below(live.len() as u64)) as usize;
+                let (id, w) = live.swap_remove(victim);
+                assert_eq!(pool.remove(&id), Some(w));
+                expected_total -= w;
+            }
+            assert_eq!(pool.total(), expected_total, "after step {i}");
+            assert_eq!(pool.len(), live.len());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Lottery tickets: the representation of resource rights (Section 3.1).
+//!
+//! Tickets are *abstract* (they quantify rights independently of machine
+//! details), *relative* (the fraction of the resource they represent varies
+//! with contention), and *uniform* (rights for heterogeneous resources are
+//! homogeneously represented). A single [`Ticket`] object may represent any
+//! number of logical tickets via its `amount`, like a monetary note's
+//! denomination.
+
+use crate::arena::Handle;
+use crate::client::ClientId;
+use crate::currency::CurrencyId;
+
+/// Handle naming a [`Ticket`] in a ledger.
+pub type TicketId = Handle<Ticket>;
+
+/// What a ticket's value flows into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FundingTarget {
+    /// The ticket backs a currency (it appears on that currency's backing
+    /// list and contributes to its value).
+    Currency(CurrencyId),
+    /// The ticket funds a schedulable client, giving it resource rights.
+    Client(ClientId),
+    /// The ticket has been issued but not yet used to fund anything.
+    Unfunded,
+}
+
+impl FundingTarget {
+    /// Returns the funded currency, if any.
+    pub fn as_currency(self) -> Option<CurrencyId> {
+        match self {
+            Self::Currency(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns the funded client, if any.
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            Self::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A lottery ticket: `amount` units denominated in `currency`, funding
+/// `target`.
+///
+/// The `active` flag implements the paper's activation rule (Section 4.4):
+/// a ticket is active while it is being used by a runnable client to compete
+/// in lotteries, and activation propagates through the currency graph at
+/// zero-crossings of each currency's active amount.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ticket {
+    amount: u64,
+    currency: CurrencyId,
+    target: FundingTarget,
+    active: bool,
+}
+
+impl Ticket {
+    /// Creates an inactive, unfunded ticket of `amount` units in `currency`.
+    pub(crate) fn new(amount: u64, currency: CurrencyId) -> Self {
+        Self {
+            amount,
+            currency,
+            target: FundingTarget::Unfunded,
+            active: false,
+        }
+    }
+
+    /// The face amount, in units of the denomination currency.
+    pub fn amount(&self) -> u64 {
+        self.amount
+    }
+
+    /// The currency this ticket is denominated in.
+    pub fn currency(&self) -> CurrencyId {
+        self.currency
+    }
+
+    /// What this ticket currently funds.
+    pub fn target(&self) -> FundingTarget {
+        self.target
+    }
+
+    /// Whether the ticket is active (competing in lotteries).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    pub(crate) fn set_target(&mut self, target: FundingTarget) {
+        self.target = target;
+    }
+
+    pub(crate) fn set_active(&mut self, active: bool) {
+        self.active = active;
+    }
+
+    pub(crate) fn set_amount(&mut self, amount: u64) {
+        self.amount = amount;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::Arena;
+    use crate::currency::Currency;
+
+    fn dummy_currency() -> CurrencyId {
+        let mut arena: Arena<Currency> = Arena::new();
+        arena.insert(Currency::new("c", Default::default()))
+    }
+
+    #[test]
+    fn new_ticket_is_inactive_and_unfunded() {
+        let c = dummy_currency();
+        let t = Ticket::new(5, c);
+        assert_eq!(t.amount(), 5);
+        assert_eq!(t.currency(), c);
+        assert_eq!(t.target(), FundingTarget::Unfunded);
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn funding_target_accessors() {
+        let c = dummy_currency();
+        assert_eq!(FundingTarget::Currency(c).as_currency(), Some(c));
+        assert_eq!(FundingTarget::Currency(c).as_client(), None);
+        assert_eq!(FundingTarget::Unfunded.as_currency(), None);
+        assert_eq!(FundingTarget::Unfunded.as_client(), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! Ticket transfers (Sections 3.1 and 4.6).
+//!
+//! A client that blocks on a dependency — typically a synchronous RPC —
+//! temporarily transfers its tickets to the server computing on its behalf,
+//! solving priority inversion the way priority inheritance does. The Mach
+//! prototype implements a transfer by creating a new ticket denominated in
+//! the client's currency and using it to fund the server (the server thread
+//! directly when one is waiting, or the server's currency otherwise); the
+//! reply destroys the transfer ticket.
+//!
+//! [`Transfer`] records one outstanding loan so it can be reliably unwound,
+//! and [`split`] divides a client's worth across several servers when it
+//! waits on more than one (Section 3.1: "Clients also have the ability to
+//! divide ticket transfers across multiple servers").
+
+use crate::client::ClientId;
+use crate::currency::CurrencyId;
+use crate::errors::{LotteryError, Result};
+use crate::ledger::Ledger;
+use crate::ticket::TicketId;
+
+/// Where a transfer sends the lent rights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferTarget {
+    /// Fund a specific server thread (the waiting-receiver fast path of
+    /// Section 4.6).
+    Client(ClientId),
+    /// Fund the server task's currency, accelerating all of its threads
+    /// (the paper suggests this for servers with fewer threads than
+    /// incoming messages).
+    Currency(CurrencyId),
+}
+
+/// An outstanding ticket transfer.
+///
+/// Dropping a `Transfer` without calling [`Transfer::repay`] leaks the
+/// transfer ticket into the ledger (it keeps funding the target); the
+/// embedding system (e.g. `lottery-sim`'s RPC layer) always repays on
+/// reply.
+#[derive(Debug)]
+#[must_use = "a transfer must be repaid when the dependency completes"]
+pub struct Transfer {
+    ticket: TicketId,
+    amount: u64,
+    denomination: CurrencyId,
+    target: TransferTarget,
+}
+
+impl Transfer {
+    /// The transfer ticket lent to the target.
+    pub fn ticket(&self) -> TicketId {
+        self.ticket
+    }
+
+    /// The lent amount, in units of the denomination currency.
+    pub fn amount(&self) -> u64 {
+        self.amount
+    }
+
+    /// The currency the transfer ticket is denominated in.
+    pub fn denomination(&self) -> CurrencyId {
+        self.denomination
+    }
+
+    /// Who received the loan.
+    pub fn target(&self) -> TransferTarget {
+        self.target
+    }
+
+    /// Ends the transfer: destroys the transfer ticket.
+    ///
+    /// Mirrors Section 4.6: "During a reply, the transfer ticket is simply
+    /// destroyed."
+    pub fn repay(self, ledger: &mut Ledger) -> Result<()> {
+        ledger.destroy_ticket(self.ticket)
+    }
+}
+
+/// Lends `amount` units of `denomination` to `target`.
+///
+/// The caller names the denomination explicitly (normally the blocking
+/// client's task currency) so a transfer has the same worth the blocked
+/// client had. The new ticket is issued with root authority: transfers are
+/// a kernel mechanism, not client-requested inflation.
+pub fn lend(
+    ledger: &mut Ledger,
+    denomination: CurrencyId,
+    amount: u64,
+    target: TransferTarget,
+) -> Result<Transfer> {
+    let ticket = ledger.issue_root(denomination, amount)?;
+    let result = match target {
+        TransferTarget::Client(c) => ledger.fund_client(ticket, c),
+        TransferTarget::Currency(c) => ledger.fund_currency(ticket, c),
+    };
+    if let Err(e) = result {
+        // Roll the issue back so failed transfers leave no residue.
+        let _ = ledger.destroy_ticket(ticket);
+        return Err(e);
+    }
+    Ok(Transfer {
+        ticket,
+        amount,
+        denomination,
+        target,
+    })
+}
+
+/// Divides `amount` units of `denomination` evenly across several targets.
+///
+/// The first `amount % targets.len()` transfers receive one extra unit so
+/// the full amount is always lent. Fails with
+/// [`LotteryError::ZeroAmount`] when there are more targets than units.
+pub fn split(
+    ledger: &mut Ledger,
+    denomination: CurrencyId,
+    amount: u64,
+    targets: &[TransferTarget],
+) -> Result<Vec<Transfer>> {
+    if targets.is_empty() || amount < targets.len() as u64 {
+        return Err(LotteryError::ZeroAmount);
+    }
+    let n = targets.len() as u64;
+    let share = amount / n;
+    let remainder = amount % n;
+    let mut transfers = Vec::with_capacity(targets.len());
+    for (i, &target) in targets.iter().enumerate() {
+        let extra = u64::from((i as u64) < remainder);
+        match lend(ledger, denomination, share + extra, target) {
+            Ok(t) => transfers.push(t),
+            Err(e) => {
+                // Unwind the transfers made so far.
+                for t in transfers {
+                    let _ = t.repay(ledger);
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(transfers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::Valuator;
+
+    /// A client worth 300 base units blocks on a server worth 100; during
+    /// the call the server competes with the combined worth, and repayment
+    /// restores the original split.
+    fn setup() -> (Ledger, ClientId, ClientId, CurrencyId) {
+        let mut l = Ledger::new();
+        let client_cur = l.create_currency("client-task").unwrap();
+        let back = l.issue_root(l.base(), 300).unwrap();
+        l.fund_currency(back, client_cur).unwrap();
+
+        let client = l.create_client("client");
+        let tc = l.issue_root(client_cur, 100).unwrap();
+        l.fund_client(tc, client).unwrap();
+
+        let server = l.create_client("server");
+        let ts = l.issue_root(l.base(), 100).unwrap();
+        l.fund_client(ts, server).unwrap();
+        l.activate_client(server).unwrap();
+        (l, client, server, client_cur)
+    }
+
+    #[test]
+    fn rpc_transfer_round_trip() {
+        let (mut l, client, server, client_cur) = setup();
+        l.activate_client(client).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(client).unwrap(), 300.0);
+        assert_eq!(v.client_value(server).unwrap(), 100.0);
+
+        // The client blocks: deactivate, then lend its worth to the server.
+        l.deactivate_client(client).unwrap();
+        let transfer = lend(&mut l, client_cur, 100, TransferTarget::Client(server)).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(client).unwrap(), 0.0);
+        assert_eq!(v.client_value(server).unwrap(), 400.0);
+
+        // Reply: destroy the transfer ticket, wake the client.
+        transfer.repay(&mut l).unwrap();
+        l.activate_client(client).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(client).unwrap(), 300.0);
+        assert_eq!(v.client_value(server).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn transfer_to_currency_accelerates_all_threads() {
+        let (mut l, _client, _server, client_cur) = setup();
+        let server_cur = l.create_currency("server-task").unwrap();
+        let sback = l.issue_root(l.base(), 100).unwrap();
+        l.fund_currency(sback, server_cur).unwrap();
+        let w1 = l.create_client("worker1");
+        let w2 = l.create_client("worker2");
+        let t1 = l.issue_root(server_cur, 1).unwrap();
+        let t2 = l.issue_root(server_cur, 1).unwrap();
+        l.fund_client(t1, w1).unwrap();
+        l.fund_client(t2, w2).unwrap();
+        l.activate_client(w1).unwrap();
+        l.activate_client(w2).unwrap();
+
+        let transfer = lend(
+            &mut l,
+            client_cur,
+            100,
+            TransferTarget::Currency(server_cur),
+        )
+        .unwrap();
+        let mut v = Valuator::new(&l);
+        // Server currency: 100 base + 300 via the client currency ticket
+        // (the transfer ticket is the only active claim on client-task).
+        assert_eq!(v.currency_value(server_cur).unwrap(), 400.0);
+        assert_eq!(v.client_value(w1).unwrap(), 200.0);
+        assert_eq!(v.client_value(w2).unwrap(), 200.0);
+
+        transfer.repay(&mut l).unwrap();
+        let mut v = Valuator::new(&l);
+        assert_eq!(v.client_value(w1).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn split_divides_evenly_with_remainder() {
+        let (mut l, _client, server, client_cur) = setup();
+        let other = l.create_client("other-server");
+        let t = l.issue_root(l.base(), 1).unwrap();
+        l.fund_client(t, other).unwrap();
+        l.activate_client(other).unwrap();
+
+        let transfers = split(
+            &mut l,
+            client_cur,
+            101,
+            &[
+                TransferTarget::Client(server),
+                TransferTarget::Client(other),
+            ],
+        )
+        .unwrap();
+        assert_eq!(transfers.len(), 2);
+        assert_eq!(transfers[0].amount(), 51);
+        assert_eq!(transfers[1].amount(), 50);
+        let total: u64 = transfers.iter().map(Transfer::amount).sum();
+        assert_eq!(total, 101);
+        for t in transfers {
+            t.repay(&mut l).unwrap();
+        }
+    }
+
+    #[test]
+    fn split_rejects_more_targets_than_units() {
+        let (mut l, _client, server, client_cur) = setup();
+        let err = split(
+            &mut l,
+            client_cur,
+            1,
+            &[
+                TransferTarget::Client(server),
+                TransferTarget::Client(server),
+            ],
+        );
+        assert_eq!(err.err(), Some(LotteryError::ZeroAmount));
+    }
+
+    #[test]
+    fn failed_lend_leaves_no_residue() {
+        let (mut l, _client, _server, client_cur) = setup();
+        let bogus_client = {
+            let c = l.create_client("temp");
+            l.destroy_client(c).unwrap();
+            c
+        };
+        let tickets_before = l.tickets().count();
+        let r = lend(&mut l, client_cur, 10, TransferTarget::Client(bogus_client));
+        assert!(r.is_err());
+        assert_eq!(l.tickets().count(), tickets_before);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests on the lottery selection structures.
+
+use lottery_core::lottery::list::ListLottery;
+use lottery_core::lottery::tree::TreeLottery;
+use lottery_core::lottery::TicketPool;
+use lottery_core::rng::{ParkMiller, SchedRng};
+use proptest::prelude::*;
+
+/// Random pools: up to 24 entries with weights 0..=1000.
+fn pool_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..=1000u64, 1..24)
+}
+
+proptest! {
+    /// The list walk and the tree descent implement the same function
+    /// from winning value to winner.
+    #[test]
+    fn list_and_tree_agree_on_selection(weights in pool_strategy(), seed in 1u32..1000) {
+        let total: u64 = weights.iter().sum();
+        prop_assume!(total > 0);
+        let mut list: ListLottery<usize, u64> = ListLottery::without_move_to_front();
+        let mut tree: TreeLottery<usize, u64> = TreeLottery::new();
+        for (i, &w) in weights.iter().enumerate() {
+            list.insert(i, w);
+            tree.insert(i, w);
+        }
+        prop_assert_eq!(list.total(), tree.total());
+        let mut rng = ParkMiller::new(seed);
+        for _ in 0..32 {
+            let winning = rng.below(total);
+            prop_assert_eq!(list.select(winning), tree.select(winning), "winning {}", winning);
+        }
+    }
+
+    /// Zero-weight entries never win, in either structure.
+    #[test]
+    fn zero_weights_never_win(weights in pool_strategy(), seed in 1u32..1000) {
+        let total: u64 = weights.iter().sum();
+        prop_assume!(total > 0);
+        let mut list: ListLottery<usize, u64> = ListLottery::new();
+        let mut tree: TreeLottery<usize, u64> = TreeLottery::new();
+        for (i, &w) in weights.iter().enumerate() {
+            list.insert(i, w);
+            tree.insert(i, w);
+        }
+        let mut rng = ParkMiller::new(seed);
+        for _ in 0..64 {
+            let li = *list.draw(&mut rng).unwrap();
+            prop_assert!(weights[li] > 0, "list picked zero-weight {}", li);
+            let ti = *tree.draw(&mut rng).unwrap();
+            prop_assert!(weights[ti] > 0, "tree picked zero-weight {}", ti);
+        }
+    }
+
+    /// Totals stay equal to the sum of live weights through arbitrary
+    /// insert/remove/set sequences applied to both structures.
+    #[test]
+    fn totals_track_mutations(
+        ops in prop::collection::vec((0..3u8, 0..16usize, 0..500u64), 1..80)
+    ) {
+        let mut list: ListLottery<usize, u64> = ListLottery::new();
+        let mut tree: TreeLottery<usize, u64> = TreeLottery::new();
+        let mut model: std::collections::HashMap<usize, u64> = Default::default();
+        for (op, key, w) in ops {
+            match op {
+                0 => {
+                    list.insert(key, w);
+                    tree.insert(key, w);
+                    model.insert(key, w);
+                }
+                1 => {
+                    let a = list.remove(&key);
+                    let b = tree.remove(&key);
+                    let m = model.remove(&key);
+                    prop_assert_eq!(a, m);
+                    prop_assert_eq!(b, m);
+                }
+                _ => {
+                    let a = list.set_weight(&key, w);
+                    let b = tree.set_weight(&key, w);
+                    let m = model.contains_key(&key);
+                    if m {
+                        model.insert(key, w);
+                    }
+                    prop_assert_eq!(a, m);
+                    prop_assert_eq!(b, m);
+                }
+            }
+            let expected: u64 = model.values().sum();
+            prop_assert_eq!(list.total(), expected);
+            prop_assert_eq!(tree.total(), expected);
+            prop_assert_eq!(list.len(), model.len());
+            prop_assert_eq!(tree.len(), model.len());
+        }
+    }
+
+    /// Move-to-front only reorders the scan; the winner distribution is
+    /// unchanged. Compare empirical shares of the heaviest entry.
+    #[test]
+    fn move_to_front_preserves_distribution(seed in 1u32..500) {
+        let weights = [400u64, 50, 25, 25];
+        let mut plain: ListLottery<usize, u64> = ListLottery::without_move_to_front();
+        let mut mtf: ListLottery<usize, u64> = ListLottery::new();
+        for (i, &w) in weights.iter().enumerate() {
+            plain.insert(i, w);
+            mtf.insert(i, w);
+        }
+        let n = 4000;
+        let count_heavy = |pool: &mut ListLottery<usize, u64>, seed: u32| {
+            let mut rng = ParkMiller::new(seed);
+            (0..n).filter(|_| *pool.draw(&mut rng).unwrap() == 0).count() as f64
+        };
+        let p = count_heavy(&mut plain, seed) / n as f64;
+        let m = count_heavy(&mut mtf, seed.wrapping_add(1)) / n as f64;
+        // Both estimate 0.8; binomial stddev ≈ 0.0063, so 5 sigma ≈ 0.032.
+        prop_assert!((p - 0.8).abs() < 0.035, "plain {}", p);
+        prop_assert!((m - 0.8).abs() < 0.035, "mtf {}", m);
+    }
+
+    /// f64-weighted pools select consistently with their integer twins
+    /// when the weights are integral.
+    #[test]
+    fn f64_pools_match_integer_pools(weights in pool_strategy()) {
+        let total: u64 = weights.iter().sum();
+        prop_assume!(total > 0);
+        let mut int_pool: ListLottery<usize, u64> = ListLottery::without_move_to_front();
+        let mut f64_pool: ListLottery<usize, f64> = ListLottery::without_move_to_front();
+        for (i, &w) in weights.iter().enumerate() {
+            int_pool.insert(i, w);
+            f64_pool.insert(i, w as f64);
+        }
+        // Probe at interval midpoints: exactly representable and far from
+        // boundaries, so float comparison is exact.
+        for probe in 0..total.min(64) {
+            let w = probe * total / total.min(64);
+            let a = int_pool.select(w).copied();
+            let b = f64_pool.select(w as f64 + 0.25).copied();
+            prop_assert_eq!(a, b, "probe {}", w);
+        }
+    }
+}

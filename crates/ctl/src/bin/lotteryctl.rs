@@ -1,0 +1,39 @@
+//! Interactive REPL over [`lottery_ctl::Session`].
+//!
+//! Reads commands from stdin (one per line; `#` comments allowed), so it
+//! works both interactively and with piped scripts.
+
+use std::io::{self, BufRead, Write};
+
+use lottery_ctl::Session;
+
+fn main() -> io::Result<()> {
+    let mut session = Session::new();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("lotteryctl — Section 4.7 command interface (try `help`, ^D to exit)");
+    }
+    loop {
+        if interactive {
+            print!("> ");
+            stdout.flush()?;
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        match session.eval(&line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// Minimal TTY detection without a dependency: honor an env override and
+/// otherwise assume non-interactive (piped) use prints no prompts.
+fn atty_stdin() -> bool {
+    std::env::var_os("LOTTERYCTL_INTERACTIVE").is_some()
+}

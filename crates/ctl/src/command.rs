@@ -1,0 +1,310 @@
+//! Command-line grammar for the Section 4.7 interface.
+
+use core::fmt;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Blank line or comment.
+    Nop,
+    /// Print the command reference.
+    Help,
+    /// `mkcur [-r] <name>` — create a currency (`-r`: only this principal
+    /// may issue tickets in it).
+    MkCur {
+        /// Currency name.
+        name: String,
+        /// Restrict issuing to the session principal.
+        restricted: bool,
+    },
+    /// `rmcur <name>` — destroy an empty currency.
+    RmCur {
+        /// Currency name.
+        name: String,
+    },
+    /// `mktkt <name> <amount> <currency>` — issue a ticket.
+    MkTkt {
+        /// Ticket name.
+        name: String,
+        /// Face amount.
+        amount: u64,
+        /// Denomination currency name.
+        currency: String,
+    },
+    /// `rmtkt <name>` — destroy a ticket.
+    RmTkt {
+        /// Ticket name.
+        name: String,
+    },
+    /// `fund <ticket> <currency|process>` — use a ticket to fund a target.
+    Fund {
+        /// Ticket name.
+        ticket: String,
+        /// Target name.
+        target: String,
+    },
+    /// `unfund <ticket>` — remove a ticket from whatever it funds.
+    Unfund {
+        /// Ticket name.
+        ticket: String,
+    },
+    /// `mkproc <name>` — create an (inactive) process.
+    MkProc {
+        /// Process name.
+        name: String,
+    },
+    /// `rmproc <name>` — destroy a process and its funding.
+    RmProc {
+        /// Process name.
+        name: String,
+    },
+    /// `activate <process>` / `deactivate <process>`.
+    Activate {
+        /// Process name.
+        name: String,
+    },
+    /// See [`Command::Activate`].
+    Deactivate {
+        /// Process name.
+        name: String,
+    },
+    /// `fundx <amount> <currency> <name>` — launch a process with the
+    /// given funding (the paper's `fundx` shell wrapper).
+    FundX {
+        /// Process name.
+        name: String,
+        /// Ticket amount.
+        amount: u64,
+        /// Denomination currency name.
+        currency: String,
+    },
+    /// `lscur` — list currencies.
+    LsCur,
+    /// `lstkt [currency]` — list tickets, optionally filtered.
+    LsTkt {
+        /// Optional denomination filter.
+        currency: Option<String>,
+    },
+    /// `lsproc` — list processes.
+    LsProc,
+    /// `value <name>` — base-unit value of any object.
+    Value {
+        /// Object name.
+        name: String,
+    },
+    /// `dot` — render the whole ledger as Graphviz.
+    Dot,
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The verb is not recognized.
+    UnknownVerb(String),
+    /// Wrong number or shape of arguments.
+    Usage(&'static str),
+    /// An amount did not parse as a positive integer.
+    BadAmount(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownVerb(v) => write!(f, "unknown command {v:?} (try `help`)"),
+            Self::Usage(u) => write!(f, "usage: {u}"),
+            Self::BadAmount(a) => write!(f, "bad amount {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Command {
+    /// The `help` text.
+    pub const HELP: &'static str = "\
+commands (Section 4.7 of the paper):
+  mkcur [-r] <name>                create a currency (-r: restricted issue)
+  rmcur <name>                     destroy an empty currency
+  mktkt <name> <amount> <currency> issue a ticket
+  rmtkt <name>                     destroy a ticket
+  fund <ticket> <target>           fund a currency or process
+  unfund <ticket>                  withdraw a ticket
+  mkproc <name>                    create an inactive process
+  rmproc <name>                    destroy a process and its tickets
+  activate <process>               mark a process runnable
+  deactivate <process>             mark a process blocked
+  fundx <amount> <currency> <name> launch a process with funding
+  lscur | lstkt [currency] | lsproc  inspect objects
+  value <name>                     base-unit value of any object
+  dot                              render the ledger as Graphviz
+  help                             this text";
+
+    /// Parses one line. Blank lines and `#` comments are [`Command::Nop`].
+    pub fn parse(line: &str) -> Result<Command, ParseError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(Command::Nop);
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let amount = |s: &str| -> Result<u64, ParseError> {
+            s.parse::<u64>()
+                .ok()
+                .filter(|&a| a > 0)
+                .ok_or_else(|| ParseError::BadAmount(s.to_string()))
+        };
+        match tokens.as_slice() {
+            ["help"] => Ok(Command::Help),
+            ["mkcur", "-r", name] => Ok(Command::MkCur {
+                name: name.to_string(),
+                restricted: true,
+            }),
+            ["mkcur", name] => Ok(Command::MkCur {
+                name: name.to_string(),
+                restricted: false,
+            }),
+            ["mkcur", ..] => Err(ParseError::Usage("mkcur [-r] <name>")),
+            ["rmcur", name] => Ok(Command::RmCur {
+                name: name.to_string(),
+            }),
+            ["rmcur", ..] => Err(ParseError::Usage("rmcur <name>")),
+            ["mktkt", name, amt, currency] => Ok(Command::MkTkt {
+                name: name.to_string(),
+                amount: amount(amt)?,
+                currency: currency.to_string(),
+            }),
+            ["mktkt", ..] => Err(ParseError::Usage("mktkt <name> <amount> <currency>")),
+            ["rmtkt", name] => Ok(Command::RmTkt {
+                name: name.to_string(),
+            }),
+            ["rmtkt", ..] => Err(ParseError::Usage("rmtkt <name>")),
+            ["fund", ticket, target] => Ok(Command::Fund {
+                ticket: ticket.to_string(),
+                target: target.to_string(),
+            }),
+            ["fund", ..] => Err(ParseError::Usage("fund <ticket> <target>")),
+            ["unfund", ticket] => Ok(Command::Unfund {
+                ticket: ticket.to_string(),
+            }),
+            ["unfund", ..] => Err(ParseError::Usage("unfund <ticket>")),
+            ["mkproc", name] => Ok(Command::MkProc {
+                name: name.to_string(),
+            }),
+            ["mkproc", ..] => Err(ParseError::Usage("mkproc <name>")),
+            ["rmproc", name] => Ok(Command::RmProc {
+                name: name.to_string(),
+            }),
+            ["rmproc", ..] => Err(ParseError::Usage("rmproc <name>")),
+            ["activate", name] => Ok(Command::Activate {
+                name: name.to_string(),
+            }),
+            ["deactivate", name] => Ok(Command::Deactivate {
+                name: name.to_string(),
+            }),
+            ["fundx", amt, currency, name] => Ok(Command::FundX {
+                name: name.to_string(),
+                amount: amount(amt)?,
+                currency: currency.to_string(),
+            }),
+            ["fundx", ..] => Err(ParseError::Usage("fundx <amount> <currency> <name>")),
+            ["lscur"] => Ok(Command::LsCur),
+            ["lstkt"] => Ok(Command::LsTkt { currency: None }),
+            ["lstkt", currency] => Ok(Command::LsTkt {
+                currency: Some(currency.to_string()),
+            }),
+            ["lsproc"] => Ok(Command::LsProc),
+            ["dot"] => Ok(Command::Dot),
+            ["value", name] => Ok(Command::Value {
+                name: name.to_string(),
+            }),
+            ["value", ..] => Err(ParseError::Usage("value <name>")),
+            [verb, ..] => Err(ParseError::UnknownVerb(verb.to_string())),
+            [] => Ok(Command::Nop),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(Command::parse("help"), Ok(Command::Help));
+        assert_eq!(
+            Command::parse("mkcur alice"),
+            Ok(Command::MkCur {
+                name: "alice".into(),
+                restricted: false
+            })
+        );
+        assert_eq!(
+            Command::parse("mkcur -r alice"),
+            Ok(Command::MkCur {
+                name: "alice".into(),
+                restricted: true
+            })
+        );
+        assert_eq!(
+            Command::parse("mktkt t 100 alice"),
+            Ok(Command::MkTkt {
+                name: "t".into(),
+                amount: 100,
+                currency: "alice".into()
+            })
+        );
+        assert_eq!(
+            Command::parse("fundx 300 bob job"),
+            Ok(Command::FundX {
+                name: "job".into(),
+                amount: 300,
+                currency: "bob".into()
+            })
+        );
+        assert_eq!(
+            Command::parse("lstkt bob"),
+            Ok(Command::LsTkt {
+                currency: Some("bob".into())
+            })
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_are_nops() {
+        assert_eq!(Command::parse(""), Ok(Command::Nop));
+        assert_eq!(Command::parse("   "), Ok(Command::Nop));
+        assert_eq!(Command::parse("# hello"), Ok(Command::Nop));
+    }
+
+    #[test]
+    fn bad_amounts_rejected() {
+        assert!(matches!(
+            Command::parse("mktkt t zero base"),
+            Err(ParseError::BadAmount(_))
+        ));
+        assert!(matches!(
+            Command::parse("mktkt t 0 base"),
+            Err(ParseError::BadAmount(_))
+        ));
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(
+            Command::parse("mktkt t"),
+            Err(ParseError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse("bogus x"),
+            Err(ParseError::UnknownVerb(_))
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ParseError::UnknownVerb("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(ParseError::Usage("u").to_string().contains("u"));
+        assert!(ParseError::BadAmount("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,544 @@
+//! The command session: a named-object environment over a ledger.
+//!
+//! The paper's prototype exposes currencies and tickets to users through
+//! setuid command-line tools (`mktkt`, `rmtkt`, `mkcur`, `rmcur`, `fund`,
+//! `unfund`, `lstkt`, `lscur`, `fundx`). [`Session`] provides the same
+//! verbs over an in-process [`Ledger`], addressing objects by user-chosen
+//! names, with the permission checks the paper prescribes (a non-root
+//! principal may only issue tickets in currencies whose policy admits it).
+
+use std::collections::BTreeMap;
+
+use lottery_core::client::ClientId;
+use lottery_core::currency::{CurrencyId, IssuePolicy, Principal};
+use lottery_core::ledger::{Ledger, Valuator};
+use lottery_core::ticket::{FundingTarget, TicketId};
+
+use crate::command::{Command, ParseError};
+
+/// What a user-visible name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectRef {
+    /// A ticket.
+    Ticket(TicketId),
+    /// A currency.
+    Currency(CurrencyId),
+    /// A schedulable process (ledger client).
+    Proc(ClientId),
+}
+
+/// Errors surfaced to the command user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlError {
+    /// The command line did not parse.
+    Parse(ParseError),
+    /// A name was not bound to any object.
+    UnknownName(String),
+    /// A name was bound to the wrong kind of object.
+    WrongKind {
+        /// The offending name.
+        name: String,
+        /// What the command needed.
+        expected: &'static str,
+    },
+    /// The name is already taken.
+    NameTaken(String),
+    /// The underlying ledger rejected the operation.
+    Ledger(lottery_core::errors::LotteryError),
+}
+
+impl std::fmt::Display for CtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "parse error: {e}"),
+            Self::UnknownName(n) => write!(f, "unknown name: {n}"),
+            Self::WrongKind { name, expected } => {
+                write!(f, "{name} is not a {expected}")
+            }
+            Self::NameTaken(n) => write!(f, "name already in use: {n}"),
+            Self::Ledger(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CtlError {}
+
+impl From<lottery_core::errors::LotteryError> for CtlError {
+    fn from(e: lottery_core::errors::LotteryError) -> Self {
+        Self::Ledger(e)
+    }
+}
+
+impl From<ParseError> for CtlError {
+    fn from(e: ParseError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+/// A command session bound to a principal.
+pub struct Session {
+    ledger: Ledger,
+    names: BTreeMap<String, ObjectRef>,
+    principal: Principal,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Creates a root session with an empty environment; the base currency
+    /// is pre-bound as `base`.
+    pub fn new() -> Self {
+        Self::with_principal(Principal::ROOT)
+    }
+
+    /// Creates a session acting as `principal`.
+    pub fn with_principal(principal: Principal) -> Self {
+        let ledger = Ledger::new();
+        let mut names = BTreeMap::new();
+        names.insert("base".to_string(), ObjectRef::Currency(ledger.base()));
+        Self {
+            ledger,
+            names,
+            principal,
+        }
+    }
+
+    /// The underlying ledger (for embedding in a scheduler).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Resolves a name.
+    pub fn lookup(&self, name: &str) -> Option<ObjectRef> {
+        self.names.get(name).copied()
+    }
+
+    fn currency(&self, name: &str) -> Result<CurrencyId, CtlError> {
+        match self.names.get(name) {
+            Some(ObjectRef::Currency(c)) => Ok(*c),
+            Some(_) => Err(CtlError::WrongKind {
+                name: name.to_string(),
+                expected: "currency",
+            }),
+            None => Err(CtlError::UnknownName(name.to_string())),
+        }
+    }
+
+    fn ticket(&self, name: &str) -> Result<TicketId, CtlError> {
+        match self.names.get(name) {
+            Some(ObjectRef::Ticket(t)) => Ok(*t),
+            Some(_) => Err(CtlError::WrongKind {
+                name: name.to_string(),
+                expected: "ticket",
+            }),
+            None => Err(CtlError::UnknownName(name.to_string())),
+        }
+    }
+
+    fn proc(&self, name: &str) -> Result<ClientId, CtlError> {
+        match self.names.get(name) {
+            Some(ObjectRef::Proc(c)) => Ok(*c),
+            Some(_) => Err(CtlError::WrongKind {
+                name: name.to_string(),
+                expected: "process",
+            }),
+            None => Err(CtlError::UnknownName(name.to_string())),
+        }
+    }
+
+    fn bind(&mut self, name: &str, obj: ObjectRef) -> Result<(), CtlError> {
+        if self.names.contains_key(name) {
+            return Err(CtlError::NameTaken(name.to_string()));
+        }
+        self.names.insert(name.to_string(), obj);
+        Ok(())
+    }
+
+    /// Parses and executes one command line, returning its output text.
+    pub fn eval(&mut self, line: &str) -> Result<String, CtlError> {
+        let cmd = Command::parse(line)?;
+        self.execute(cmd)
+    }
+
+    /// Executes a parsed command.
+    pub fn execute(&mut self, cmd: Command) -> Result<String, CtlError> {
+        match cmd {
+            Command::Nop => Ok(String::new()),
+            Command::Help => Ok(Command::HELP.to_string()),
+            Command::MkCur { name, restricted } => {
+                let policy = if restricted {
+                    IssuePolicy::Restricted(vec![self.principal])
+                } else {
+                    IssuePolicy::Anyone
+                };
+                let id = self
+                    .ledger
+                    .create_currency_with_policy(name.clone(), policy)?;
+                self.bind(&name, ObjectRef::Currency(id))?;
+                Ok(format!("created currency {name}"))
+            }
+            Command::RmCur { name } => {
+                let id = self.currency(&name)?;
+                self.ledger.destroy_currency(id)?;
+                self.names.remove(&name);
+                Ok(format!("destroyed currency {name}"))
+            }
+            Command::MkTkt {
+                name,
+                amount,
+                currency,
+            } => {
+                let cur = self.currency(&currency)?;
+                let id = self.ledger.issue(cur, amount, self.principal)?;
+                self.bind(&name, ObjectRef::Ticket(id))?;
+                Ok(format!("issued ticket {name} = {amount}.{currency}"))
+            }
+            Command::RmTkt { name } => {
+                let id = self.ticket(&name)?;
+                self.ledger.destroy_ticket(id)?;
+                self.names.remove(&name);
+                Ok(format!("destroyed ticket {name}"))
+            }
+            Command::Fund { ticket, target } => {
+                let t = self.ticket(&ticket)?;
+                match self.names.get(&target) {
+                    Some(ObjectRef::Currency(c)) => {
+                        self.ledger.fund_currency(t, *c)?;
+                        Ok(format!("ticket {ticket} now funds currency {target}"))
+                    }
+                    Some(ObjectRef::Proc(c)) => {
+                        self.ledger.fund_client(t, *c)?;
+                        Ok(format!("ticket {ticket} now funds process {target}"))
+                    }
+                    Some(ObjectRef::Ticket(_)) => Err(CtlError::WrongKind {
+                        name: target,
+                        expected: "currency or process",
+                    }),
+                    None => Err(CtlError::UnknownName(target)),
+                }
+            }
+            Command::Unfund { ticket } => {
+                let t = self.ticket(&ticket)?;
+                self.ledger.unfund(t)?;
+                Ok(format!("ticket {ticket} unfunded"))
+            }
+            Command::MkProc { name } => {
+                let id = self.ledger.create_client(name.clone());
+                self.bind(&name, ObjectRef::Proc(id))?;
+                Ok(format!("created process {name}"))
+            }
+            Command::RmProc { name } => {
+                let id = self.proc(&name)?;
+                self.ledger.destroy_client_and_funding(id)?;
+                self.names.remove(&name);
+                Ok(format!("destroyed process {name}"))
+            }
+            Command::Activate { name } => {
+                let id = self.proc(&name)?;
+                self.ledger.activate_client(id)?;
+                Ok(format!("process {name} active"))
+            }
+            Command::Deactivate { name } => {
+                let id = self.proc(&name)?;
+                self.ledger.deactivate_client(id)?;
+                Ok(format!("process {name} inactive"))
+            }
+            Command::FundX {
+                name,
+                amount,
+                currency,
+            } => {
+                // The paper's `fundx`: run a command with specified
+                // funding — create the process, issue the ticket, fund it,
+                // and set it runnable, in one step.
+                let cur = self.currency(&currency)?;
+                let client = self.ledger.create_client(name.clone());
+                let ticket = match self.ledger.issue(cur, amount, self.principal) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        self.ledger.destroy_client(client)?;
+                        return Err(e.into());
+                    }
+                };
+                self.ledger.fund_client(ticket, client)?;
+                self.ledger.activate_client(client)?;
+                self.bind(&name, ObjectRef::Proc(client))?;
+                Ok(format!("launched {name} with {amount}.{currency}"))
+            }
+            Command::LsCur => {
+                let mut v = Valuator::new(&self.ledger);
+                let mut out = format!(
+                    "{:<12} {:>8} {:>8} {:>12}\n",
+                    "currency", "active", "issued", "value (base)"
+                );
+                let rows: Vec<(String, CurrencyId)> = self
+                    .names
+                    .iter()
+                    .filter_map(|(n, o)| match o {
+                        ObjectRef::Currency(c) => Some((n.clone(), *c)),
+                        _ => None,
+                    })
+                    .collect();
+                for (name, id) in rows {
+                    let cur = self.ledger.currency(id)?;
+                    out.push_str(&format!(
+                        "{:<12} {:>8} {:>8} {:>12.1}\n",
+                        name,
+                        cur.active_amount(),
+                        cur.total_amount(),
+                        v.currency_value(id)?,
+                    ));
+                }
+                Ok(out)
+            }
+            Command::LsTkt { currency } => {
+                let filter = match &currency {
+                    Some(c) => Some(self.currency(c)?),
+                    None => None,
+                };
+                let mut v = Valuator::new(&self.ledger);
+                let mut out = format!(
+                    "{:<12} {:>8} {:<12} {:>8} {:>12}\n",
+                    "ticket", "amount", "funds", "active", "value (base)"
+                );
+                let rows: Vec<(String, TicketId)> = self
+                    .names
+                    .iter()
+                    .filter_map(|(n, o)| match o {
+                        ObjectRef::Ticket(t) => Some((n.clone(), *t)),
+                        _ => None,
+                    })
+                    .collect();
+                for (name, id) in rows {
+                    let t = self.ledger.ticket(id)?;
+                    if let Some(f) = filter {
+                        if t.currency() != f {
+                            continue;
+                        }
+                    }
+                    let target = match t.target() {
+                        FundingTarget::Unfunded => "-".to_string(),
+                        FundingTarget::Currency(c) => self.name_of(ObjectRef::Currency(c)),
+                        FundingTarget::Client(c) => self.name_of(ObjectRef::Proc(c)),
+                    };
+                    let (amount, active) = (t.amount(), t.is_active());
+                    out.push_str(&format!(
+                        "{:<12} {:>8} {:<12} {:>8} {:>12.1}\n",
+                        name,
+                        amount,
+                        target,
+                        active,
+                        v.ticket_value(id)?,
+                    ));
+                }
+                Ok(out)
+            }
+            Command::LsProc => {
+                let mut v = Valuator::new(&self.ledger);
+                let mut out = format!("{:<12} {:>8} {:>14}\n", "process", "active", "value (base)");
+                let rows: Vec<(String, ClientId)> = self
+                    .names
+                    .iter()
+                    .filter_map(|(n, o)| match o {
+                        ObjectRef::Proc(c) => Some((n.clone(), *c)),
+                        _ => None,
+                    })
+                    .collect();
+                for (name, id) in rows {
+                    let active = self.ledger.client(id)?.is_active();
+                    out.push_str(&format!(
+                        "{:<12} {:>8} {:>14.1}\n",
+                        name,
+                        active,
+                        v.client_value(id)?,
+                    ));
+                }
+                Ok(out)
+            }
+            Command::Dot => Ok(lottery_core::viz::to_dot(&self.ledger)),
+            Command::Value { name } => {
+                let mut v = Valuator::new(&self.ledger);
+                let value = match self.names.get(&name) {
+                    Some(ObjectRef::Ticket(t)) => v.ticket_value(*t)?,
+                    Some(ObjectRef::Currency(c)) => v.currency_value(*c)?,
+                    Some(ObjectRef::Proc(c)) => v.client_value(*c)?,
+                    None => return Err(CtlError::UnknownName(name)),
+                };
+                Ok(format!("{value:.1}"))
+            }
+        }
+    }
+
+    fn name_of(&self, obj: ObjectRef) -> String {
+        self.names
+            .iter()
+            .find(|(_, &o)| o == obj)
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| "?".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(s: &mut Session, line: &str) -> String {
+        s.eval(line).unwrap_or_else(|e| panic!("{line}: {e}"))
+    }
+
+    #[test]
+    fn figure3_via_commands() {
+        let mut s = Session::new();
+        for line in [
+            "mkcur alice",
+            "mkcur bob",
+            "mktkt a_back 1000 base",
+            "mktkt b_back 2000 base",
+            "fund a_back alice",
+            "fund b_back bob",
+            "mkcur task2",
+            "mktkt t2_back 200 alice",
+            "fund t2_back task2",
+            "fundx 200 task2 thread2",
+            "fundx 300 task2 thread3",
+            "fundx 100 bob thread4",
+        ] {
+            eval(&mut s, line);
+        }
+        assert_eq!(eval(&mut s, "value thread2"), "400.0");
+        assert_eq!(eval(&mut s, "value thread3"), "600.0");
+        assert_eq!(eval(&mut s, "value thread4"), "2000.0");
+        let ls = eval(&mut s, "lscur");
+        assert!(ls.contains("alice"), "{ls}");
+        let lp = eval(&mut s, "lsproc");
+        assert!(lp.contains("thread2"), "{lp}");
+    }
+
+    #[test]
+    fn lstkt_filters_by_currency() {
+        let mut s = Session::new();
+        eval(&mut s, "mkcur work");
+        eval(&mut s, "mktkt wb 10 base");
+        eval(&mut s, "fund wb work");
+        eval(&mut s, "mktkt t1 5 work");
+        eval(&mut s, "mktkt t2 7 base");
+        let all = eval(&mut s, "lstkt");
+        assert!(all.contains("t1") && all.contains("t2"));
+        let filtered = eval(&mut s, "lstkt work");
+        assert!(
+            filtered.contains("t1") && !filtered.contains("t2"),
+            "{filtered}"
+        );
+    }
+
+    #[test]
+    fn unfund_and_rmtkt() {
+        let mut s = Session::new();
+        eval(&mut s, "mkproc p");
+        eval(&mut s, "mktkt t 50 base");
+        eval(&mut s, "fund t p");
+        eval(&mut s, "activate p");
+        assert_eq!(eval(&mut s, "value p"), "50.0");
+        eval(&mut s, "unfund t");
+        assert_eq!(eval(&mut s, "value p"), "0.0");
+        eval(&mut s, "rmtkt t");
+        assert!(matches!(s.eval("value t"), Err(CtlError::UnknownName(_))));
+    }
+
+    #[test]
+    fn restricted_currency_blocks_other_principals() {
+        let mut root = Session::new();
+        root.eval("mkcur -r locked").unwrap();
+        // Root can always issue.
+        assert!(root.eval("mktkt t 5 locked").is_ok());
+
+        let mut user = Session::with_principal(Principal(7));
+        user.eval("mkcur -r mine").unwrap();
+        // The creator principal may issue in its own restricted currency.
+        assert!(user.eval("mktkt t 5 mine").is_ok());
+        // But not in a currency restricted to someone else.
+        let mut other = Session::with_principal(Principal(9));
+        other.eval("mkcur open").unwrap();
+        // Simulate: rebuild the scenario in one session by checking the
+        // ledger error path through a restricted currency created by a
+        // different principal.
+        let mut s = Session::with_principal(Principal(9));
+        s.eval("mkcur -r notmine").unwrap();
+        // Switch principal mid-session is not a feature; assert at the
+        // ledger level instead.
+        let cur = match s.lookup("notmine") {
+            Some(ObjectRef::Currency(c)) => c,
+            _ => unreachable!(),
+        };
+        assert!(s
+            .ledger()
+            .currency(cur)
+            .unwrap()
+            .policy()
+            .permits(Principal(9)));
+        assert!(!s
+            .ledger()
+            .currency(cur)
+            .unwrap()
+            .policy()
+            .permits(Principal(8)));
+    }
+
+    #[test]
+    fn name_collisions_rejected() {
+        let mut s = Session::new();
+        eval(&mut s, "mkcur x");
+        assert!(matches!(s.eval("mkproc x"), Err(CtlError::NameTaken(_))));
+    }
+
+    #[test]
+    fn wrong_kind_reported() {
+        let mut s = Session::new();
+        eval(&mut s, "mkproc p");
+        assert!(matches!(s.eval("rmcur p"), Err(CtlError::WrongKind { .. })));
+        assert!(matches!(
+            s.eval("fund p base"),
+            Err(CtlError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn rmcur_in_use_is_ledger_error() {
+        let mut s = Session::new();
+        eval(&mut s, "mkcur c");
+        eval(&mut s, "mktkt t 5 c");
+        assert!(matches!(s.eval("rmcur c"), Err(CtlError::Ledger(_))));
+        eval(&mut s, "rmtkt t");
+        eval(&mut s, "rmcur c");
+    }
+
+    #[test]
+    fn rmproc_destroys_funding() {
+        let mut s = Session::new();
+        eval(&mut s, "fundx 100 base worker");
+        let before = s.ledger().tickets().count();
+        assert_eq!(before, 1);
+        eval(&mut s, "rmproc worker");
+        assert_eq!(s.ledger().tickets().count(), 0);
+    }
+
+    #[test]
+    fn help_and_blank_lines() {
+        let mut s = Session::new();
+        assert!(eval(&mut s, "help").contains("mktkt"));
+        assert_eq!(eval(&mut s, ""), "");
+        assert_eq!(eval(&mut s, "  # a comment"), "");
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CtlError::UnknownName("x".into());
+        assert!(e.to_string().contains("x"));
+        let e = CtlError::Ledger(lottery_core::errors::LotteryError::CurrencyCycle);
+        assert!(e.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Runs the repository's example command script end to end.
+
+use lottery_ctl::Session;
+
+const SCRIPT: &str = include_str!("../../../examples/economy.ctl");
+
+#[test]
+fn economy_script_executes_cleanly() {
+    let mut s = Session::new();
+    for line in SCRIPT.lines() {
+        s.eval(line)
+            .unwrap_or_else(|e| panic!("script line {line:?} failed: {e}"));
+    }
+    // alice worth 2000 base, split 3:1 → build 1500, editor 500.
+    assert_eq!(s.eval("value build").unwrap(), "1500.0");
+    assert_eq!(s.eval("value editor").unwrap(), "500.0");
+    // bob worth 1000 base, now split between sim and sim2.
+    assert_eq!(s.eval("value sim").unwrap(), "500.0");
+    assert_eq!(s.eval("value sim2").unwrap(), "500.0");
+    // Conservation: 3000 base units across all four processes.
+    let total: f64 = ["build", "editor", "sim", "sim2"]
+        .iter()
+        .map(|p| {
+            s.eval(&format!("value {p}"))
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(total, 3000.0);
+}
+
+#[test]
+fn script_is_idempotent_per_session() {
+    // Replaying the script in a fresh session gives identical output; in
+    // the same session every creation collides (names are taken).
+    let mut s = Session::new();
+    for line in SCRIPT.lines() {
+        let _ = s.eval(line);
+    }
+    let err = s.eval("mkcur alice").unwrap_err();
+    assert!(err.to_string().contains("already in use"), "{err}");
+}

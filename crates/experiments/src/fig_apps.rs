@@ -1,0 +1,183 @@
+//! Figures 6–8: Monte-Carlo inflation, the query server, and video rate
+//! control.
+
+use lottery_apps::dbserver::{self, DbExperiment};
+use lottery_apps::montecarlo::{self, MonteCarloExperiment};
+use lottery_apps::mpeg::{self, MpegExperiment};
+use lottery_sim::prelude::*;
+use lottery_stats::table::Table;
+
+/// Figure 6: three staggered Monte-Carlo integrations, each periodically
+/// setting its ticket value proportional to the square of its relative
+/// error; cumulative trials sampled every 50 seconds.
+pub fn fig6(seed: u32) {
+    let config = MonteCarloExperiment {
+        seed,
+        ..MonteCarloExperiment::default()
+    };
+    let report = montecarlo::run(&config);
+    let mut table = Table::new(&[
+        "time (s)",
+        "task0 Mtrials",
+        "task1 Mtrials",
+        "task2 Mtrials",
+    ]);
+    let end = config.duration.as_us();
+    let step = 50_000_000u64;
+    let mut t = 0;
+    while t <= end {
+        table.row(&[
+            (t / 1_000_000).to_string(),
+            format!("{:.2}", report.trials[0].value_at(t) / 1e6),
+            format!("{:.2}", report.trials[1].value_at(t) / 1e6),
+            format!("{:.2}", report.trials[2].value_at(t) / 1e6),
+        ]);
+        t += step;
+    }
+    print!("{}", table.render());
+    println!(
+        "\nfinal trials: {:.2}M / {:.2}M / {:.2}M — relative errors {:.5} / {:.5} / {:.5}",
+        report.totals[0] / 1e6,
+        report.totals[1] / 1e6,
+        report.totals[2] / 1e6,
+        report.errors[0],
+        report.errors[1],
+        report.errors[2],
+    );
+    println!("paper's shape: later tasks start fast and taper, curves converge (\"bumps\" at each start)");
+}
+
+/// Figure 7: three database clients with an 8:3:1 allocation against a
+/// multithreaded server funded only by RPC ticket transfers.
+pub fn fig7(seed: u32) {
+    let config = DbExperiment {
+        seed,
+        ..DbExperiment::default()
+    };
+    let report = dbserver::run(&config);
+
+    let mut table = Table::new(&[
+        "time (s)",
+        "client A (800)",
+        "client B (300)",
+        "client C (100)",
+    ]);
+    let mut t = 0u64;
+    while t <= config.duration.as_us() {
+        table.row(&[
+            (t / 1_000_000).to_string(),
+            format!("{:.0}", report.clients[0].completed.value_at(t)),
+            format!("{:.0}", report.clients[1].completed.value_at(t)),
+            format!("{:.0}", report.clients[2].completed.value_at(t)),
+        ]);
+        t += 100_000_000;
+    }
+    println!("cumulative queries processed:");
+    print!("{}", table.render());
+
+    let mut table = Table::new(&[
+        "client",
+        "tickets",
+        "queries",
+        "mean response (s)",
+        "stddev (s)",
+    ]);
+    for (i, (name, tickets)) in [("A", 800u64), ("B", 300), ("C", 100)].iter().enumerate() {
+        let c = &report.clients[i];
+        table.row(&[
+            name.to_string(),
+            tickets.to_string(),
+            c.queries.to_string(),
+            format!("{:.2}", c.mean_response_secs),
+            format!("{:.2}", c.stddev_response_secs),
+        ]);
+    }
+    println!();
+    print!("{}", table.render());
+    println!("\npaper: responses 17.19 / 43.19 / 132.20 s; B and C complete 38 and 13 queries;");
+    println!("       when A finishes its 20 queries, B+C have completed 10 in total");
+
+    // The paper's milestone: completions by B and C at the moment A is
+    // done with its 20 queries.
+    let a_done_at = report.clients[0]
+        .completed
+        .points()
+        .iter()
+        .find(|&&(_, v)| v >= 20.0)
+        .map(|&(t, _)| t);
+    if let Some(t) = a_done_at {
+        let b = report.clients[1].completed.value_at(t);
+        let c = report.clients[2].completed.value_at(t);
+        println!(
+            "here: A finishes at {:.0} s with B+C at {:.0} queries",
+            t as f64 / 1e6,
+            b + c
+        );
+        // The paper's 17.19/43.19/132.20 triple reflects the fully
+        // contended regime; once A exits, B and C speed up. Restrict the
+        // means to queries completed while A was still active.
+        let phase_mean = |i: usize| {
+            let rs: Vec<f64> = report.clients[i]
+                .responses
+                .iter()
+                .filter(|&&(at, _)| at <= t)
+                .map(|&(_, r)| r / 1e6)
+                .collect();
+            if rs.is_empty() {
+                0.0
+            } else {
+                rs.iter().sum::<f64>() / rs.len() as f64
+            }
+        };
+        println!(
+            "mean responses while all three clients were active: {:.2} / {:.2} / {:.2} s",
+            phase_mean(0),
+            phase_mean(1),
+            phase_mean(2)
+        );
+    }
+}
+
+/// Figure 8: three MPEG viewers at 3:2:1, switched to 3:1:2 mid-run.
+pub fn fig8(seed: u32) {
+    let config = MpegExperiment {
+        seed,
+        ..MpegExperiment::default()
+    };
+    let report = mpeg::run(&config);
+    let mut table = Table::new(&[
+        "time (s)",
+        "viewer A frames",
+        "viewer B frames",
+        "viewer C frames",
+    ]);
+    let mut t = 0u64;
+    while t <= config.duration.as_us() {
+        table.row(&[
+            (t / 1_000_000).to_string(),
+            format!("{:.0}", report.frames[0].value_at(t)),
+            format!("{:.0}", report.frames[1].value_at(t)),
+            format!("{:.0}", report.frames[2].value_at(t)),
+        ]);
+        t += 30_000_000;
+    }
+    print!("{}", table.render());
+    println!(
+        "\nrates before switch (A:B:C = 3:2:1): {:.2} / {:.2} / {:.2} frames/s (ratio {:.2} : {:.2} : 1)",
+        report.rates_before[0],
+        report.rates_before[1],
+        report.rates_before[2],
+        report.rates_before[0] / report.rates_before[2],
+        report.rates_before[1] / report.rates_before[2],
+    );
+    println!(
+        "rates after switch  (A:B:C = 3:1:2): {:.2} / {:.2} / {:.2} frames/s (ratio {:.2} : 1 : {:.2})",
+        report.rates_after[0],
+        report.rates_after[1],
+        report.rates_after[2],
+        report.rates_after[0] / report.rates_after[1],
+        report.rates_after[2] / report.rates_after[1],
+    );
+    println!("paper (X-server distorted): 1.92:1.50:1 before, 1.92:1:1.53 after");
+    let _ = SimTime::ZERO;
+}

@@ -1,0 +1,129 @@
+//! Figures 1–3: the basic lottery walk and currency-graph valuation.
+
+use lottery_core::prelude::*;
+use lottery_stats::table::Table;
+
+/// Figure 1: five clients with 10/2/5/1/2 tickets; the winning value 15
+/// selects the third client.
+pub fn fig1(_seed: u32) {
+    let clients = [("c1", 10u64), ("c2", 2), ("c3", 5), ("c4", 1), ("c5", 2)];
+    let mut pool: ListLottery<&str, u64> = ListLottery::without_move_to_front();
+    for (name, tickets) in clients {
+        pool.insert(name, tickets);
+    }
+    println!("total = {}", pool.total());
+    let winning = 15;
+    println!("winning ticket value = {winning} (paper's example draw)\n");
+
+    let mut table = Table::new(&["client", "tickets", "running sum", "sum > 15?"]);
+    let mut sum = 0;
+    let mut winner = "";
+    for (name, tickets) in clients {
+        sum += tickets;
+        let hit = sum > winning;
+        table.row(&[
+            name.to_string(),
+            tickets.to_string(),
+            sum.to_string(),
+            if hit && winner.is_empty() {
+                winner = name;
+                "yes — winner".to_string()
+            } else if winner.is_empty() {
+                "no".to_string()
+            } else {
+                "(not examined)".to_string()
+            },
+        ]);
+        if !winner.is_empty() && hit {
+            // Continue printing rows for completeness of the table.
+        }
+    }
+    print!("{}", table.render());
+    let selected = pool.select(winning).copied().unwrap_or("?");
+    println!("\nListLottery::select(15) = {selected} (paper: third client wins)");
+
+    // And the empirical shares over many draws.
+    let mut rng = ParkMiller::new(1);
+    let mut wins = std::collections::HashMap::new();
+    let draws = 100_000;
+    for _ in 0..draws {
+        *wins.entry(*pool.draw(&mut rng).unwrap()).or_insert(0u64) += 1;
+    }
+    let mut table = Table::new(&["client", "tickets", "expected share", "observed share"]);
+    for (name, tickets) in clients {
+        table.row(&[
+            name.to_string(),
+            tickets.to_string(),
+            format!("{:.4}", tickets as f64 / 20.0),
+            format!("{:.4}", wins[name] as f64 / draws as f64),
+        ]);
+    }
+    println!("\nshares over {draws} draws:");
+    print!("{}", table.render());
+}
+
+/// Figures 2 & 3: the kernel-object currency graph, with the paper's
+/// published base values (thread2 = 400, thread3 = 600, thread4 = 2000).
+pub fn fig3(_seed: u32) {
+    let mut l = Ledger::new();
+    let base = l.base();
+    let alice = l.create_currency("alice").unwrap();
+    let bob = l.create_currency("bob").unwrap();
+    let t_alice = l.issue_root(base, 1000).unwrap();
+    let t_bob = l.issue_root(base, 2000).unwrap();
+    l.fund_currency(t_alice, alice).unwrap();
+    l.fund_currency(t_bob, bob).unwrap();
+
+    let task1 = l.create_currency("task1").unwrap();
+    let task2 = l.create_currency("task2").unwrap();
+    let task3 = l.create_currency("task3").unwrap();
+    let f1 = l.issue_root(alice, 100).unwrap();
+    let f2 = l.issue_root(alice, 200).unwrap();
+    let f3 = l.issue_root(bob, 100).unwrap();
+    l.fund_currency(f1, task1).unwrap();
+    l.fund_currency(f2, task2).unwrap();
+    l.fund_currency(f3, task3).unwrap();
+
+    let names = ["thread1", "thread2", "thread3", "thread4"];
+    let threads: Vec<ClientId> = names.iter().map(|n| l.create_client(*n)).collect();
+    let amounts = [(task1, 100u64), (task2, 200), (task2, 300), (task3, 100)];
+    for (i, &(cur, amt)) in amounts.iter().enumerate() {
+        let t = l.issue_root(cur, amt).unwrap();
+        l.fund_client(t, threads[i]).unwrap();
+    }
+    // task1 is inactive: thread1 is not runnable (paper: "task1 is
+    // currently inactive").
+    for &t in &threads[1..] {
+        l.activate_client(t).unwrap();
+    }
+
+    let mut v = Valuator::new(&l);
+    let mut table = Table::new(&["object", "denomination", "amount", "value (base units)"]);
+    for (cur, label) in [
+        (alice, "alice"),
+        (bob, "bob"),
+        (task1, "task1"),
+        (task2, "task2"),
+        (task3, "task3"),
+    ] {
+        let c = l.currency(cur).unwrap();
+        table.row(&[
+            format!("currency {label}"),
+            "-".into(),
+            format!("{} active / {} issued", c.active_amount(), c.total_amount()),
+            format!("{:.0}", v.currency_value(cur).unwrap()),
+        ]);
+    }
+    for (i, name) in names.iter().enumerate() {
+        let (cur, amt) = amounts[i];
+        let label = l.currency(cur).unwrap().name().to_string();
+        table.row(&[
+            name.to_string(),
+            label,
+            amt.to_string(),
+            format!("{:.0}", v.client_value(threads[i]).unwrap()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\npaper's published values: thread2 = 400, thread3 = 600, thread4 = 2000");
+}

@@ -1,0 +1,59 @@
+//! Figure 9: currencies insulate loads.
+
+use lottery_apps::insulation::{self, InsulationExperiment};
+use lottery_stats::table::Table;
+
+/// Figure 9: tasks A1 = 100.A, A2 = 200.A, B1 = 100.B, B2 = 200.B; task
+/// B3 = 300.B starts halfway. The inflation of currency B from 300 to 600
+/// is locally contained.
+pub fn fig9(seed: u32) {
+    let config = InsulationExperiment {
+        seed,
+        ..InsulationExperiment::default()
+    };
+    let report = insulation::run(&config);
+
+    let names = [
+        "A1 (100.A)",
+        "A2 (200.A)",
+        "B1 (100.B)",
+        "B2 (200.B)",
+        "B3 (300.B)",
+    ];
+    let mut table = Table::new(&["time (s)", names[0], names[1], names[2], names[3], names[4]]);
+    let mut t = 0u64;
+    while t <= config.duration.as_us() {
+        let mut row = vec![(t / 1_000_000).to_string()];
+        for s in &report.progress {
+            row.push(format!("{:.1}", s.value_at(t)));
+        }
+        table.row(&row);
+        t += 30_000_000;
+    }
+    println!("cumulative CPU seconds:");
+    print!("{}", table.render());
+
+    let half = config.intruder_at.as_secs_f64();
+    let tail = config.duration.as_secs_f64() - half;
+    let mut table = Table::new(&["task", "rate before B3", "rate after B3", "change"]);
+    for (i, name) in names.iter().enumerate() {
+        let rb = report.before[i] / half;
+        let ra = report.after[i] / tail;
+        table.row(&[
+            name.to_string(),
+            format!("{rb:.3}"),
+            format!("{ra:.3}"),
+            if rb > 0.0 {
+                format!("{:+.0}%", (ra / rb - 1.0) * 100.0)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    println!();
+    print!("{}", table.render());
+    println!(
+        "\naggregate A : B after B3 joins = {:.2} : 1 (paper: 1.00 : 1, A unaffected, B1/B2 halved)",
+        report.a_after() / report.b_after()
+    );
+}

@@ -1,0 +1,82 @@
+//! Figures 4 and 5: relative rate accuracy and fairness over time.
+
+use lottery_apps::dhrystone::{self, FairnessRun};
+use lottery_sim::prelude::*;
+use lottery_stats::table::Table;
+
+/// Figure 4: observed vs allocated iteration ratios for two Dhrystone
+/// tasks, three 60-second runs per integral ratio 1..10, plus the paper's
+/// 20:1 three-minute spot check.
+pub fn fig4(seed: u32) {
+    let mut table = Table::new(&["allocated", "run 1", "run 2", "run 3", "mean observed"]);
+    for ratio in 1..=10u32 {
+        let mut observed = Vec::new();
+        for run in 0..3u32 {
+            let report = dhrystone::run_fairness(
+                &FairnessRun {
+                    ratio: f64::from(ratio),
+                    seed: seed.wrapping_mul(97).wrapping_add(ratio * 13 + run),
+                    ..FairnessRun::default()
+                },
+                SimDuration::from_secs(8),
+            );
+            observed.push(report.observed);
+        }
+        let mean = observed.iter().sum::<f64>() / 3.0;
+        table.row(&[
+            format!("{ratio}:1"),
+            format!("{:.2}:1", observed[0]),
+            format!("{:.2}:1", observed[1]),
+            format!("{:.2}:1", observed[2]),
+            format!("{mean:.2}:1"),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // The 20:1 spot check over three minutes (paper: 19.42 : 1).
+    let report = dhrystone::run_fairness(
+        &FairnessRun {
+            ratio: 20.0,
+            duration: SimTime::from_secs(180),
+            seed,
+            ..FairnessRun::default()
+        },
+        SimDuration::from_secs(8),
+    );
+    println!(
+        "\n20:1 over three minutes: observed {:.2}:1 (paper: 19.42:1)",
+        report.observed
+    );
+}
+
+/// Figure 5: two Dhrystone tasks with a 2:1 allocation over 200 seconds;
+/// average iterations/sec in consecutive 8-second windows.
+pub fn fig5(seed: u32) {
+    let report = dhrystone::run_fairness(
+        &FairnessRun {
+            ratio: 2.0,
+            duration: SimTime::from_secs(200),
+            seed,
+            ..FairnessRun::default()
+        },
+        SimDuration::from_secs(8),
+    );
+    let mut table = Table::new(&["window (s)", "task1 iters/sec", "task2 iters/sec", "ratio"]);
+    for (i, &(a, b)) in report.windows.iter().enumerate() {
+        table.row(&[
+            format!("{}-{}", i * 8, (i + 1) * 8),
+            format!("{a:.0}"),
+            format!("{b:.0}"),
+            format!("{:.2}:1", a / b.max(1.0)),
+        ]);
+    }
+    print!("{}", table.render());
+    let secs = 200.0;
+    println!(
+        "\nwhole-run averages: {:.0} and {:.0} iterations/sec (ratio {:.2}:1)",
+        report.totals.0 / secs,
+        report.totals.1 / secs,
+        report.observed
+    );
+    println!("paper: 25378 and 12619 iterations/sec (ratio 2.01:1)");
+}

@@ -1,0 +1,109 @@
+//! Section 2 and Section 6.2 distribution checks.
+
+use lottery_core::inverse;
+use lottery_core::prelude::*;
+use lottery_stats::dist;
+use lottery_stats::summary::Summary;
+use lottery_stats::table::Table;
+
+/// Section 2: the number of lotteries won by a client has a binomial
+/// distribution; the number of lotteries until its first win is geometric;
+/// the coefficient of variation of the observed win proportion is
+/// `sqrt((1-p)/(np))`.
+pub fn binomial(seed: u32) {
+    let p = 0.25; // Client holds 1 of 4 tickets.
+    let n_lotteries = 400u64;
+    let trials = 2000;
+
+    let mut rng = ParkMiller::new(seed);
+    let mut wins = Summary::new();
+    let mut first_wins = Summary::new();
+    for _ in 0..trials {
+        let mut won = 0u64;
+        let mut first: Option<u64> = None;
+        for i in 0..n_lotteries {
+            let draw = rng.below(4);
+            if draw == 0 {
+                won += 1;
+                if first.is_none() {
+                    first = Some(i + 1);
+                }
+            }
+        }
+        wins.record(won as f64);
+        if let Some(f) = first {
+            first_wins.record(f as f64);
+        }
+    }
+
+    let mut table = Table::new(&["quantity", "expected (closed form)", "observed"]);
+    table.row(&[
+        "E[wins]  (np)".into(),
+        format!("{:.2}", dist::binomial_mean(n_lotteries, p)),
+        format!("{:.2}", wins.mean()),
+    ]);
+    table.row(&[
+        "Var[wins]  (np(1-p))".into(),
+        format!("{:.2}", dist::binomial_variance(n_lotteries, p)),
+        format!("{:.2}", wins.sample_variance()),
+    ]);
+    table.row(&[
+        "cv of win proportion  sqrt((1-p)/np)".into(),
+        format!("{:.4}", dist::win_proportion_cv(n_lotteries, p)),
+        format!("{:.4}", wins.cv()),
+    ]);
+    table.row(&[
+        "E[first win]  (1/p)".into(),
+        format!("{:.2}", dist::geometric_mean(p)),
+        format!("{:.2}", first_wins.mean()),
+    ]);
+    table.row(&[
+        "Var[first win]  ((1-p)/p^2)".into(),
+        format!("{:.2}", dist::geometric_variance(p)),
+        format!("{:.2}", first_wins.sample_variance()),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "\n({} trials of {} lotteries each, client holds 1 of 4 tickets)",
+        trials, n_lotteries
+    );
+}
+
+/// Section 6.2: inverse-lottery loss probabilities
+/// `P[i] = (1/(n-1)) (1 - t_i/T)`.
+pub fn inverse(seed: u32) {
+    let tickets: [u64; 4] = [400, 300, 200, 100];
+    let entries: Vec<(usize, u64)> = tickets.iter().copied().enumerate().collect();
+    let draws = 200_000;
+    let mut rng = ParkMiller::new(seed);
+    let mut losses = [0u64; 4];
+    for _ in 0..draws {
+        losses[inverse::draw_loser(&entries, &mut rng).unwrap()] += 1;
+    }
+
+    let mut table = Table::new(&["client", "tickets", "P[loss] formula", "observed"]);
+    let expected: Vec<f64> = (0..4)
+        .map(|i| inverse::loss_probability(&tickets, i))
+        .collect();
+    for i in 0..4 {
+        table.row(&[
+            format!("c{i}"),
+            tickets[i].to_string(),
+            format!("{:.4}", expected[i]),
+            format!("{:.4}", losses[i] as f64 / draws as f64),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let expected_counts: Vec<f64> = expected.iter().map(|p| p * draws as f64).collect();
+    let chi2 = dist::chi_square(&losses, &expected_counts);
+    println!(
+        "\nchi-square = {:.2} over 3 dof ({})",
+        chi2,
+        if dist::chi_square_ok(chi2, 3) {
+            "consistent with the formula at the 0.999 level"
+        } else {
+            "INCONSISTENT — investigate"
+        }
+    );
+}

@@ -1,0 +1,125 @@
+//! Section 5.6: system overhead.
+//!
+//! The paper measures three Dhrystone tasks for 200 seconds and a
+//! five-client database run under both the lottery kernel and unmodified
+//! Mach, finding the lottery prototype's overhead "comparable to that of
+//! the standard Mach timesharing policy". The simulator's analogue charges
+//! an explicit per-decision cost — the paper's unoptimized list-based
+//! lottery costs on the order of 1000 RISC instructions per decision
+//! (~40 µs on the 25 MHz DECStation), against a few hundred for a
+//! timesharing dequeue — plus a context-switch cost, and reports how much
+//! useful progress each policy delivers.
+
+use lottery_sim::prelude::*;
+use lottery_stats::table::Table;
+
+/// Per-decision cost, in microseconds: random draw + run-queue walk +
+/// currency conversions for the unoptimized lottery; priority-queue
+/// operations for the baselines.
+const LOTTERY_DISPATCH_US: u64 = 40;
+const TIMESHARE_DISPATCH_US: u64 = 15;
+const RR_DISPATCH_US: u64 = 5;
+
+/// Cache/TLB-refill cost charged when the dispatched thread changes.
+const SWITCH_US: u64 = 150;
+
+struct Outcome {
+    useful_cpu_s: f64,
+    overhead_ms: f64,
+    decisions: u64,
+    switches: u64,
+}
+
+fn dhrystone_total(policy_name: &str, tasks: usize, seed: u32) -> Outcome {
+    let duration = SimTime::from_secs(200);
+    fn finish<P: Policy>(mut kernel: Kernel<P>, tids: &[ThreadId], duration: SimTime) -> Outcome {
+        kernel.run_until(duration);
+        let cpu: u64 = tids.iter().map(|&t| kernel.metrics().cpu_us(t)).sum();
+        Outcome {
+            useful_cpu_s: cpu as f64 / 1e6,
+            overhead_ms: kernel.metrics().switch_overhead.as_us() as f64 / 1e3,
+            decisions: kernel.metrics().decisions,
+            switches: kernel.metrics().context_switches,
+        }
+    }
+    match policy_name {
+        "lottery" => {
+            let policy = LotteryPolicy::new(seed);
+            let base = policy.base_currency();
+            let mut kernel = Kernel::new(policy);
+            kernel.set_dispatch_cost(SimDuration::from_us(LOTTERY_DISPATCH_US));
+            kernel.set_context_switch_cost(SimDuration::from_us(SWITCH_US));
+            let tids: Vec<ThreadId> = (0..tasks)
+                .map(|i| {
+                    kernel.spawn(
+                        format!("dhry{i}"),
+                        Box::new(ComputeBound),
+                        FundingSpec::new(base, 100),
+                    )
+                })
+                .collect();
+            finish(kernel, &tids, duration)
+        }
+        "timeshare" => {
+            let mut kernel = Kernel::new(TimesharePolicy::new(SimDuration::from_ms(100)));
+            kernel.set_dispatch_cost(SimDuration::from_us(TIMESHARE_DISPATCH_US));
+            kernel.set_context_switch_cost(SimDuration::from_us(SWITCH_US));
+            let tids: Vec<ThreadId> = (0..tasks)
+                .map(|i| kernel.spawn(format!("dhry{i}"), Box::new(ComputeBound), 12))
+                .collect();
+            finish(kernel, &tids, duration)
+        }
+        "round-robin" => {
+            let mut kernel = Kernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)));
+            kernel.set_dispatch_cost(SimDuration::from_us(RR_DISPATCH_US));
+            kernel.set_context_switch_cost(SimDuration::from_us(SWITCH_US));
+            let tids: Vec<ThreadId> = (0..tasks)
+                .map(|i| kernel.spawn(format!("dhry{i}"), Box::new(ComputeBound), ()))
+                .collect();
+            finish(kernel, &tids, duration)
+        }
+        _ => unreachable!("unknown policy"),
+    }
+}
+
+/// Runs the Section 5.6 overhead comparison.
+pub fn run(seed: u32) {
+    println!("200-second Dhrystone runs; useful CPU excludes dispatch and switch costs:\n");
+    let mut table = Table::new(&[
+        "policy",
+        "tasks",
+        "useful CPU (s)",
+        "overhead (ms)",
+        "vs round-robin",
+        "decisions",
+        "switches",
+    ]);
+    for &tasks in &[3usize, 8] {
+        let rr = dhrystone_total("round-robin", tasks, seed);
+        for policy in ["round-robin", "timeshare", "lottery"] {
+            let o = dhrystone_total(policy, tasks, seed);
+            table.row(&[
+                policy.to_string(),
+                tasks.to_string(),
+                format!("{:.4}", o.useful_cpu_s),
+                format!("{:.1}", o.overhead_ms),
+                format!("{:+.3}%", (o.useful_cpu_s / rr.useful_cpu_s - 1.0) * 100.0),
+                o.decisions.to_string(),
+                o.switches.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "\npaper: 3 tasks within measurement noise (differences < stddev); 8 tasks 2.7% fewer"
+    );
+    println!("       iterations under lottery; database run 1155.5 s vs 1135.5 s (1.8% slower).");
+    println!("       The paper attributes most of the difference to cache/TLB effects of");
+    println!("       round-robin vs lottery dispatch *order*, not to lottery computation itself.");
+    println!(
+        "\nmodelled costs per decision: lottery {LOTTERY_DISPATCH_US} us, timeshare {TIMESHARE_DISPATCH_US} us, RR {RR_DISPATCH_US} us; context switch {SWITCH_US} us"
+    );
+    println!(
+        "(cargo bench -p lottery-bench measures the real decision costs of this implementation)"
+    );
+}

@@ -1,0 +1,15 @@
+//! # lottery-io
+//!
+//! Lottery-scheduled I/O bandwidth.
+//!
+//! The paper's abstract lists I/O bandwidth among the diverse resources
+//! lotteries can manage, and Section 5.3's footnote sketches the concrete
+//! case: "A disk-based database could use lotteries to schedule disk
+//! bandwidth." [`disk::DiskScheduler`] implements that — a single-spindle
+//! disk queue whose next request is chosen by lottery over the ticketed
+//! clients with pending work — alongside FCFS and shortest-seek-first
+//! baselines that expose the isolation/throughput trade-off.
+
+pub mod disk;
+
+pub use disk::{DiskClientId, DiskPolicy, DiskScheduler, Request};

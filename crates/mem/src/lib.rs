@@ -1,0 +1,17 @@
+//! # lottery-mem
+//!
+//! Inverse-lottery management of space-shared resources — the Section 6.2
+//! proposal, realized as a physical-page allocator.
+//!
+//! Time-shared resources pick a lottery *winner*; finely divisible
+//! space-shared resources like memory instead pick a *loser* that must
+//! relinquish a unit it holds. When a page fault finds no free frame, the
+//! manager chooses a victim client "with probability proportional to both
+//! `[1/(n-1)](1 - t/T)` and the fraction of physical memory in use by that
+//! client", then reclaims one of the victim's frames.
+
+pub mod manager;
+pub mod paging;
+
+pub use manager::{MemClientId, MemoryManager, ReclaimOutcome};
+pub use paging::{hot_cold_reference, PagingClientId, PagingSim};

@@ -1,0 +1,74 @@
+//! Property tests on the memory manager's conservation invariants.
+
+use lottery_core::rng::ParkMiller;
+use lottery_mem::{MemoryManager, ReclaimOutcome};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Fault { client: usize },
+    Release { client: usize },
+    SetTickets { client: usize, tickets: u64 },
+}
+
+fn op_strategy(clients: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..clients).prop_map(|client| Op::Fault { client }),
+        1 => (0..clients).prop_map(|client| Op::Release { client }),
+        1 => (0..clients, 0..1000u64).prop_map(|(client, tickets)| Op::SetTickets {
+            client,
+            tickets
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Frames are conserved through arbitrary fault/release/re-ticket
+    /// sequences, victims always held a frame, and faults always succeed.
+    #[test]
+    fn frames_are_conserved(
+        frames in 1..64u64,
+        tickets in prop::collection::vec(0..500u64, 2..6),
+        ops in prop::collection::vec(op_strategy(6), 1..200),
+        seed in 1u32..10_000,
+    ) {
+        let mut mm = MemoryManager::new(frames);
+        let ids: Vec<_> = tickets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| mm.register(format!("c{i}"), t))
+            .collect();
+        let mut rng = ParkMiller::new(seed);
+        for op in ops {
+            match op {
+                Op::Fault { client } => {
+                    let id = ids[client % ids.len()];
+                    let before: u64 = ids.iter().map(|&c| mm.resident(c)).sum();
+                    let out = mm.fault(id, &mut rng).unwrap();
+                    let after: u64 = ids.iter().map(|&c| mm.resident(c)).sum();
+                    match out {
+                        ReclaimOutcome::FreeFrame => {
+                            prop_assert_eq!(after, before + 1);
+                        }
+                        ReclaimOutcome::Evicted { .. } => {
+                            prop_assert_eq!(after, before, "eviction moves, not grows");
+                        }
+                    }
+                }
+                Op::Release { client } => {
+                    let id = ids[client % ids.len()];
+                    let had = mm.resident(id);
+                    let r = mm.release(id);
+                    prop_assert_eq!(r.is_ok(), had > 0);
+                }
+                Op::SetTickets { client, tickets } => {
+                    mm.set_tickets(ids[client % ids.len()], tickets);
+                }
+            }
+            let resident: u64 = ids.iter().map(|&c| mm.resident(c)).sum();
+            prop_assert_eq!(resident + mm.free_frames(), frames, "frame conservation");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # lottery-net
+//!
+//! Lottery scheduling of communication resources.
+//!
+//! Section 6 of the paper observes that "a lottery can be used to allocate
+//! resources wherever queueing is necessary for resource access" and
+//! proposes scheduling virtual circuits at ATM switches so congested
+//! channels divide bandwidth by ticket allocation. [`switch::Switch`]
+//! implements that: an output port whose every forwarding slot is a lottery
+//! among backlogged circuits.
+
+pub mod switch;
+
+pub use switch::{Cell, CircuitId, Switch};

@@ -1,0 +1,48 @@
+//! Property tests on the switch's cell-conservation invariants.
+
+use lottery_core::rng::ParkMiller;
+use lottery_net::Switch;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cells are conserved: everything enqueued is either forwarded or
+    /// still backlogged; forwarding per circuit is FIFO.
+    #[test]
+    fn cells_conserved_and_fifo(
+        tickets in prop::collection::vec(0..100u64, 1..5),
+        ops in prop::collection::vec((0..5usize, any::<bool>()), 1..300),
+        seed in 1u32..10_000,
+    ) {
+        let mut sw = Switch::new();
+        let vcs: Vec<_> = tickets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| sw.open_circuit(format!("vc{i}"), t))
+            .collect();
+        let mut rng = ParkMiller::new(seed);
+        let mut enqueued = vec![0u64; vcs.len()];
+        let mut next_expected = vec![0u64; vcs.len()];
+        for (target, do_enqueue) in ops {
+            let vc = vcs[target % vcs.len()];
+            if do_enqueue {
+                // Cell ids are per-circuit sequence numbers, so FIFO can
+                // be checked on dequeue.
+                let i = vc.index() as usize;
+                sw.enqueue(vc, enqueued[i]);
+                enqueued[i] += 1;
+            } else if let Ok((won, cell)) = sw.forward(&mut rng) {
+                let i = won.index() as usize;
+                prop_assert_eq!(cell.id, next_expected[i], "FIFO within circuit");
+                next_expected[i] += 1;
+                prop_assert!(tickets[i] > 0, "zero-ticket circuit won");
+            }
+            let accounted: u64 = vcs
+                .iter()
+                .map(|&vc| sw.forwarded(vc) + sw.backlog(vc) as u64)
+                .sum();
+            prop_assert_eq!(accounted, enqueued.iter().sum::<u64>(), "cell conservation");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Synchronous RPC ports (the `mach_msg` analogue of Section 4.6).
+//!
+//! A [`Port`] is a rendezvous point between client threads issuing
+//! [`crate::workload::Burst::Request`]s and server threads blocking in
+//! [`crate::workload::Burst::Receive`]. The kernel pairs them up:
+//!
+//! * If a server thread is already waiting when a request arrives, the
+//!   request is delivered immediately and the client's ticket transfer
+//!   funds that thread directly.
+//! * Otherwise the request queues; the transfer is attached to the message
+//!   and claimed by whichever server thread receives it next.
+//!
+//! Replies destroy the transfer and wake the client.
+
+use std::collections::VecDeque;
+
+use crate::thread::ThreadId;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a port within a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(u32);
+
+impl PortId {
+    /// Builds a port id from a raw index (used by the kernel and tests).
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A queued or in-service request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// The blocked client that sent the request.
+    pub client: ThreadId,
+    /// CPU time the server must spend before replying.
+    pub service: SimDuration,
+    /// When the request was issued (for response-time accounting).
+    pub sent_at: SimTime,
+}
+
+/// A rendezvous port.
+#[derive(Debug, Default)]
+pub struct Port {
+    name: String,
+    /// Requests waiting for a server thread.
+    messages: VecDeque<Message>,
+    /// Server threads blocked in receive.
+    receivers: VecDeque<ThreadId>,
+}
+
+impl Port {
+    /// Creates an empty port.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            messages: VecDeque::new(),
+            receivers: VecDeque::new(),
+        }
+    }
+
+    /// The port's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Queued requests not yet delivered to a server thread.
+    pub fn backlog(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Server threads currently blocked waiting for a request.
+    pub fn idle_receivers(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// Offers a request: returns the receiver to deliver it to, if one is
+    /// waiting; otherwise queues the message.
+    pub fn offer(&mut self, message: Message) -> Option<ThreadId> {
+        if let Some(receiver) = self.receivers.pop_front() {
+            Some(receiver)
+        } else {
+            self.messages.push_back(message);
+            None
+        }
+    }
+
+    /// Registers a receiver: returns the message to deliver, if one is
+    /// queued; otherwise parks the receiver.
+    pub fn receive(&mut self, receiver: ThreadId) -> Option<Message> {
+        if let Some(message) = self.messages.pop_front() {
+            Some(message)
+        } else {
+            self.receivers.push_back(receiver);
+            None
+        }
+    }
+
+    /// Removes a parked receiver (e.g. its thread exited).
+    pub fn remove_receiver(&mut self, receiver: ThreadId) {
+        self.receivers.retain(|&r| r != receiver);
+    }
+
+    /// Removes every undelivered request from `client` (its thread was
+    /// killed before a server picked the message up).
+    pub fn remove_messages_from(&mut self, client: ThreadId) {
+        self.messages.retain(|m| m.client != client);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::ThreadId;
+
+    fn tid(i: u32) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    fn msg(client: u32) -> Message {
+        Message {
+            client: tid(client),
+            service: SimDuration::from_ms(5),
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn offer_with_waiting_receiver_delivers() {
+        let mut port = Port::new("db");
+        assert_eq!(port.receive(tid(1)), None);
+        assert_eq!(port.idle_receivers(), 1);
+        assert_eq!(port.offer(msg(9)), Some(tid(1)));
+        assert_eq!(port.idle_receivers(), 0);
+        assert_eq!(port.backlog(), 0);
+    }
+
+    #[test]
+    fn offer_without_receiver_queues() {
+        let mut port = Port::new("db");
+        assert_eq!(port.offer(msg(9)), None);
+        assert_eq!(port.backlog(), 1);
+        let delivered = port.receive(tid(1)).unwrap();
+        assert_eq!(delivered.client, tid(9));
+        assert_eq!(port.backlog(), 0);
+    }
+
+    #[test]
+    fn fifo_ordering() {
+        let mut port = Port::new("db");
+        port.offer(msg(1));
+        port.offer(msg(2));
+        assert_eq!(port.receive(tid(8)).unwrap().client, tid(1));
+        assert_eq!(port.receive(tid(8)).unwrap().client, tid(2));
+
+        assert_eq!(port.receive(tid(10)), None);
+        assert_eq!(port.receive(tid(11)), None);
+        assert_eq!(port.offer(msg(3)), Some(tid(10)));
+        assert_eq!(port.offer(msg(4)), Some(tid(11)));
+    }
+
+    #[test]
+    fn remove_receiver() {
+        let mut port = Port::new("db");
+        port.receive(tid(1));
+        port.receive(tid(2));
+        port.remove_receiver(tid(1));
+        assert_eq!(port.idle_receivers(), 1);
+        assert_eq!(port.offer(msg(5)), Some(tid(2)));
+    }
+}

@@ -1,0 +1,765 @@
+//! The simulated kernel: dispatch loop, timers, and synchronous RPC.
+//!
+//! [`Kernel`] is a discrete-event simulator of a uniprocessor scheduler. It
+//! owns the thread table, the clock, the wake-event queue, and the RPC
+//! ports, and delegates every "who runs next?" decision to a
+//! [`crate::sched::Policy`]. The structure mirrors how the paper's
+//! prototype hooks into Mach: the policy sees spawns, enqueues, dispatch
+//! picks, quantum charges, and RPC ticket transfers, and nothing else.
+//!
+//! # Dispatch model
+//!
+//! Time advances only while a thread runs or the CPU idles to the next
+//! timer. A dispatched thread executes until its quantum expires, it
+//! yields, it blocks, or it exits; wake events that fire mid-quantum are
+//! processed when the quantum ends (as on a real tick-driven kernel, where
+//! the dispatcher notices wakeups at the next scheduling point). Calling
+//! [`Kernel::run_until`] completes any in-flight quantum that straddles the
+//! deadline, so the clock may overshoot by at most one quantum.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ipc::{Message, Port, PortId};
+use crate::metrics::Metrics;
+use crate::sched::{EndReason, Policy};
+use crate::thread::{BlockReason, Thread, ThreadId, ThreadState};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+use crate::workload::{Burst, Workload, WorkloadCtx};
+
+/// A discrete-event uniprocessor kernel parameterized by its scheduling
+/// policy.
+pub struct Kernel<P: Policy> {
+    clock: SimTime,
+    threads: Vec<Thread>,
+    policy: P,
+    ports: Vec<Port>,
+    /// Pending timer wakes: `(when, sequence, thread)`.
+    wakes: BinaryHeap<Reverse<(SimTime, u64, ThreadId)>>,
+    seq: u64,
+    metrics: Metrics,
+    /// Fixed cost charged (as wall time, not to any thread) whenever the
+    /// dispatched thread differs from the previous one.
+    context_switch_cost: SimDuration,
+    /// Fixed cost charged on *every* dispatch decision, modelling the
+    /// scheduler's selection work (Section 5.6's overhead accounting).
+    dispatch_cost: SimDuration,
+    last_dispatched: Option<ThreadId>,
+    trace: Option<Trace>,
+}
+
+impl<P: Policy> Kernel<P> {
+    /// Creates a kernel with the given policy and no context-switch cost.
+    pub fn new(policy: P) -> Self {
+        Self {
+            clock: SimTime::ZERO,
+            threads: Vec::new(),
+            policy,
+            ports: Vec::new(),
+            wakes: BinaryHeap::new(),
+            seq: 0,
+            metrics: Metrics::new(),
+            context_switch_cost: SimDuration::ZERO,
+            dispatch_cost: SimDuration::ZERO,
+            last_dispatched: None,
+            trace: None,
+        }
+    }
+
+    /// Enables the scheduling-event flight recorder, keeping the most
+    /// recent `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn record_event(&mut self, event: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(self.clock, event);
+        }
+    }
+
+    /// Sets the time charged for switching between different threads.
+    pub fn set_context_switch_cost(&mut self, cost: SimDuration) {
+        self.context_switch_cost = cost;
+    }
+
+    /// Sets the time charged for every scheduling decision.
+    pub fn set_dispatch_cost(&mut self, cost: SimDuration) {
+        self.dispatch_cost = cost;
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The scheduling policy (for reading state).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The scheduling policy (for dynamic control, e.g. ticket inflation
+    /// between [`Kernel::run_until`] slices).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Accumulated measurements.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The thread table entry for `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id not returned by [`Kernel::spawn`]; thread ids are
+    /// kernel-issued, so this is a harness bug.
+    pub fn thread(&self, tid: ThreadId) -> &Thread {
+        &self.threads[tid.index() as usize]
+    }
+
+    /// Number of threads that have not exited.
+    pub fn live_threads(&self) -> usize {
+        self.threads.iter().filter(|t| !t.is_exited()).count()
+    }
+
+    /// Creates a new RPC port.
+    pub fn create_port(&mut self, name: impl Into<String>) -> PortId {
+        let id = PortId::new(self.ports.len() as u32);
+        self.ports.push(Port::new(name));
+        id
+    }
+
+    /// The port table entry for `port`.
+    pub fn port(&self, port: PortId) -> &Port {
+        &self.ports[port.index() as usize]
+    }
+
+    /// Spawns a ready thread with the given workload and policy spec.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        workload: Box<dyn Workload>,
+        spec: P::Spec,
+    ) -> ThreadId {
+        let tid = ThreadId::from_index(self.threads.len() as u32);
+        let mut thread = Thread::new(name, workload);
+        thread.ready_since = Some(self.clock);
+        self.threads.push(thread);
+        self.policy.on_spawn(tid, spec);
+        self.policy.enqueue(tid, self.clock);
+        self.record_event(TraceEvent::Spawn(tid));
+        tid
+    }
+
+    /// Terminates a thread from outside (the `thread_terminate` analogue).
+    ///
+    /// Call between [`Kernel::run_until`] slices. The thread's pending
+    /// state is unwound: it leaves the run queue, its lock waits are
+    /// cancelled (transfers repaid), a pending receive is deregistered,
+    /// and an in-flight RPC it issued is answered into the void (the
+    /// server completes normally; the reply finds no one). Idempotent.
+    ///
+    /// A kernel mutex *held* by the killed thread stays held forever —
+    /// exactly the real-world hazard of killing lock holders; release
+    /// before killing.
+    pub fn kill(&mut self, tid: ThreadId) {
+        let state = self.threads[tid.index() as usize].state();
+        match state {
+            ThreadState::Exited => return,
+            ThreadState::Running => {
+                // run_until never returns with a thread mid-dispatch.
+                unreachable!("kill during dispatch")
+            }
+            ThreadState::Ready | ThreadState::Blocked(_) => {}
+        }
+        match state {
+            ThreadState::Blocked(BlockReason::Receiving { port }) => {
+                self.ports[port.index() as usize].remove_receiver(tid);
+            }
+            ThreadState::Blocked(BlockReason::AwaitingReply { port }) => {
+                // An undelivered request dies with its sender; a request
+                // already being served completes and its reply is dropped.
+                self.ports[port.index() as usize].remove_messages_from(tid);
+            }
+            _ => {}
+        }
+        self.policy.cancel_lock_waits(tid);
+        self.threads[tid.index() as usize].set_state(ThreadState::Exited);
+        // `on_exit` drops the thread from the ready set and releases its
+        // policy state (for the lottery policy: client and tickets).
+        self.policy.on_exit(tid);
+        self.record_event(TraceEvent::QuantumEnd(tid, EndReason::Exited));
+    }
+
+    /// Runs the simulation until the clock reaches `deadline` (plus any
+    /// quantum in flight) or no runnable or sleeping threads remain.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.clock < deadline {
+            self.deliver_due_wakes();
+            let Some(tid) = self.policy.pick(self.clock) else {
+                // CPU idle: jump to the next timer wake, or stop if none.
+                match self.wakes.peek() {
+                    Some(&Reverse((when, _, _))) => {
+                        let next = when.min(deadline).max(self.clock);
+                        self.metrics.idle += next.since(self.clock);
+                        self.clock = next;
+                        if when > deadline {
+                            return;
+                        }
+                        continue;
+                    }
+                    None => return,
+                }
+            };
+            self.dispatch(tid);
+        }
+    }
+
+    /// Runs for `span` more simulated time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.run_until(self.clock + span);
+    }
+
+    /// Moves every wake event due at or before the clock onto the run
+    /// queue, in timestamp order.
+    fn deliver_due_wakes(&mut self) {
+        while let Some(&Reverse((when, _, tid))) = self.wakes.peek() {
+            if when > self.clock {
+                break;
+            }
+            self.wakes.pop();
+            // A woken thread may have exited in the meantime (it cannot in
+            // the current burst model, but the invariant is cheap to keep).
+            if self.threads[tid.index() as usize].is_exited() {
+                continue;
+            }
+            self.make_ready(tid, when);
+        }
+    }
+
+    /// Transitions a blocked thread to ready and informs the policy.
+    fn make_ready(&mut self, tid: ThreadId, when: SimTime) {
+        let thread = &mut self.threads[tid.index() as usize];
+        debug_assert!(
+            matches!(thread.state(), ThreadState::Blocked(_)),
+            "make_ready on non-blocked {tid}: {:?}",
+            thread.state()
+        );
+        if let (ThreadState::Blocked(BlockReason::External), Some(since)) =
+            (thread.state(), thread.blocked_since)
+        {
+            let waited = when.saturating_since(since);
+            self.metrics
+                .thread_mut(tid)
+                .lock_wait_us
+                .record(waited.as_us() as f64);
+        }
+        let thread = &mut self.threads[tid.index() as usize];
+        thread.blocked_since = None;
+        thread.set_state(ThreadState::Ready);
+        thread.ready_since = Some(when);
+        self.policy.enqueue(tid, when);
+        self.record_event(TraceEvent::Wake(tid));
+    }
+
+    /// Runs one dispatched thread until quantum expiry, yield, block, or
+    /// exit.
+    fn dispatch(&mut self, tid: ThreadId) {
+        let quantum = self.policy.quantum();
+        let switched = self.last_dispatched != Some(tid);
+        self.clock += self.dispatch_cost;
+        self.metrics.switch_overhead += self.dispatch_cost;
+        if switched && self.last_dispatched.is_some() {
+            self.clock += self.context_switch_cost;
+            self.metrics.switch_overhead += self.context_switch_cost;
+        }
+        self.last_dispatched = Some(tid);
+
+        let waited = {
+            let thread = &mut self.threads[tid.index() as usize];
+            let since = thread.ready_since.take().unwrap_or(self.clock);
+            thread.set_state(ThreadState::Running);
+            thread.quantum_used = SimDuration::ZERO;
+            self.clock.saturating_since(since)
+        };
+        self.metrics.record_dispatch(tid, waited, switched);
+        self.record_event(TraceEvent::Dispatch(tid));
+
+        let mut remaining = quantum;
+        loop {
+            // Refill the burst from the workload when exhausted.
+            if self.threads[tid.index() as usize].burst_remaining.is_zero() {
+                match self.next_burst(tid) {
+                    BurstOutcome::Continue => continue,
+                    BurstOutcome::EndQuantum(reason) => {
+                        self.end_quantum(tid, quantum, reason);
+                        return;
+                    }
+                }
+            }
+
+            // Run the burst for as long as the quantum allows.
+            let thread = &mut self.threads[tid.index() as usize];
+            let slice = thread.burst_remaining.min(remaining);
+            debug_assert!(!slice.is_zero());
+            thread.burst_remaining -= slice;
+            thread.cpu_time += slice;
+            thread.quantum_used += slice;
+            self.clock += slice;
+            remaining -= slice;
+            let cpu_total = thread.cpu_time;
+            self.metrics.record_run(tid, self.clock, slice, cpu_total);
+
+            if remaining.is_zero() {
+                self.end_quantum(tid, quantum, EndReason::QuantumExpired);
+                return;
+            }
+        }
+    }
+
+    /// Asks the workload for its next action and applies it.
+    fn next_burst(&mut self, tid: ThreadId) -> BurstOutcome {
+        let burst = {
+            let thread = &mut self.threads[tid.index() as usize];
+            let ctx = WorkloadCtx {
+                now: self.clock,
+                cpu_time: thread.cpu_time,
+                current_request_service: thread.current_request.map(|m| m.service),
+            };
+            thread.workload_mut().next(&ctx)
+        };
+        match burst {
+            Burst::Run(d) => {
+                if d.is_zero() {
+                    // Zero-length runs are treated as yields to guarantee
+                    // forward progress.
+                    return BurstOutcome::EndQuantum(EndReason::Yielded);
+                }
+                self.threads[tid.index() as usize].burst_remaining = d;
+                BurstOutcome::Continue
+            }
+            Burst::Yield => BurstOutcome::EndQuantum(EndReason::Yielded),
+            Burst::Sleep(d) => {
+                self.block(tid, BlockReason::Timer);
+                self.schedule_wake(tid, self.clock + d);
+                BurstOutcome::EndQuantum(EndReason::Blocked)
+            }
+            Burst::Request { port, service } => {
+                self.block(tid, BlockReason::AwaitingReply { port });
+                let message = Message {
+                    client: tid,
+                    service,
+                    sent_at: self.clock,
+                };
+                if let Some(server) = self.ports[port.index() as usize].offer(message) {
+                    self.deliver(message, server);
+                }
+                BurstOutcome::EndQuantum(EndReason::Blocked)
+            }
+            Burst::Receive { port } => {
+                match self.ports[port.index() as usize].receive(tid) {
+                    Some(message) => {
+                        // A request was already queued: take it and keep
+                        // running within this quantum.
+                        self.threads[tid.index() as usize].current_request = Some(message);
+                        self.policy.transfer(message.client, tid);
+                        self.record_event(TraceEvent::Deliver {
+                            client: message.client,
+                            server: tid,
+                        });
+                        BurstOutcome::Continue
+                    }
+                    None => {
+                        self.block(tid, BlockReason::Receiving { port });
+                        BurstOutcome::EndQuantum(EndReason::Blocked)
+                    }
+                }
+            }
+            Burst::Reply => {
+                let message = self.threads[tid.index() as usize]
+                    .current_request
+                    .take()
+                    .expect("Burst::Reply with no request in service");
+                self.record_event(TraceEvent::Reply {
+                    client: message.client,
+                    server: tid,
+                });
+                self.policy.untransfer(message.client, tid);
+                // The client may have been killed while waiting; its
+                // reply then falls on the floor, as in real kernels.
+                if !self.threads[message.client.index() as usize].is_exited() {
+                    let response = self.clock.since(message.sent_at);
+                    self.metrics
+                        .record_rpc(message.client, self.clock, response);
+                    self.make_ready(message.client, self.clock);
+                }
+                BurstOutcome::Continue
+            }
+            Burst::Lock { lock } => {
+                if self.policy.lock(tid, lock) {
+                    BurstOutcome::Continue
+                } else {
+                    self.block(tid, BlockReason::External);
+                    BurstOutcome::EndQuantum(EndReason::Blocked)
+                }
+            }
+            Burst::Unlock { lock } => {
+                if let Some(next) = self.policy.unlock(tid, lock) {
+                    self.make_ready(next, self.clock);
+                }
+                BurstOutcome::Continue
+            }
+            Burst::Exit => {
+                let thread = &mut self.threads[tid.index() as usize];
+                thread.set_state(ThreadState::Exited);
+                BurstOutcome::EndQuantum(EndReason::Exited)
+            }
+        }
+    }
+
+    /// Finishes a dispatch: charges the policy and re-enqueues a still
+    /// runnable thread.
+    fn end_quantum(&mut self, tid: ThreadId, quantum: SimDuration, reason: EndReason) {
+        self.record_event(TraceEvent::QuantumEnd(tid, reason));
+        let used = self.threads[tid.index() as usize].quantum_used;
+        if used.is_zero() && reason == EndReason::Yielded {
+            // A thread that yields without consuming CPU would otherwise
+            // let the clock stand still forever; bill one microsecond of
+            // dispatch overhead, as a real kernel's trap cost would.
+            self.clock += SimDuration::from_us(1);
+        }
+        self.policy.charge(tid, used, quantum, reason);
+        match reason {
+            EndReason::QuantumExpired | EndReason::Yielded => {
+                if reason == EndReason::Yielded {
+                    self.metrics.thread_mut(tid).yields += 1;
+                }
+                let thread = &mut self.threads[tid.index() as usize];
+                thread.set_state(ThreadState::Ready);
+                thread.ready_since = Some(self.clock);
+                self.policy.enqueue(tid, self.clock);
+            }
+            EndReason::Blocked => {
+                self.metrics.thread_mut(tid).blocks += 1;
+            }
+            EndReason::Exited => {
+                self.policy.on_exit(tid);
+            }
+        }
+    }
+
+    /// Marks a running thread blocked.
+    fn block(&mut self, tid: ThreadId, reason: BlockReason) {
+        let thread = &mut self.threads[tid.index() as usize];
+        debug_assert_eq!(thread.state(), ThreadState::Running);
+        thread.blocked_since = Some(self.clock);
+        thread.set_state(ThreadState::Blocked(reason));
+    }
+
+    /// Delivers `message` to a server thread that was blocked in receive.
+    fn deliver(&mut self, message: Message, server: ThreadId) {
+        let thread = &mut self.threads[server.index() as usize];
+        debug_assert!(
+            matches!(
+                thread.state(),
+                ThreadState::Blocked(BlockReason::Receiving { .. })
+            ),
+            "delivery to non-receiving thread"
+        );
+        thread.current_request = Some(message);
+        self.policy.transfer(message.client, server);
+        self.record_event(TraceEvent::Deliver {
+            client: message.client,
+            server,
+        });
+        self.make_ready(server, self.clock);
+    }
+
+    /// Schedules a timer wake for `tid` at `when`.
+    fn schedule_wake(&mut self, tid: ThreadId, when: SimTime) {
+        self.seq += 1;
+        self.wakes.push(Reverse((when, self.seq, tid)));
+    }
+}
+
+enum BurstOutcome {
+    /// Keep executing within the current quantum.
+    Continue,
+    /// The dispatch is over for the given reason.
+    EndQuantum(EndReason),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::rr::RoundRobinPolicy;
+    use crate::workload::{ComputeBound, FiniteJob, IoBound, RpcClient, RpcServer, Scripted};
+
+    fn rr_kernel(quantum_ms: u64) -> Kernel<RoundRobinPolicy> {
+        Kernel::new(RoundRobinPolicy::new(SimDuration::from_ms(quantum_ms)))
+    }
+
+    #[test]
+    fn single_compute_thread_uses_all_cpu() {
+        let mut k = rr_kernel(100);
+        let t = k.spawn("cpu", Box::new(ComputeBound), ());
+        k.run_until(SimTime::from_secs(1));
+        assert_eq!(k.metrics().cpu_us(t), 1_000_000);
+        assert_eq!(k.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn round_robin_splits_cpu_evenly() {
+        let mut k = rr_kernel(100);
+        let a = k.spawn("a", Box::new(ComputeBound), ());
+        let b = k.spawn("b", Box::new(ComputeBound), ());
+        k.run_until(SimTime::from_secs(10));
+        let ra = k.metrics().cpu_us(a) as f64;
+        let rb = k.metrics().cpu_us(b) as f64;
+        assert!((ra / rb - 1.0).abs() < 0.02, "{ra} vs {rb}");
+    }
+
+    #[test]
+    fn finite_job_exits() {
+        let mut k = rr_kernel(100);
+        let t = k.spawn(
+            "job",
+            Box::new(FiniteJob::new(SimDuration::from_ms(250))),
+            (),
+        );
+        k.run_until(SimTime::from_secs(1));
+        assert!(k.thread(t).is_exited());
+        assert_eq!(k.metrics().cpu_us(t), 250_000);
+        assert_eq!(k.live_threads(), 0);
+        // The simulation stops early: nothing left to run.
+        assert_eq!(k.now(), SimTime::from_ms(250));
+    }
+
+    #[test]
+    fn sleeping_thread_wakes_and_idle_time_counted() {
+        let mut k = rr_kernel(100);
+        let t = k.spawn(
+            "io",
+            Box::new(IoBound::new(
+                SimDuration::from_ms(10),
+                SimDuration::from_ms(90),
+            )),
+            (),
+        );
+        k.run_until(SimTime::from_secs(1));
+        // 10 ms CPU per 100 ms period.
+        let cpu = k.metrics().cpu_us(t);
+        assert_eq!(cpu, 100_000, "10% duty cycle over 1s");
+        assert_eq!(k.metrics().idle, SimDuration::from_ms(900));
+    }
+
+    #[test]
+    fn run_until_is_resumable() {
+        let mut k = rr_kernel(100);
+        let t = k.spawn("cpu", Box::new(ComputeBound), ());
+        k.run_until(SimTime::from_ms(300));
+        let early = k.metrics().cpu_us(t);
+        k.run_until(SimTime::from_ms(600));
+        assert_eq!(k.metrics().cpu_us(t) - early, 300_000);
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let mut k = rr_kernel(100);
+        let port = k.create_port("db");
+        let server = k.spawn("server", Box::new(RpcServer::new(port)), ());
+        let client = k.spawn(
+            "client",
+            Box::new(RpcClient::new(
+                port,
+                SimDuration::from_ms(10),
+                SimDuration::from_ms(30),
+                Some(5),
+            )),
+            (),
+        );
+        k.run_until(SimTime::from_secs(5));
+        let m = k.metrics().thread(client).unwrap();
+        assert_eq!(m.rpcs_completed(), 5);
+        // Client thinks 10 ms per request; server burns 30 ms per request.
+        assert_eq!(k.metrics().cpu_us(client), 5 * 10_000);
+        assert_eq!(k.metrics().cpu_us(server), 5 * 30_000);
+        assert!(k.thread(client).is_exited());
+        // The server ends up parked in receive.
+        assert_eq!(k.port(port).idle_receivers(), 1);
+        assert_eq!(k.port(port).backlog(), 0);
+        // Response time ≈ service time (no contention).
+        assert!(m.response_us.mean() >= 30_000.0);
+    }
+
+    #[test]
+    fn rpc_queues_when_server_busy() {
+        let mut k = rr_kernel(100);
+        let port = k.create_port("db");
+        let _server = k.spawn("server", Box::new(RpcServer::new(port)), ());
+        let c1 = k.spawn(
+            "c1",
+            Box::new(RpcClient::new(
+                port,
+                SimDuration::ZERO,
+                SimDuration::from_ms(40),
+                Some(3),
+            )),
+            (),
+        );
+        let c2 = k.spawn(
+            "c2",
+            Box::new(RpcClient::new(
+                port,
+                SimDuration::ZERO,
+                SimDuration::from_ms(40),
+                Some(3),
+            )),
+            (),
+        );
+        k.run_until(SimTime::from_secs(5));
+        assert_eq!(k.metrics().thread(c1).unwrap().rpcs_completed(), 3);
+        assert_eq!(k.metrics().thread(c2).unwrap().rpcs_completed(), 3);
+    }
+
+    #[test]
+    fn context_switch_cost_accumulates() {
+        let mut k = rr_kernel(100);
+        k.set_context_switch_cost(SimDuration::from_us(100));
+        let _a = k.spawn("a", Box::new(ComputeBound), ());
+        let _b = k.spawn("b", Box::new(ComputeBound), ());
+        k.run_until(SimTime::from_secs(1));
+        assert!(k.metrics().switch_overhead > SimDuration::ZERO);
+        assert!(k.metrics().context_switches > 5);
+    }
+
+    #[test]
+    fn yield_keeps_thread_runnable() {
+        let mut k = rr_kernel(100);
+        let t = k.spawn(
+            "yielder",
+            Box::new(Scripted::repeat(vec![
+                Burst::Run(SimDuration::from_ms(10)),
+                Burst::Yield,
+            ])),
+            (),
+        );
+        k.run_until(SimTime::from_secs(1));
+        let m = k.metrics().thread(t).unwrap();
+        assert!(m.yields > 50, "yields: {}", m.yields);
+        assert_eq!(k.metrics().cpu_us(t), 1_000_000);
+    }
+
+    #[test]
+    fn zero_length_run_does_not_hang() {
+        let mut k = rr_kernel(100);
+        let _t = k.spawn(
+            "degenerate",
+            Box::new(Scripted::repeat(vec![Burst::Run(SimDuration::ZERO)])),
+            (),
+        );
+        k.run_until(SimTime::from_ms(100));
+        // Termination is the assertion: zero-length bursts become yields.
+    }
+
+    #[test]
+    fn idle_kernel_returns_immediately() {
+        let mut k = rr_kernel(100);
+        k.run_until(SimTime::from_secs(5));
+        assert_eq!(k.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn wake_past_deadline_stops_at_deadline() {
+        let mut k = rr_kernel(100);
+        let _t = k.spawn(
+            "sleeper",
+            Box::new(Scripted::once(vec![Burst::Sleep(SimDuration::from_secs(
+                10,
+            ))])),
+            (),
+        );
+        k.run_until(SimTime::from_secs(1));
+        assert_eq!(k.now(), SimTime::from_secs(1));
+        k.run_until(SimTime::from_secs(20));
+        assert!(k.now() >= SimTime::from_secs(10));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::sched::rr::RoundRobinPolicy;
+    use crate::trace::TraceEvent;
+    use crate::workload::{RpcClient, RpcServer, Scripted};
+
+    #[test]
+    fn trace_captures_rpc_sequence() {
+        let mut k = Kernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)));
+        k.enable_trace(64);
+        let port = k.create_port("svc");
+        let server = k.spawn("server", Box::new(RpcServer::new(port)), ());
+        let client = k.spawn(
+            "client",
+            Box::new(RpcClient::new(
+                port,
+                SimDuration::from_ms(5),
+                SimDuration::from_ms(10),
+                Some(1),
+            )),
+            (),
+        );
+        k.run_until(SimTime::from_secs(1));
+        let trace = k.trace().unwrap();
+        let kinds: Vec<TraceEvent> = trace.events().map(|&(_, e)| e).collect();
+        assert!(kinds.contains(&TraceEvent::Spawn(server)));
+        assert!(kinds.contains(&TraceEvent::Spawn(client)));
+        assert!(kinds.contains(&TraceEvent::Deliver { client, server }));
+        assert!(kinds.contains(&TraceEvent::Reply { client, server }));
+        // The delivery precedes the reply.
+        let deliver = kinds
+            .iter()
+            .position(|&e| e == TraceEvent::Deliver { client, server })
+            .unwrap();
+        let reply = kinds
+            .iter()
+            .position(|&e| e == TraceEvent::Reply { client, server })
+            .unwrap();
+        assert!(deliver < reply);
+        assert!(trace.for_thread(client).len() >= 4);
+    }
+
+    #[test]
+    fn trace_records_yields_and_wakes() {
+        let mut k = Kernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)));
+        k.enable_trace(16);
+        let t = k.spawn(
+            "sleeper",
+            Box::new(Scripted::once(vec![
+                Burst::Run(SimDuration::from_ms(10)),
+                Burst::Sleep(SimDuration::from_ms(20)),
+                Burst::Run(SimDuration::from_ms(10)),
+            ])),
+            (),
+        );
+        k.run_until(SimTime::from_secs(1));
+        let kinds: Vec<TraceEvent> = k.trace().unwrap().events().map(|&(_, e)| e).collect();
+        assert!(kinds.contains(&TraceEvent::QuantumEnd(t, EndReason::Blocked)));
+        assert!(kinds.contains(&TraceEvent::Wake(t)));
+        assert!(kinds.contains(&TraceEvent::QuantumEnd(t, EndReason::Exited)));
+    }
+
+    #[test]
+    fn disabled_trace_is_none() {
+        let k = Kernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)));
+        assert!(k.trace().is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Kernel and per-thread measurements.
+//!
+//! The paper's evaluation reports iteration counts over time windows
+//! (Figure 5), cumulative progress (Figures 6, 8, 9), query throughput and
+//! response times (Figure 7), and scheduling overhead (Section 5.6). The
+//! kernel feeds every dispatch into [`Metrics`]; the experiment harness
+//! reads these out.
+
+use std::collections::HashMap;
+
+use lottery_stats::{ProgressSeries, Summary};
+
+use crate::thread::ThreadId;
+use crate::time::{SimDuration, SimTime};
+
+/// Per-thread accounting.
+#[derive(Debug, Default)]
+pub struct ThreadMetrics {
+    /// Times this thread was dispatched.
+    pub dispatches: u64,
+    /// Cumulative CPU time, sampled after every run segment:
+    /// `(time_us, cpu_us)`.
+    pub cpu_series: ProgressSeries,
+    /// Ready-queue wait before each dispatch, in microseconds.
+    pub wait_us: Summary,
+    /// Completed synchronous RPCs: `(time_us, count)`.
+    pub rpc_series: ProgressSeries,
+    /// RPC response times, in microseconds (request sent to reply
+    /// received).
+    pub response_us: Summary,
+    /// Every completed RPC: `(completion time_us, response time_us)`.
+    pub responses: Vec<(u64, f64)>,
+    /// Kernel-mutex waiting times, in microseconds (block to handoff).
+    pub lock_wait_us: Summary,
+    /// Times the thread blocked.
+    pub blocks: u64,
+    /// Times the thread yielded with quantum remaining.
+    pub yields: u64,
+}
+
+impl ThreadMetrics {
+    /// Completed RPC count.
+    pub fn rpcs_completed(&self) -> u64 {
+        self.rpc_series.final_value() as u64
+    }
+
+    /// Final cumulative CPU time in microseconds.
+    pub fn cpu_us(&self) -> u64 {
+        self.cpu_series.final_value() as u64
+    }
+}
+
+/// Whole-kernel accounting.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    threads: HashMap<ThreadId, ThreadMetrics>,
+    /// Scheduling decisions made (one per dispatch).
+    pub decisions: u64,
+    /// Dispatches that switched to a different thread than last time.
+    pub context_switches: u64,
+    /// Total time the CPU sat idle.
+    pub idle: SimDuration,
+    /// Total time spent on context-switch overhead.
+    pub switch_overhead: SimDuration,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounting for one thread (creating it on first touch).
+    pub(crate) fn thread_mut(&mut self, tid: ThreadId) -> &mut ThreadMetrics {
+        self.threads.entry(tid).or_default()
+    }
+
+    /// Read-only per-thread metrics; `None` if the thread never ran.
+    pub fn thread(&self, tid: ThreadId) -> Option<&ThreadMetrics> {
+        self.threads.get(&tid)
+    }
+
+    /// Records a run segment: `tid` consumed `ran` ending at `now`, with
+    /// `cpu_total` being its lifetime CPU after the segment.
+    pub(crate) fn record_run(
+        &mut self,
+        tid: ThreadId,
+        now: SimTime,
+        ran: SimDuration,
+        cpu_total: SimDuration,
+    ) {
+        let _ = ran;
+        self.thread_mut(tid)
+            .cpu_series
+            .record(now.as_us(), cpu_total.as_us() as f64);
+    }
+
+    /// Records a dispatch and its ready-queue wait.
+    pub(crate) fn record_dispatch(&mut self, tid: ThreadId, waited: SimDuration, switched: bool) {
+        self.decisions += 1;
+        if switched {
+            self.context_switches += 1;
+        }
+        let t = self.thread_mut(tid);
+        t.dispatches += 1;
+        t.wait_us.record(waited.as_us() as f64);
+    }
+
+    /// Records a completed RPC for the client.
+    pub(crate) fn record_rpc(&mut self, client: ThreadId, now: SimTime, response: SimDuration) {
+        let t = self.thread_mut(client);
+        let count = t.rpc_series.final_value() + 1.0;
+        t.rpc_series.record(now.as_us(), count);
+        t.response_us.record(response.as_us() as f64);
+        t.responses.push((now.as_us(), response.as_us() as f64));
+    }
+
+    /// CPU time consumed by `tid` in microseconds (zero if unknown).
+    pub fn cpu_us(&self, tid: ThreadId) -> u64 {
+        self.thread(tid).map_or(0, ThreadMetrics::cpu_us)
+    }
+
+    /// The ratio of two threads' CPU consumption (`a / b`).
+    ///
+    /// Returns `None` when `b` has consumed nothing.
+    pub fn cpu_ratio(&self, a: ThreadId, b: ThreadId) -> Option<f64> {
+        let b_us = self.cpu_us(b);
+        (b_us > 0).then(|| self.cpu_us(a) as f64 / b_us as f64)
+    }
+
+    /// Per-window CPU rates for a thread (fraction of each window spent on
+    /// CPU), as Figure 5 plots.
+    pub fn cpu_window_shares(&self, tid: ThreadId, window: SimDuration, end: SimTime) -> Vec<f64> {
+        match self.thread(tid) {
+            Some(t) => t.cpu_series.window_rates(window.as_us(), end.as_us()),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId::from_index(0);
+    const T1: ThreadId = ThreadId::from_index(1);
+
+    #[test]
+    fn run_segments_accumulate() {
+        let mut m = Metrics::new();
+        m.record_run(
+            T0,
+            SimTime::from_ms(100),
+            SimDuration::from_ms(100),
+            SimDuration::from_ms(100),
+        );
+        m.record_run(
+            T0,
+            SimTime::from_ms(300),
+            SimDuration::from_ms(100),
+            SimDuration::from_ms(200),
+        );
+        assert_eq!(m.cpu_us(T0), 200_000);
+        assert_eq!(m.cpu_us(T1), 0);
+    }
+
+    #[test]
+    fn cpu_ratio() {
+        let mut m = Metrics::new();
+        m.record_run(
+            T0,
+            SimTime::from_ms(10),
+            SimDuration::from_ms(10),
+            SimDuration::from_ms(10),
+        );
+        m.record_run(
+            T1,
+            SimTime::from_ms(20),
+            SimDuration::from_ms(5),
+            SimDuration::from_ms(5),
+        );
+        assert_eq!(m.cpu_ratio(T0, T1), Some(2.0));
+        let empty = Metrics::new();
+        assert_eq!(empty.cpu_ratio(T0, T1), None);
+    }
+
+    #[test]
+    fn dispatch_accounting() {
+        let mut m = Metrics::new();
+        m.record_dispatch(T0, SimDuration::from_ms(3), true);
+        m.record_dispatch(T0, SimDuration::ZERO, false);
+        assert_eq!(m.decisions, 2);
+        assert_eq!(m.context_switches, 1);
+        let t = m.thread(T0).unwrap();
+        assert_eq!(t.dispatches, 2);
+        assert_eq!(t.wait_us.mean(), 1_500.0);
+    }
+
+    #[test]
+    fn rpc_accounting() {
+        let mut m = Metrics::new();
+        m.record_rpc(T0, SimTime::from_secs(1), SimDuration::from_ms(250));
+        m.record_rpc(T0, SimTime::from_secs(2), SimDuration::from_ms(750));
+        let t = m.thread(T0).unwrap();
+        assert_eq!(t.rpcs_completed(), 2);
+        assert_eq!(t.response_us.mean(), 500_000.0);
+    }
+
+    #[test]
+    fn window_shares() {
+        let mut m = Metrics::new();
+        // 50% duty cycle: 50 ms CPU per 100 ms window.
+        for i in 1..=10u64 {
+            m.record_run(
+                T0,
+                SimTime::from_ms(i * 100),
+                SimDuration::from_ms(50),
+                SimDuration::from_ms(i * 50),
+            );
+        }
+        let shares = m.cpu_window_shares(T0, SimDuration::from_ms(100), SimTime::from_ms(1000));
+        assert_eq!(shares.len(), 10);
+        for s in &shares[1..] {
+            assert!((s - 0.5).abs() < 1e-12, "{shares:?}");
+        }
+        assert!(m
+            .cpu_window_shares(T1, SimDuration::from_ms(100), SimTime::from_ms(1000))
+            .is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Fixed-priority scheduling.
+//!
+//! The absolute-priority baseline the paper argues against (Section 7): a
+//! higher-priority thread always preempts service to lower ones, resource
+//! rights do not vary smoothly, and starvation is built in. Mach keeps a
+//! few such threads (e.g. the Ethernet driver) even under the lottery
+//! prototype (Section 4).
+
+use std::collections::VecDeque;
+
+use super::{EndReason, Policy};
+use crate::thread::ThreadId;
+use crate::time::{SimDuration, SimTime};
+
+/// Number of priority levels (0 is most urgent, 31 least).
+pub const LEVELS: usize = 32;
+
+/// Strict-priority policy with round-robin within each level.
+#[derive(Debug)]
+pub struct FixedPriorityPolicy {
+    queues: Vec<VecDeque<ThreadId>>,
+    priority: Vec<u8>,
+    quantum: SimDuration,
+    ready: usize,
+}
+
+impl FixedPriorityPolicy {
+    /// Creates a fixed-priority policy with the given quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero quantum.
+    pub fn new(quantum: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        Self {
+            queues: (0..LEVELS).map(|_| VecDeque::new()).collect(),
+            priority: Vec::new(),
+            quantum,
+            ready: 0,
+        }
+    }
+
+    fn priority_of(&self, tid: ThreadId) -> usize {
+        usize::from(self.priority[tid.index() as usize])
+    }
+}
+
+impl Policy for FixedPriorityPolicy {
+    /// The thread's priority level, clamped to `LEVELS - 1`.
+    type Spec = u8;
+
+    fn on_spawn(&mut self, tid: ThreadId, priority: u8) {
+        let idx = tid.index() as usize;
+        if self.priority.len() <= idx {
+            self.priority.resize(idx + 1, LEVELS as u8 - 1);
+        }
+        self.priority[idx] = priority.min(LEVELS as u8 - 1);
+    }
+
+    fn on_exit(&mut self, tid: ThreadId) {
+        for q in &mut self.queues {
+            let before = q.len();
+            q.retain(|&t| t != tid);
+            self.ready -= before - q.len();
+        }
+    }
+
+    fn enqueue(&mut self, tid: ThreadId, _now: SimTime) {
+        let level = self.priority_of(tid);
+        self.queues[level].push_back(tid);
+        self.ready += 1;
+    }
+
+    fn pick(&mut self, _now: SimTime) -> Option<ThreadId> {
+        for q in &mut self.queues {
+            if let Some(tid) = q.pop_front() {
+                self.ready -= 1;
+                return Some(tid);
+            }
+        }
+        None
+    }
+
+    fn charge(&mut self, _tid: ThreadId, _used: SimDuration, _q: SimDuration, _why: EndReason) {}
+
+    fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId::from_index(0);
+    const T1: ThreadId = ThreadId::from_index(1);
+    const T2: ThreadId = ThreadId::from_index(2);
+
+    #[test]
+    fn higher_priority_always_first() {
+        let mut p = FixedPriorityPolicy::new(SimDuration::from_ms(10));
+        p.on_spawn(T0, 5);
+        p.on_spawn(T1, 1);
+        p.on_spawn(T2, 5);
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        p.enqueue(T2, SimTime::ZERO);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+        assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+        assert_eq!(p.pick(SimTime::ZERO), Some(T2));
+    }
+
+    #[test]
+    fn starvation_is_real() {
+        // The defining pathology: as long as T1 (high priority) is ready,
+        // T0 never runs.
+        let mut p = FixedPriorityPolicy::new(SimDuration::from_ms(10));
+        p.on_spawn(T0, 9);
+        p.on_spawn(T1, 0);
+        for _ in 0..100 {
+            p.enqueue(T1, SimTime::ZERO);
+            p.enqueue(T0, SimTime::ZERO);
+            assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+            assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+            // (popped both to reset for the next round)
+        }
+    }
+
+    #[test]
+    fn priority_clamped_to_levels() {
+        let mut p = FixedPriorityPolicy::new(SimDuration::from_ms(10));
+        p.on_spawn(T0, 200);
+        p.enqueue(T0, SimTime::ZERO);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+    }
+
+    #[test]
+    fn exit_maintains_ready_count() {
+        let mut p = FixedPriorityPolicy::new(SimDuration::from_ms(10));
+        p.on_spawn(T0, 3);
+        p.on_spawn(T1, 3);
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        assert_eq!(p.ready_len(), 2);
+        p.on_exit(T0);
+        assert_eq!(p.ready_len(), 1);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+    }
+}

@@ -1,0 +1,771 @@
+//! The lottery scheduling policy (Sections 2–4 of the paper).
+//!
+//! Each thread is a [`lottery_core`] client funded by one ticket
+//! denominated in a configurable currency. Every dispatch decision holds a
+//! lottery: a winning value is drawn between zero and the total base-unit
+//! value of the ready threads, and the run queue is walked accumulating
+//! each thread's value until the winner is found — exactly the prototype's
+//! procedure (Section 4.4).
+//!
+//! The policy implements the full mechanism set:
+//!
+//! * **currencies** — spawn threads into any currency of an arbitrary
+//!   acyclic funding graph (Figure 3);
+//! * **compensation tickets** — a thread that blocked or yielded with
+//!   quantum remaining competes with its value inflated by `q/used` until
+//!   its next dispatch (Section 4.5);
+//! * **ticket transfers** — RPC clients fund the server thread for the
+//!   duration of the call (Section 4.6);
+//! * **dynamic inflation** — [`LotteryPolicy::set_funding`] adjusts a
+//!   thread's ticket in place (Section 5.2's Monte-Carlo control).
+
+use std::collections::HashMap;
+
+use lottery_core::client::ClientId;
+use lottery_core::compensation;
+use lottery_core::currency::CurrencyId;
+use lottery_core::errors::Result;
+use lottery_core::ledger::{Ledger, Valuator};
+use lottery_core::lottery::tree::TreeLottery;
+use lottery_core::lottery::TicketPool;
+use lottery_core::mutex::{TicketMutex, WaiterFunding};
+use lottery_core::rng::{ParkMiller, SchedRng};
+use lottery_core::ticket::TicketId;
+use lottery_core::transfer::{lend, Transfer, TransferTarget};
+
+use super::{EndReason, LockId, Policy};
+use crate::thread::ThreadId;
+use crate::time::{SimDuration, SimTime};
+
+/// Ticket funding for a spawned thread.
+#[derive(Debug, Clone, Copy)]
+pub struct FundingSpec {
+    /// The currency the thread's funding ticket is denominated in.
+    pub currency: CurrencyId,
+    /// The ticket amount.
+    pub amount: u64,
+}
+
+impl FundingSpec {
+    /// A funding of `amount` tickets in `currency`.
+    pub fn new(currency: CurrencyId, amount: u64) -> Self {
+        Self { currency, amount }
+    }
+}
+
+/// Which winner-search structure the policy uses (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectStructure {
+    /// The prototype's list walk: every pick values the whole run queue
+    /// through the currency graph — always exact.
+    #[default]
+    List,
+    /// A partial-sum tree over cached client values, updated when threads
+    /// enqueue or when the policy itself changes funding: `O(log n)`
+    /// picks, "suitable as the basis of a distributed lottery scheduler".
+    ///
+    /// Exact whenever ready-thread values are independent (base-currency
+    /// funding, per-thread currencies). When ready threads *share* a
+    /// currency, a sibling's cached weight can lag by one enqueue while
+    /// activation transients shift the shared currency's active amount;
+    /// long-run proportions still converge to the allocation.
+    Tree,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ThreadFunding {
+    client: ClientId,
+    ticket: TicketId,
+    currency: CurrencyId,
+}
+
+/// The lottery scheduling policy.
+pub struct LotteryPolicy {
+    ledger: Ledger,
+    rng: ParkMiller,
+    quantum: SimDuration,
+    /// Per-thread funding, indexed by thread id.
+    threads: Vec<Option<ThreadFunding>>,
+    /// The ready queue, in scan order.
+    ready: Vec<ThreadId>,
+    /// Outstanding RPC transfers, keyed by (client, server).
+    transfers: HashMap<(ThreadId, ThreadId), Transfer>,
+    compensation_enabled: bool,
+    /// Lotteries held (for overhead accounting).
+    lotteries: u64,
+    structure: SelectStructure,
+    /// Cached-weight mirror of the ready queue, used in tree mode.
+    tree: TreeLottery<ThreadId, f64>,
+    /// Kernel mutexes (Section 6.1), scheduled by handoff lotteries.
+    locks: Vec<TicketMutex>,
+}
+
+impl LotteryPolicy {
+    /// Creates a lottery policy with the paper's 100 ms Mach quantum.
+    pub fn new(seed: u32) -> Self {
+        Self::with_quantum(seed, SimDuration::from_ms(100))
+    }
+
+    /// Creates a lottery policy with an explicit quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero quantum.
+    pub fn with_quantum(seed: u32, quantum: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        Self {
+            ledger: Ledger::new(),
+            rng: ParkMiller::new(seed),
+            quantum,
+            threads: Vec::new(),
+            ready: Vec::new(),
+            transfers: HashMap::new(),
+            compensation_enabled: true,
+            lotteries: 0,
+            structure: SelectStructure::List,
+            tree: TreeLottery::new(),
+            locks: Vec::new(),
+        }
+    }
+
+    /// Selects the winner-search structure (Section 4.2). Call before the
+    /// first enqueue; switching mid-run would desynchronize the tree's
+    /// cached weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if threads are already queued.
+    pub fn set_structure(&mut self, structure: SelectStructure) {
+        assert!(
+            self.ready.is_empty(),
+            "set_structure must precede scheduling"
+        );
+        self.structure = structure;
+    }
+
+    /// The active winner-search structure.
+    pub fn structure(&self) -> SelectStructure {
+        self.structure
+    }
+
+    /// Recomputes a ready thread's cached tree weight.
+    fn refresh_tree_weight(&mut self, tid: ThreadId) {
+        if self.structure != SelectStructure::Tree || !self.ready.contains(&tid) {
+            return;
+        }
+        let client = self.funding_info(tid).client;
+        let mut v = Valuator::new(&self.ledger);
+        let value = v.client_value(client).unwrap_or(0.0);
+        self.tree.insert(tid, value);
+    }
+
+    /// Disables compensation tickets — the Section 4.5 ablation, which
+    /// reproduces the anomaly where an interactive thread receives far
+    /// less than its entitled share.
+    pub fn set_compensation_enabled(&mut self, enabled: bool) {
+        self.compensation_enabled = enabled;
+    }
+
+    /// The base currency of this policy's ledger.
+    pub fn base_currency(&self) -> CurrencyId {
+        self.ledger.base()
+    }
+
+    /// Creates a currency backed by `amount` base-currency tickets.
+    pub fn create_currency(&mut self, name: &str, amount: u64) -> Result<CurrencyId> {
+        let cur = self.ledger.create_currency(name)?;
+        let backing = self.ledger.issue_root(self.ledger.base(), amount)?;
+        self.ledger.fund_currency(backing, cur)?;
+        Ok(cur)
+    }
+
+    /// Creates a currency backed by `amount` tickets of `parent` —
+    /// building deeper Figure 3 style graphs.
+    pub fn create_subcurrency(
+        &mut self,
+        name: &str,
+        parent: CurrencyId,
+        amount: u64,
+    ) -> Result<CurrencyId> {
+        let cur = self.ledger.create_currency(name)?;
+        let backing = self.ledger.issue_root(parent, amount)?;
+        self.ledger.fund_currency(backing, cur)?;
+        Ok(cur)
+    }
+
+    /// Changes the face amount of a thread's funding ticket — dynamic
+    /// ticket inflation/deflation (Section 3.2).
+    ///
+    /// Takes effect at the very next lottery.
+    pub fn set_funding(&mut self, tid: ThreadId, amount: u64) -> Result<()> {
+        let funding = self.funding_info(tid);
+        self.ledger.set_amount(funding.ticket, amount)?;
+        self.refresh_tree_weight(tid);
+        Ok(())
+    }
+
+    /// The face amount of a thread's funding ticket.
+    pub fn funding(&self, tid: ThreadId) -> u64 {
+        self.ledger
+            .ticket(self.funding_info(tid).ticket)
+            .map(|t| t.amount())
+            .unwrap_or(0)
+    }
+
+    /// The ledger client backing a thread.
+    pub fn client_of(&self, tid: ThreadId) -> ClientId {
+        self.funding_info(tid).client
+    }
+
+    /// A thread's current value in base units (including compensation).
+    pub fn value_of(&self, tid: ThreadId) -> f64 {
+        let mut v = Valuator::new(&self.ledger);
+        v.client_value(self.funding_info(tid).client).unwrap_or(0.0)
+    }
+
+    /// Read access to the underlying ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Write access to the underlying ledger, for experiments that
+    /// manipulate the currency graph directly.
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
+    }
+
+    /// Number of lotteries held so far.
+    pub fn lotteries_held(&self) -> u64 {
+        self.lotteries
+    }
+
+    fn funding_info(&self, tid: ThreadId) -> ThreadFunding {
+        self.threads
+            .get(tid.index() as usize)
+            .copied()
+            .flatten()
+            .expect("thread not registered with the lottery policy")
+    }
+}
+
+impl Policy for LotteryPolicy {
+    type Spec = FundingSpec;
+
+    /// Registers a thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec names a stale currency or a zero amount —
+    /// both are harness configuration bugs.
+    fn on_spawn(&mut self, tid: ThreadId, spec: FundingSpec) {
+        let client = self.ledger.create_client(format!("{tid}"));
+        let ticket = self
+            .ledger
+            .issue_root(spec.currency, spec.amount)
+            .expect("invalid funding spec");
+        self.ledger
+            .fund_client(ticket, client)
+            .expect("fresh client and ticket");
+        let idx = tid.index() as usize;
+        if self.threads.len() <= idx {
+            self.threads.resize(idx + 1, None);
+        }
+        self.threads[idx] = Some(ThreadFunding {
+            client,
+            ticket,
+            currency: spec.currency,
+        });
+    }
+
+    fn on_exit(&mut self, tid: ThreadId) {
+        let funding = self.funding_info(tid);
+        self.ready.retain(|&t| t != tid);
+        self.tree.remove(&tid);
+        self.ledger
+            .deactivate_client(funding.client)
+            .expect("client liveness");
+        self.ledger
+            .destroy_client_and_funding(funding.client)
+            .expect("client liveness");
+        self.threads[tid.index() as usize] = None;
+    }
+
+    fn enqueue(&mut self, tid: ThreadId, _now: SimTime) {
+        debug_assert!(!self.ready.contains(&tid), "double enqueue of {tid}");
+        let funding = self.funding_info(tid);
+        self.ledger
+            .activate_client(funding.client)
+            .expect("client liveness");
+        self.ready.push(tid);
+        if self.structure == SelectStructure::Tree {
+            let mut v = Valuator::new(&self.ledger);
+            let value = v.client_value(funding.client).unwrap_or(0.0);
+            self.tree.insert(tid, value);
+        }
+    }
+
+    fn pick(&mut self, _now: SimTime) -> Option<ThreadId> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        self.lotteries += 1;
+        if self.structure == SelectStructure::Tree {
+            // O(log n) descent over the partial-sum tree of cached
+            // weights; degenerate to FIFO when every weight is zero.
+            let tid = match self.tree.draw(&mut self.rng) {
+                Ok(&tid) => tid,
+                Err(_) => self.ready[0],
+            };
+            self.tree.remove(&tid);
+            let index = self
+                .ready
+                .iter()
+                .position(|&t| t == tid)
+                .expect("tree and ready queue agree");
+            self.ready.remove(index);
+            let funding = self.funding_info(tid);
+            compensation::clear(&mut self.ledger, funding.client).expect("client liveness");
+            return Some(tid);
+        }
+        // Value every ready client through the currency graph; the
+        // valuator memoizes currency values, so this is one graph walk.
+        let mut valuator = Valuator::new(&self.ledger);
+        let values: Vec<f64> = self
+            .ready
+            .iter()
+            .map(|&t| {
+                let client = self.threads[t.index() as usize]
+                    .expect("ready thread is registered")
+                    .client;
+                valuator.client_value(client).unwrap_or(0.0)
+            })
+            .collect();
+        let total: f64 = values.iter().sum();
+
+        let index = if total <= 0.0 {
+            // Every ready client is worthless (e.g. an unfunded currency).
+            // Degenerate to FIFO so the machine still makes progress.
+            0
+        } else {
+            // Figure 1: draw a winning value, walk the run queue summing
+            // client values in base units until the sum exceeds it.
+            let winning = self.rng.next_f64() * total;
+            let mut sum = 0.0;
+            let mut chosen = self.ready.len() - 1;
+            for (i, &v) in values.iter().enumerate() {
+                sum += v;
+                if winning < sum {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+
+        let tid = self.ready.remove(index);
+        let funding = self.funding_info(tid);
+        // The winner starts its quantum: revoke any compensation ticket.
+        // Its tickets stay *active* while it runs — it is using them —
+        // which keeps mutex-handoff valuations live; they are deactivated
+        // only when the thread blocks (Section 4.4).
+        compensation::clear(&mut self.ledger, funding.client).expect("client liveness");
+        Some(tid)
+    }
+
+    fn charge(&mut self, tid: ThreadId, used: SimDuration, quantum: SimDuration, why: EndReason) {
+        // A blocked thread leaves the run queue for good: deactivate its
+        // tickets so shared-currency values redistribute (Section 4.4).
+        if why == EndReason::Blocked {
+            let funding = self.funding_info(tid);
+            self.ledger
+                .deactivate_client(funding.client)
+                .expect("client liveness");
+        }
+        if !self.compensation_enabled {
+            return;
+        }
+        match why {
+            EndReason::Yielded | EndReason::Blocked => {
+                if used < quantum {
+                    let funding = self.funding_info(tid);
+                    compensation::grant(
+                        &mut self.ledger,
+                        funding.client,
+                        used.as_us().max(1),
+                        quantum.as_us(),
+                    )
+                    .expect("client liveness");
+                }
+            }
+            EndReason::QuantumExpired | EndReason::Exited => {}
+        }
+    }
+
+    fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    /// Lends the blocked client's ticket value to the server thread
+    /// (Section 4.6: "creating a new ticket denominated in the client's
+    /// currency" to fund the server).
+    fn transfer(&mut self, from: ThreadId, to: ThreadId) {
+        let from_funding = self.funding_info(from);
+        let to_funding = self.funding_info(to);
+        let amount = self
+            .ledger
+            .ticket(from_funding.ticket)
+            .map(|t| t.amount())
+            .unwrap_or(0);
+        if amount == 0 {
+            return;
+        }
+        let transfer = lend(
+            &mut self.ledger,
+            from_funding.currency,
+            amount,
+            TransferTarget::Client(to_funding.client),
+        )
+        .expect("transfer endpoints are live");
+        if let Some(stale) = self.transfers.insert((from, to), transfer) {
+            // A client cannot have two outstanding calls to one server,
+            // but unwind defensively rather than leak funding.
+            let _ = stale.repay(&mut self.ledger);
+        }
+        // A queued server thread just gained funding.
+        self.refresh_tree_weight(to);
+    }
+
+    /// Destroys the transfer ticket on reply.
+    fn untransfer(&mut self, from: ThreadId, to: ThreadId) {
+        if let Some(transfer) = self.transfers.remove(&(from, to)) {
+            transfer
+                .repay(&mut self.ledger)
+                .expect("transfer ticket is live");
+        }
+        self.refresh_tree_weight(to);
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Creates a lottery-scheduled kernel mutex: a mutex currency plus an
+    /// inheritance ticket (Section 6.1, Figure 10).
+    fn create_lock(&mut self) -> LockId {
+        let id = LockId::from_index(self.locks.len() as u32);
+        let mutex = TicketMutex::new(&mut self.ledger, &format!("kernel-lock{}", id.index()))
+            .expect("fresh mutex currency");
+        self.locks.push(mutex);
+        id
+    }
+
+    /// Acquires, or parks the thread as a waiter funding the mutex
+    /// currency with a transfer denominated in its own funding currency.
+    fn lock(&mut self, tid: ThreadId, lock: LockId) -> bool {
+        let funding = self.funding_info(tid);
+        let amount = self
+            .ledger
+            .ticket(funding.ticket)
+            .map(|t| t.amount())
+            .unwrap_or(1)
+            .max(1);
+        let waiter = WaiterFunding {
+            currency: funding.currency,
+            amount,
+        };
+        self.locks[lock.index() as usize]
+            .acquire(&mut self.ledger, funding.client, waiter)
+            .expect("lock endpoints are live")
+    }
+
+    /// Cancels the killed thread's lock waits, repaying its transfers.
+    fn cancel_lock_waits(&mut self, tid: ThreadId) {
+        let client = self.funding_info(tid).client;
+        for lock in &mut self.locks {
+            let _ = lock.cancel(&mut self.ledger, client);
+        }
+    }
+
+    /// Releases and holds the handoff lottery among the waiters, weighted
+    /// by their transferred funding; the winner's transfer is repaid and
+    /// it inherits the mutex's inheritance ticket.
+    fn unlock(&mut self, tid: ThreadId, lock: LockId) -> Option<ThreadId> {
+        let client = self.funding_info(tid).client;
+        let winner = self.locks[lock.index() as usize]
+            .release(&mut self.ledger, client, &mut self.rng)
+            .expect("release by the holder");
+        winner.map(|w| {
+            // Map the winning client back to its thread id.
+            self.threads
+                .iter()
+                .position(|f| f.map(|f| f.client) == Some(w))
+                .map(|i| ThreadId::from_index(i as u32))
+                .expect("winner is a registered thread")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId::from_index(0);
+    const T1: ThreadId = ThreadId::from_index(1);
+    const T2: ThreadId = ThreadId::from_index(2);
+
+    fn base_spec(policy: &LotteryPolicy, amount: u64) -> FundingSpec {
+        FundingSpec::new(policy.base_currency(), amount)
+    }
+
+    #[test]
+    fn picks_proportionally() {
+        let mut p = LotteryPolicy::new(42);
+        let s0 = base_spec(&p, 300);
+        let s1 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        let mut wins = [0u32; 2];
+        let n = 20_000;
+        for _ in 0..n {
+            p.enqueue(T0, SimTime::ZERO);
+            p.enqueue(T1, SimTime::ZERO);
+            let w = p.pick(SimTime::ZERO).unwrap();
+            wins[w.index() as usize] += 1;
+            // Reset the queue for the next independent lottery.
+            let other = p.pick(SimTime::ZERO).unwrap();
+            assert_ne!(w, other);
+        }
+        let share = f64::from(wins[0]) / f64::from(n);
+        assert!((share - 0.75).abs() < 0.01, "share {share}");
+        assert_eq!(p.lotteries_held(), 2 * n as u64);
+    }
+
+    #[test]
+    fn currencies_isolate_value() {
+        // Figure 3's flavor: two currencies funded 1:1 from base, with a
+        // different number of tickets issued inside each.
+        let mut p = LotteryPolicy::new(7);
+        let a = p.create_currency("A", 1000).unwrap();
+        let b = p.create_currency("B", 1000).unwrap();
+        p.on_spawn(T0, FundingSpec::new(a, 100));
+        p.on_spawn(T1, FundingSpec::new(b, 100));
+        p.on_spawn(T2, FundingSpec::new(b, 100));
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        p.enqueue(T2, SimTime::ZERO);
+        // A's single thread owns all of A: worth 1000. B's two threads
+        // split B: 500 each.
+        assert_eq!(p.value_of(T0), 1000.0);
+        assert_eq!(p.value_of(T1), 500.0);
+        assert_eq!(p.value_of(T2), 500.0);
+    }
+
+    #[test]
+    fn compensation_inflates_until_next_pick() {
+        let mut p = LotteryPolicy::new(5);
+        let s0 = base_spec(&p, 400);
+        p.on_spawn(T0, s0);
+        p.enqueue(T0, SimTime::ZERO);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+        // Used 20 ms of the 100 ms quantum, then blocked.
+        p.charge(
+            T0,
+            SimDuration::from_ms(20),
+            SimDuration::from_ms(100),
+            EndReason::Blocked,
+        );
+        p.enqueue(T0, SimTime::ZERO);
+        assert_eq!(p.value_of(T0), 2000.0, "Section 4.5's 5x example");
+        // Winning the next lottery revokes the compensation ticket.
+        assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+        p.enqueue(T0, SimTime::ZERO);
+        assert_eq!(p.value_of(T0), 400.0);
+    }
+
+    #[test]
+    fn compensation_can_be_disabled() {
+        let mut p = LotteryPolicy::new(5);
+        let s0 = base_spec(&p, 400);
+        p.on_spawn(T0, s0);
+        p.set_compensation_enabled(false);
+        p.enqueue(T0, SimTime::ZERO);
+        let _ = p.pick(SimTime::ZERO);
+        p.charge(
+            T0,
+            SimDuration::from_ms(20),
+            SimDuration::from_ms(100),
+            EndReason::Blocked,
+        );
+        p.enqueue(T0, SimTime::ZERO);
+        assert_eq!(p.value_of(T0), 400.0);
+    }
+
+    #[test]
+    fn transfer_funds_server_and_repays() {
+        let mut p = LotteryPolicy::new(5);
+        let s_client = base_spec(&p, 300);
+        let s_server = base_spec(&p, 100);
+        p.on_spawn(T0, s_client);
+        p.on_spawn(T1, s_server);
+        p.enqueue(T1, SimTime::ZERO);
+        // Client (blocked, inactive) transfers to the server.
+        p.transfer(T0, T1);
+        assert_eq!(p.value_of(T1), 400.0);
+        p.untransfer(T0, T1);
+        assert_eq!(p.value_of(T1), 100.0);
+        // Untransfer without a matching transfer is a no-op.
+        p.untransfer(T0, T1);
+        assert_eq!(p.value_of(T1), 100.0);
+    }
+
+    #[test]
+    fn set_funding_takes_effect_immediately() {
+        let mut p = LotteryPolicy::new(5);
+        let s0 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.enqueue(T0, SimTime::ZERO);
+        assert_eq!(p.funding(T0), 100);
+        p.set_funding(T0, 900).unwrap();
+        assert_eq!(p.funding(T0), 900);
+        assert_eq!(p.value_of(T0), 900.0);
+    }
+
+    #[test]
+    fn zero_value_pool_degenerates_to_fifo() {
+        let mut p = LotteryPolicy::new(5);
+        // A currency with no backing: its tickets are worth nothing.
+        let empty = p.ledger_mut().create_currency("empty").unwrap();
+        p.on_spawn(T0, FundingSpec::new(empty, 10));
+        p.on_spawn(T1, FundingSpec::new(empty, 10));
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+        assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+        assert_eq!(p.pick(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn exit_cleans_up_ledger() {
+        let mut p = LotteryPolicy::new(5);
+        let s0 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.enqueue(T0, SimTime::ZERO);
+        let clients_before = p.ledger().clients().count();
+        assert_eq!(clients_before, 1);
+        p.on_exit(T0);
+        assert_eq!(p.ledger().clients().count(), 0);
+        assert_eq!(p.ledger().tickets().count(), 0);
+        assert_eq!(p.ready_len(), 0);
+    }
+
+    #[test]
+    fn tree_structure_picks_proportionally() {
+        let mut p = LotteryPolicy::new(42);
+        p.set_structure(SelectStructure::Tree);
+        assert_eq!(p.structure(), SelectStructure::Tree);
+        let s0 = base_spec(&p, 300);
+        let s1 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        let mut wins = [0u32; 2];
+        let n = 20_000;
+        for _ in 0..n {
+            p.enqueue(T0, SimTime::ZERO);
+            p.enqueue(T1, SimTime::ZERO);
+            let w = p.pick(SimTime::ZERO).unwrap();
+            wins[w.index() as usize] += 1;
+            let other = p.pick(SimTime::ZERO).unwrap();
+            assert_ne!(w, other);
+        }
+        let share = f64::from(wins[0]) / f64::from(n);
+        assert!((share - 0.75).abs() < 0.01, "share {share}");
+    }
+
+    #[test]
+    fn tree_structure_tracks_dynamic_funding() {
+        let mut p = LotteryPolicy::new(11);
+        p.set_structure(SelectStructure::Tree);
+        let s0 = base_spec(&p, 100);
+        let s1 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        p.set_funding(T0, 900).unwrap();
+        let mut wins0 = 0u32;
+        let n = 10_000;
+        for _ in 0..n {
+            let w = p.pick(SimTime::ZERO).unwrap();
+            let other = p.pick(SimTime::ZERO).unwrap();
+            if w == T0 {
+                wins0 += 1;
+            }
+            p.enqueue(w, SimTime::ZERO);
+            p.enqueue(other, SimTime::ZERO);
+        }
+        let share = f64::from(wins0) / f64::from(n);
+        assert!((share - 0.9).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn tree_structure_exit_cleans_mirror() {
+        let mut p = LotteryPolicy::new(11);
+        p.set_structure(SelectStructure::Tree);
+        let s0 = base_spec(&p, 100);
+        let s1 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        p.on_exit(T0);
+        assert_eq!(p.ready_len(), 1);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+        assert_eq!(p.pick(SimTime::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_structure must precede scheduling")]
+    fn structure_change_mid_run_rejected() {
+        let mut p = LotteryPolicy::new(1);
+        let s0 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.enqueue(T0, SimTime::ZERO);
+        p.set_structure(SelectStructure::Tree);
+    }
+
+    #[test]
+    fn tree_zero_value_degenerates_to_fifo() {
+        let mut p = LotteryPolicy::new(5);
+        p.set_structure(SelectStructure::Tree);
+        let empty = p.ledger_mut().create_currency("empty").unwrap();
+        p.on_spawn(T0, FundingSpec::new(empty, 10));
+        p.on_spawn(T1, FundingSpec::new(empty, 10));
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+        assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+    }
+
+    #[test]
+    fn starvation_free_small_share() {
+        // A 1-of-101 client must still win within a few hundred draws
+        // (geometric distribution, E = 101).
+        let mut p = LotteryPolicy::new(99);
+        let s0 = base_spec(&p, 100);
+        let s1 = base_spec(&p, 1);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        let mut first_win = None;
+        for i in 0..2000 {
+            p.enqueue(T0, SimTime::ZERO);
+            p.enqueue(T1, SimTime::ZERO);
+            let w = p.pick(SimTime::ZERO).unwrap();
+            let _ = p.pick(SimTime::ZERO).unwrap();
+            if w == T1 {
+                first_win = Some(i);
+                break;
+            }
+        }
+        assert!(first_win.is_some(), "tiny share starved for 2000 draws");
+    }
+}

@@ -1,0 +1,142 @@
+//! Plain round-robin scheduling.
+//!
+//! The simplest baseline: a FIFO ready queue and a fixed quantum. Under
+//! unmodified Mach, "threads with equal priority are run round-robin"
+//! (Section 5.6, footnote 9) — this policy models that degenerate case and
+//! anchors the overhead comparisons.
+
+use std::collections::VecDeque;
+
+use super::{EndReason, LockId, Policy};
+use crate::thread::ThreadId;
+use crate::time::{SimDuration, SimTime};
+
+/// FIFO round-robin policy.
+#[derive(Debug)]
+pub struct RoundRobinPolicy {
+    queue: VecDeque<ThreadId>,
+    quantum: SimDuration,
+    /// FIFO kernel mutexes: (holder, waiters).
+    locks: Vec<(Option<ThreadId>, VecDeque<ThreadId>)>,
+}
+
+impl RoundRobinPolicy {
+    /// Creates a round-robin policy with the given quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero quantum; time could not advance.
+    pub fn new(quantum: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        Self {
+            queue: VecDeque::new(),
+            quantum,
+            locks: Vec::new(),
+        }
+    }
+}
+
+impl Policy for RoundRobinPolicy {
+    type Spec = ();
+
+    fn on_spawn(&mut self, _tid: ThreadId, _spec: ()) {}
+
+    fn on_exit(&mut self, tid: ThreadId) {
+        self.queue.retain(|&t| t != tid);
+    }
+
+    fn enqueue(&mut self, tid: ThreadId, _now: SimTime) {
+        debug_assert!(!self.queue.contains(&tid), "double enqueue of {tid}");
+        self.queue.push_back(tid);
+    }
+
+    fn pick(&mut self, _now: SimTime) -> Option<ThreadId> {
+        self.queue.pop_front()
+    }
+
+    fn charge(&mut self, _tid: ThreadId, _used: SimDuration, _q: SimDuration, _why: EndReason) {}
+
+    fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    fn ready_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// FIFO mutexes: handoff strictly in arrival order — the baseline
+    /// against the lottery mutex's proportional handoff.
+    fn create_lock(&mut self) -> LockId {
+        let id = LockId::from_index(self.locks.len() as u32);
+        self.locks.push((None, VecDeque::new()));
+        id
+    }
+
+    fn lock(&mut self, tid: ThreadId, lock: LockId) -> bool {
+        let (holder, waiters) = &mut self.locks[lock.index() as usize];
+        match holder {
+            None => {
+                debug_assert!(waiters.is_empty());
+                *holder = Some(tid);
+                true
+            }
+            Some(_) => {
+                waiters.push_back(tid);
+                false
+            }
+        }
+    }
+
+    fn unlock(&mut self, tid: ThreadId, lock: LockId) -> Option<ThreadId> {
+        let (holder, waiters) = &mut self.locks[lock.index() as usize];
+        debug_assert_eq!(*holder, Some(tid), "unlock by non-holder");
+        let next = waiters.pop_front();
+        *holder = next;
+        next
+    }
+
+    fn cancel_lock_waits(&mut self, tid: ThreadId) {
+        for (_, waiters) in &mut self.locks {
+            waiters.retain(|&t| t != tid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId::from_index(0);
+    const T1: ThreadId = ThreadId::from_index(1);
+    const T2: ThreadId = ThreadId::from_index(2);
+
+    #[test]
+    fn fifo_order() {
+        let mut p = RoundRobinPolicy::new(SimDuration::from_ms(10));
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        p.enqueue(T2, SimTime::ZERO);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+        assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+        p.enqueue(T0, SimTime::ZERO);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T2));
+        assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+        assert_eq!(p.pick(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn exit_removes_queued_thread() {
+        let mut p = RoundRobinPolicy::new(SimDuration::from_ms(10));
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        p.on_exit(T0);
+        assert_eq!(p.ready_len(), 1);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_rejected() {
+        let _ = RoundRobinPolicy::new(SimDuration::ZERO);
+    }
+}

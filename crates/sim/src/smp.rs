@@ -1,0 +1,391 @@
+//! A multiprocessor lottery kernel.
+//!
+//! Section 4.2 notes that the partial-sum tree "can also be used as the
+//! basis of a distributed lottery scheduler". [`SmpKernel`] explores that
+//! direction: `c` CPUs share one [`crate::sched::Policy`] run queue; each
+//! time a CPU finishes a quantum it holds the next lottery. Proportional
+//! sharing then applies to the *machine* — a client holding `t` of `T`
+//! tickets converges to `c · t/T` CPUs' worth of time, capped at one full
+//! CPU (a thread cannot run on two processors at once).
+//!
+//! Supported workload actions are [`Burst::Run`], [`Burst::Sleep`],
+//! [`Burst::Yield`], and [`Burst::Exit`]; the RPC verbs are a
+//! uniprocessor-kernel feature (see [`crate::kernel::Kernel`]).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::metrics::Metrics;
+use crate::sched::{EndReason, Policy};
+use crate::thread::{BlockReason, Thread, ThreadId, ThreadState};
+use crate::time::{SimDuration, SimTime};
+use crate::workload::{Burst, Workload, WorkloadCtx};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A CPU finished its dispatch and needs a new thread.
+    CpuFree { cpu: u32 },
+    /// A sleeping thread wakes.
+    Wake { tid: ThreadId },
+}
+
+/// A shared-run-queue multiprocessor kernel.
+pub struct SmpKernel<P: Policy> {
+    clock: SimTime,
+    threads: Vec<Thread>,
+    policy: P,
+    cpus: usize,
+    idle_cpus: Vec<u32>,
+    events: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
+    seq: u64,
+    metrics: Metrics,
+    /// Per-CPU busy time, for utilization accounting.
+    busy: Vec<SimDuration>,
+}
+
+impl<P: Policy> SmpKernel<P> {
+    /// Creates a kernel with `cpus` processors sharing `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero CPUs.
+    pub fn new(policy: P, cpus: usize) -> Self {
+        assert!(cpus > 0, "a machine needs at least one CPU");
+        Self {
+            clock: SimTime::ZERO,
+            threads: Vec::new(),
+            policy,
+            cpus,
+            idle_cpus: (0..cpus as u32).collect(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            metrics: Metrics::new(),
+            busy: vec![SimDuration::ZERO; cpus],
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> usize {
+        self.cpus
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The scheduling policy, mutably.
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Accumulated measurements.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Busy time of one CPU.
+    pub fn busy(&self, cpu: usize) -> SimDuration {
+        self.busy[cpu]
+    }
+
+    /// Machine utilization so far (busy CPU-time over capacity).
+    pub fn utilization(&self) -> f64 {
+        if self.clock == SimTime::ZERO {
+            return 0.0;
+        }
+        let busy: u64 = self.busy.iter().map(|d| d.as_us()).sum();
+        busy as f64 / (self.clock.as_us() as f64 * self.cpus as f64)
+    }
+
+    /// Spawns a ready thread.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        workload: Box<dyn Workload>,
+        spec: P::Spec,
+    ) -> ThreadId {
+        let tid = ThreadId::from_index(self.threads.len() as u32);
+        let mut thread = Thread::new(name, workload);
+        thread.ready_since = Some(self.clock);
+        self.threads.push(thread);
+        self.policy.on_spawn(tid, spec);
+        self.policy.enqueue(tid, self.clock);
+        self.kick_idle_cpus();
+        tid
+    }
+
+    /// Wakes every idle CPU to try a dispatch at the current time.
+    fn kick_idle_cpus(&mut self) {
+        while let Some(cpu) = self.idle_cpus.pop() {
+            self.seq += 1;
+            self.events
+                .push(Reverse((self.clock, self.seq, Event::CpuFree { cpu })));
+        }
+    }
+
+    /// Runs until the clock reaches `deadline` (in-flight quanta may
+    /// overshoot) or no thread is runnable or sleeping.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(&Reverse((when, _, event))) = self.events.peek() {
+            // Stop *at* the deadline: a dispatch beginning exactly there
+            // belongs to the next run_until slice (mirrors the
+            // uniprocessor kernel's `clock < deadline` loop condition).
+            if when >= deadline {
+                self.clock = deadline.max(self.clock);
+                return;
+            }
+            self.events.pop();
+            self.clock = self.clock.max(when);
+            match event {
+                Event::Wake { tid } => {
+                    if self.threads[tid.index() as usize].is_exited() {
+                        continue;
+                    }
+                    let thread = &mut self.threads[tid.index() as usize];
+                    thread.set_state(ThreadState::Ready);
+                    thread.ready_since = Some(self.clock);
+                    self.policy.enqueue(tid, self.clock);
+                    self.kick_idle_cpus();
+                }
+                Event::CpuFree { cpu } => match self.policy.pick(self.clock) {
+                    Some(tid) => self.dispatch(cpu, tid),
+                    None => self.idle_cpus.push(cpu),
+                },
+            }
+        }
+        self.clock = deadline.max(self.clock);
+    }
+
+    /// Runs one quantum of `tid` on `cpu`, computing the entire dispatch
+    /// synchronously and scheduling the CPU's next free event.
+    fn dispatch(&mut self, cpu: u32, tid: ThreadId) {
+        let quantum = self.policy.quantum();
+        let start = self.clock;
+        let waited = {
+            let thread = &mut self.threads[tid.index() as usize];
+            let since = thread.ready_since.take().unwrap_or(start);
+            thread.set_state(ThreadState::Running);
+            thread.quantum_used = SimDuration::ZERO;
+            start.saturating_since(since)
+        };
+        self.metrics.record_dispatch(tid, waited, true);
+
+        let mut elapsed = SimDuration::ZERO;
+        let mut remaining = quantum;
+        let reason = loop {
+            if self.threads[tid.index() as usize].burst_remaining.is_zero() {
+                let burst = {
+                    let thread = &mut self.threads[tid.index() as usize];
+                    let ctx = WorkloadCtx {
+                        now: start + elapsed,
+                        cpu_time: thread.cpu_time,
+                        current_request_service: None,
+                    };
+                    thread.workload_mut().next(&ctx)
+                };
+                match burst {
+                    Burst::Run(d) if !d.is_zero() => {
+                        self.threads[tid.index() as usize].burst_remaining = d;
+                        continue;
+                    }
+                    Burst::Run(_) | Burst::Yield => break EndReason::Yielded,
+                    Burst::Sleep(d) => {
+                        let thread = &mut self.threads[tid.index() as usize];
+                        thread.set_state(ThreadState::Blocked(BlockReason::Timer));
+                        self.seq += 1;
+                        self.events.push(Reverse((
+                            start + elapsed + d,
+                            self.seq,
+                            Event::Wake { tid },
+                        )));
+                        break EndReason::Blocked;
+                    }
+                    Burst::Exit => {
+                        self.threads[tid.index() as usize].set_state(ThreadState::Exited);
+                        break EndReason::Exited;
+                    }
+                    Burst::Request { .. }
+                    | Burst::Receive { .. }
+                    | Burst::Reply
+                    | Burst::Lock { .. }
+                    | Burst::Unlock { .. } => {
+                        panic!("RPC and mutex bursts are not supported on the SMP kernel")
+                    }
+                }
+            }
+            let thread = &mut self.threads[tid.index() as usize];
+            let slice = thread.burst_remaining.min(remaining);
+            thread.burst_remaining -= slice;
+            thread.cpu_time += slice;
+            thread.quantum_used += slice;
+            elapsed += slice;
+            remaining -= slice;
+            if remaining.is_zero() {
+                break EndReason::QuantumExpired;
+            }
+        };
+
+        let end = start + elapsed.max(SimDuration::from_us(1));
+        self.busy[cpu as usize] += elapsed;
+        let cpu_total = self.threads[tid.index() as usize].cpu_time;
+        self.metrics.record_run(tid, end, elapsed, cpu_total);
+        let used = self.threads[tid.index() as usize].quantum_used;
+        self.policy.charge(tid, used, quantum, reason);
+        match reason {
+            EndReason::QuantumExpired | EndReason::Yielded => {
+                // The thread occupies this CPU until `end`; re-enqueue it
+                // *then*, via an event, or another CPU could dispatch the
+                // same thread concurrently. The requeue event is pushed
+                // before the CpuFree event so this CPU can win it back.
+                self.seq += 1;
+                self.events
+                    .push(Reverse((end, self.seq, Event::Wake { tid })));
+            }
+            EndReason::Blocked => {
+                self.metrics.thread_mut(tid).blocks += 1;
+            }
+            EndReason::Exited => self.policy.on_exit(tid),
+        }
+        self.seq += 1;
+        self.events
+            .push(Reverse((end, self.seq, Event::CpuFree { cpu })));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::lottery::{FundingSpec, LotteryPolicy};
+    use crate::sched::rr::RoundRobinPolicy;
+    use crate::workload::{ComputeBound, FiniteJob, IoBound};
+
+    #[test]
+    fn two_cpus_run_two_threads_in_parallel() {
+        let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 2);
+        let a = k.spawn("a", Box::new(ComputeBound), ());
+        let b = k.spawn("b", Box::new(ComputeBound), ());
+        k.run_until(SimTime::from_secs(10));
+        assert_eq!(k.metrics().cpu_us(a), 10_000_000);
+        assert_eq!(k.metrics().cpu_us(b), 10_000_000);
+        assert!((k.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_threads_on_two_cpus_split_evenly() {
+        let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 2);
+        let tids: Vec<ThreadId> = (0..4)
+            .map(|i| k.spawn(format!("t{i}"), Box::new(ComputeBound), ()))
+            .collect();
+        k.run_until(SimTime::from_secs(10));
+        for &t in &tids {
+            let cpu = k.metrics().cpu_us(t);
+            assert!(
+                (cpu as i64 - 5_000_000).unsigned_abs() < 300_000,
+                "thread got {cpu}"
+            );
+        }
+    }
+
+    #[test]
+    fn lottery_shares_scale_to_machine_capacity() {
+        let policy = LotteryPolicy::new(7);
+        let base = policy.base_currency();
+        let mut k = SmpKernel::new(policy, 2);
+        // Tickets 1:1:1:1 over 2 CPUs -> each thread gets half a CPU.
+        let tids: Vec<ThreadId> = (0..4)
+            .map(|i| {
+                k.spawn(
+                    format!("t{i}"),
+                    Box::new(ComputeBound),
+                    FundingSpec::new(base, 100),
+                )
+            })
+            .collect();
+        k.run_until(SimTime::from_secs(120));
+        for &t in &tids {
+            let share = k.metrics().cpu_us(t) as f64 / 120e6;
+            assert!((share - 0.5).abs() < 0.05, "share {share}");
+        }
+    }
+
+    #[test]
+    fn dominant_client_caps_at_one_cpu() {
+        let policy = LotteryPolicy::new(7);
+        let base = policy.base_currency();
+        let mut k = SmpKernel::new(policy, 2);
+        let big = k.spawn(
+            "big",
+            Box::new(ComputeBound),
+            FundingSpec::new(base, 10_000),
+        );
+        let s1 = k.spawn("s1", Box::new(ComputeBound), FundingSpec::new(base, 100));
+        let s2 = k.spawn("s2", Box::new(ComputeBound), FundingSpec::new(base, 100));
+        k.run_until(SimTime::from_secs(60));
+        // `big` cannot exceed one CPU; the small clients share the other.
+        let big_share = k.metrics().cpu_us(big) as f64 / 60e6;
+        assert!((big_share - 1.0).abs() < 0.02, "big {big_share}");
+        let s1_share = k.metrics().cpu_us(s1) as f64 / 60e6;
+        let s2_share = k.metrics().cpu_us(s2) as f64 / 60e6;
+        assert!(
+            (s1_share + s2_share - 1.0).abs() < 0.02,
+            "{s1_share}+{s2_share}"
+        );
+    }
+
+    #[test]
+    fn sleepers_free_their_cpu() {
+        let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 2);
+        let io = k.spawn(
+            "io",
+            Box::new(IoBound::new(
+                SimDuration::from_ms(10),
+                SimDuration::from_ms(90),
+            )),
+            (),
+        );
+        let cpu = k.spawn("cpu", Box::new(ComputeBound), ());
+        k.run_until(SimTime::from_secs(10));
+        assert_eq!(k.metrics().cpu_us(io), 1_000_000, "10% duty");
+        assert_eq!(k.metrics().cpu_us(cpu), 10_000_000, "own CPU throughout");
+    }
+
+    #[test]
+    fn exit_frees_capacity() {
+        let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 2);
+        let short = k.spawn(
+            "short",
+            Box::new(FiniteJob::new(SimDuration::from_secs(1))),
+            (),
+        );
+        let t1 = k.spawn("t1", Box::new(ComputeBound), ());
+        let t2 = k.spawn("t2", Box::new(ComputeBound), ());
+        k.run_until(SimTime::from_secs(11));
+        assert!(k.threads[short.index() as usize].is_exited());
+        // Capacity: 22 CPU-seconds; short used 1; the rest split ~evenly.
+        let total = k.metrics().cpu_us(t1) + k.metrics().cpu_us(t2);
+        assert!(
+            (total as i64 - 21_000_000).abs() < 400_000,
+            "t1+t2 = {total}"
+        );
+    }
+
+    #[test]
+    fn idle_machine_stops() {
+        let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 4);
+        k.run_until(SimTime::from_secs(5));
+        assert_eq!(k.utilization(), 0.0);
+        assert_eq!(k.cpus(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_rejected() {
+        let _ = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 0);
+    }
+}

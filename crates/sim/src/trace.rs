@@ -1,0 +1,151 @@
+//! Scheduling event traces.
+//!
+//! A bounded ring of timestamped scheduler events, recorded by the kernel
+//! when enabled. Tests use traces to assert *sequences* of decisions
+//! (dispatch → block → wake → dispatch) rather than just aggregate
+//! counters, and experiment debugging uses them as a flight recorder.
+
+use std::collections::VecDeque;
+
+use crate::sched::EndReason;
+use crate::thread::ThreadId;
+use crate::time::SimTime;
+
+/// One scheduler event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A thread was created.
+    Spawn(ThreadId),
+    /// A thread was dispatched onto the CPU.
+    Dispatch(ThreadId),
+    /// A dispatch ended for the given reason.
+    QuantumEnd(ThreadId, EndReason),
+    /// A blocked thread became ready.
+    Wake(ThreadId),
+    /// A synchronous request was delivered to a server thread.
+    Deliver {
+        /// The blocked client.
+        client: ThreadId,
+        /// The server thread now working on its behalf.
+        server: ThreadId,
+    },
+    /// A reply completed an RPC.
+    Reply {
+        /// The client being woken.
+        client: ThreadId,
+        /// The server that served it.
+        server: ThreadId,
+    },
+}
+
+/// A bounded trace ring.
+#[derive(Debug, Default)]
+pub struct Trace {
+    ring: VecDeque<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back((at, event));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events concerning one thread, oldest first.
+    pub fn for_thread(&self, tid: ThreadId) -> Vec<(SimTime, TraceEvent)> {
+        self.ring
+            .iter()
+            .filter(|(_, e)| match *e {
+                TraceEvent::Spawn(t)
+                | TraceEvent::Dispatch(t)
+                | TraceEvent::QuantumEnd(t, _)
+                | TraceEvent::Wake(t) => t == tid,
+                TraceEvent::Deliver { client, server } | TraceEvent::Reply { client, server } => {
+                    client == tid || server == tid
+                }
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId::from_index(0);
+    const T1: ThreadId = ThreadId::from_index(1);
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut trace = Trace::new(2);
+        trace.record(SimTime::from_ms(1), TraceEvent::Spawn(T0));
+        trace.record(SimTime::from_ms(2), TraceEvent::Dispatch(T0));
+        trace.record(SimTime::from_ms(3), TraceEvent::Wake(T1));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.dropped(), 1);
+        let first = trace.events().next().unwrap();
+        assert_eq!(first.1, TraceEvent::Dispatch(T0));
+    }
+
+    #[test]
+    fn for_thread_filters() {
+        let mut trace = Trace::new(8);
+        trace.record(SimTime::from_ms(1), TraceEvent::Dispatch(T0));
+        trace.record(SimTime::from_ms(2), TraceEvent::Dispatch(T1));
+        trace.record(
+            SimTime::from_ms(3),
+            TraceEvent::Deliver {
+                client: T0,
+                server: T1,
+            },
+        );
+        assert_eq!(trace.for_thread(T0).len(), 2);
+        assert_eq!(trace.for_thread(T1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Trace::new(0);
+    }
+}

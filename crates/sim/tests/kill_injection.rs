@@ -1,0 +1,234 @@
+//! Failure injection: threads killed in every blocking state, with full
+//! cleanup verified (no leaked tickets, no dangling waiters, no crashed
+//! servers).
+
+use lottery_sim::prelude::*;
+
+fn lottery_kernel(seed: u32) -> Kernel<LotteryPolicy> {
+    Kernel::new(LotteryPolicy::new(seed))
+}
+
+#[test]
+fn kill_ready_thread_cleans_ledger() {
+    let mut k = lottery_kernel(1);
+    let base = k.policy().base_currency();
+    let a = k.spawn("a", Box::new(ComputeBound), FundingSpec::new(base, 100));
+    let b = k.spawn("b", Box::new(ComputeBound), FundingSpec::new(base, 100));
+    k.run_until(SimTime::from_secs(1));
+    k.kill(a);
+    assert!(k.thread(a).is_exited());
+    assert_eq!(k.policy().ledger().clients().count(), 1);
+    assert_eq!(k.policy().ledger().tickets().count(), 1);
+    // The survivor now owns the whole machine.
+    let before = k.metrics().cpu_us(b);
+    k.run_until(SimTime::from_secs(2));
+    assert_eq!(k.metrics().cpu_us(b) - before, 1_000_000);
+    // Idempotent.
+    k.kill(a);
+}
+
+#[test]
+fn kill_sleeping_thread_ignores_pending_wake() {
+    let mut k = lottery_kernel(2);
+    let base = k.policy().base_currency();
+    let sleeper = k.spawn(
+        "sleeper",
+        Box::new(IoBound::new(
+            SimDuration::from_ms(10),
+            SimDuration::from_secs(5),
+        )),
+        FundingSpec::new(base, 100),
+    );
+    let _worker = k.spawn(
+        "worker",
+        Box::new(ComputeBound),
+        FundingSpec::new(base, 100),
+    );
+    k.run_until(SimTime::from_secs(1));
+    assert!(matches!(k.thread(sleeper).state(), ThreadState::Blocked(_)));
+    k.kill(sleeper);
+    // The wake event at t=5s fires into an exited thread: must not panic
+    // or resurrect it.
+    k.run_until(SimTime::from_secs(10));
+    assert!(k.thread(sleeper).is_exited());
+    assert_eq!(k.metrics().cpu_us(sleeper), 10_000);
+}
+
+#[test]
+fn kill_rpc_client_mid_service_drops_reply() {
+    let mut k = lottery_kernel(3);
+    let base = k.policy().base_currency();
+    let port = k.create_port("svc");
+    let server = k.spawn(
+        "server",
+        Box::new(RpcServer::new(port)),
+        FundingSpec::new(base, 1),
+    );
+    let client = k.spawn(
+        "client",
+        Box::new(RpcClient::new(
+            port,
+            SimDuration::from_ms(10),
+            SimDuration::from_secs(4),
+            None,
+        )),
+        FundingSpec::new(base, 400),
+    );
+    // Let the request get delivered and partially served.
+    k.run_until(SimTime::from_secs(1));
+    assert!(matches!(k.thread(client).state(), ThreadState::Blocked(_)));
+    k.kill(client);
+    // The server finishes the 4 s of work and replies into the void.
+    k.run_until(SimTime::from_secs(10));
+    assert!(k.thread(client).is_exited());
+    assert!(k.metrics().cpu_us(server) >= 4_000_000);
+    // The transfer was repaid and the dead client's objects are gone:
+    // only the server's funding ticket remains.
+    assert_eq!(k.policy().ledger().tickets().count(), 1);
+    assert_eq!(k.policy().ledger().clients().count(), 1);
+    // The server is parked again, healthy.
+    assert_eq!(k.port(port).idle_receivers(), 1);
+}
+
+#[test]
+fn kill_rpc_client_with_queued_message_purges_it() {
+    let mut k = lottery_kernel(4);
+    let base = k.policy().base_currency();
+    let port = k.create_port("svc");
+    let _server = k.spawn(
+        "server",
+        Box::new(RpcServer::new(port)),
+        FundingSpec::new(base, 1),
+    );
+    // The first client occupies the server before the second exists, so
+    // the second's request is guaranteed to queue undelivered.
+    let busy = k.spawn(
+        "busy",
+        Box::new(RpcClient::new(
+            port,
+            SimDuration::ZERO,
+            SimDuration::from_secs(5),
+            None,
+        )),
+        FundingSpec::new(base, 100),
+    );
+    k.run_until(SimTime::from_ms(500));
+    assert_eq!(k.port(port).backlog(), 0, "busy's request is in service");
+    let doomed = k.spawn(
+        "doomed",
+        Box::new(RpcClient::new(
+            port,
+            SimDuration::ZERO,
+            SimDuration::from_secs(5),
+            None,
+        )),
+        FundingSpec::new(base, 100),
+    );
+    k.run_until(SimTime::from_secs(1));
+    assert_eq!(k.port(port).backlog(), 1, "second request is queued");
+    k.kill(doomed);
+    assert_eq!(k.port(port).backlog(), 0, "queued request purged");
+    // The server must keep cycling on the surviving client only.
+    k.run_until(SimTime::from_secs(30));
+    let m = k.metrics().thread(busy).unwrap();
+    assert!(m.rpcs_completed() >= 4, "{}", m.rpcs_completed());
+}
+
+#[test]
+fn kill_receiving_server_leaves_port_consistent() {
+    let mut k = lottery_kernel(5);
+    let base = k.policy().base_currency();
+    let port = k.create_port("svc");
+    let w1 = k.spawn(
+        "w1",
+        Box::new(RpcServer::new(port)),
+        FundingSpec::new(base, 1),
+    );
+    let w2 = k.spawn(
+        "w2",
+        Box::new(RpcServer::new(port)),
+        FundingSpec::new(base, 1),
+    );
+    k.run_until(SimTime::from_secs(1));
+    assert_eq!(k.port(port).idle_receivers(), 2);
+    k.kill(w1);
+    assert_eq!(k.port(port).idle_receivers(), 1);
+    // A client's request must reach the surviving worker.
+    let client = k.spawn(
+        "client",
+        Box::new(RpcClient::new(
+            port,
+            SimDuration::ZERO,
+            SimDuration::from_ms(100),
+            Some(3),
+        )),
+        FundingSpec::new(base, 100),
+    );
+    k.run_until(SimTime::from_secs(5));
+    assert_eq!(k.metrics().thread(client).unwrap().rpcs_completed(), 3);
+    let _ = w2;
+}
+
+#[test]
+fn kill_lock_waiter_repays_its_transfer() {
+    let mut policy = LotteryPolicy::new(6);
+    let base = policy.base_currency();
+    let lock = policy.create_lock();
+    let mut k = Kernel::new(policy);
+    let holder = k.spawn(
+        "holder",
+        Box::new(MutexWorker::new(
+            lock,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+        )),
+        FundingSpec::new(base, 100),
+    );
+    k.run_until(SimTime::from_ms(100));
+    let waiter = k.spawn(
+        "waiter",
+        Box::new(MutexWorker::new(
+            lock,
+            SimDuration::from_ms(50),
+            SimDuration::from_ms(50),
+        )),
+        FundingSpec::new(base, 400),
+    );
+    k.run_until(SimTime::from_secs(1));
+    assert!(matches!(k.thread(waiter).state(), ThreadState::Blocked(_)));
+    // Holder value includes the waiter's 400 through the inheritance.
+    assert!((k.policy().value_of(holder) - 500.0).abs() < 1.0);
+
+    k.kill(waiter);
+    // The transfer is repaid: the holder is back to its own 100.
+    assert!((k.policy().value_of(holder) - 100.0).abs() < 1.0);
+    // The holder's future unlocks find no waiter and must not wake the
+    // dead thread.
+    k.run_until(SimTime::from_secs(30));
+    assert!(k.thread(waiter).is_exited());
+    assert!(k.metrics().cpu_us(holder) > 20_000_000);
+}
+
+#[test]
+fn kill_all_threads_stops_the_machine() {
+    let mut k = lottery_kernel(7);
+    let base = k.policy().base_currency();
+    let tids: Vec<ThreadId> = (0..4)
+        .map(|i| {
+            k.spawn(
+                format!("t{i}"),
+                Box::new(ComputeBound),
+                FundingSpec::new(base, 10),
+            )
+        })
+        .collect();
+    k.run_until(SimTime::from_secs(1));
+    for t in tids {
+        k.kill(t);
+    }
+    let now = k.now();
+    k.run_until(SimTime::from_secs(100));
+    assert_eq!(k.now(), now, "nothing left to run");
+    assert_eq!(k.live_threads(), 0);
+    assert_eq!(k.policy().ledger().tickets().count(), 0);
+}

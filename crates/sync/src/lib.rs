@@ -1,0 +1,18 @@
+//! # lottery-sync
+//!
+//! Lottery-scheduled synchronization resources (Section 6.1 of the paper).
+//!
+//! * [`sim_mutex`] — the mutex-currency / inheritance-ticket object,
+//!   implemented against a [`lottery_core::ledger::Ledger`] (Figure 10).
+//! * [`experiment`] — the discrete-event driver reproducing Figure 11's
+//!   acquisition counts and waiting-time histograms.
+//! * [`os_mutex`] — a lottery-handoff mutex for real OS threads, showing
+//!   the mechanism outside the simulator.
+
+pub mod experiment;
+pub mod os_mutex;
+pub mod sim_mutex;
+
+pub use experiment::{run as run_mutex_experiment, MutexExperiment, MutexReport};
+pub use os_mutex::{LotteryMutex, LotteryMutexGuard};
+pub use sim_mutex::{SimLotteryMutex, WaiterFunding};

@@ -1,0 +1,8 @@
+//! Re-export of the ledger-level lottery mutex object.
+//!
+//! The object itself lives in [`lottery_core::mutex`] so that the
+//! simulator's lottery policy can offer in-kernel mutexes without a
+//! circular dependency; this module preserves the `lottery-sync` API under
+//! the original names.
+
+pub use lottery_core::mutex::{TicketMutex as SimLotteryMutex, WaiterFunding};

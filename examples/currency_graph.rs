@@ -1,0 +1,71 @@
+//! Building and valuing a Figure 3 currency graph by hand.
+//!
+//! Shows the raw `lottery-core` API: currencies backed by other
+//! currencies' tickets, activation propagating through zero-crossings, and
+//! valuation in base units.
+//!
+//! Run with: `cargo run --example currency_graph`
+
+use lottery_core::prelude::*;
+
+fn main() -> Result<()> {
+    let mut ledger = Ledger::new();
+    let base = ledger.base();
+
+    // Users alice and bob split 3000 base units 1:2.
+    let alice = ledger.create_currency("alice")?;
+    let bob = ledger.create_currency("bob")?;
+    let a_back = ledger.issue_root(base, 1000)?;
+    let b_back = ledger.issue_root(base, 2000)?;
+    ledger.fund_currency(a_back, alice)?;
+    ledger.fund_currency(b_back, bob)?;
+
+    // Alice runs two tasks; bob runs one.
+    let task1 = ledger.create_currency("task1")?;
+    let task2 = ledger.create_currency("task2")?;
+    let task3 = ledger.create_currency("task3")?;
+    for (t, cur, amt) in [
+        (task1, alice, 100u64),
+        (task2, alice, 200),
+        (task3, bob, 100),
+    ] {
+        let ticket = ledger.issue_root(cur, amt)?;
+        ledger.fund_currency(ticket, t)?;
+    }
+
+    // Threads at the leaves.
+    let mut threads = Vec::new();
+    for (name, cur, amt) in [
+        ("thread1", task1, 100u64),
+        ("thread2", task2, 200),
+        ("thread3", task2, 300),
+        ("thread4", task3, 100),
+    ] {
+        let client = ledger.create_client(name);
+        let ticket = ledger.issue_root(cur, amt)?;
+        ledger.fund_client(ticket, client)?;
+        threads.push((name, client));
+    }
+
+    // thread1 stays blocked (task1 inactive); the rest are runnable.
+    for &(_, c) in &threads[1..] {
+        ledger.activate_client(c)?;
+    }
+
+    let mut v = Valuator::new(&ledger);
+    println!("client values in base units (paper: 0 / 400 / 600 / 2000):");
+    for &(name, c) in &threads {
+        println!("  {name}: {:.0}", v.client_value(c)?);
+    }
+
+    // Now wake thread1: alice's active amount doubles, halving her other
+    // task's value — all recomputed on the fly.
+    ledger.activate_client(threads[0].1)?;
+    let mut v = Valuator::new(&ledger);
+    println!("\nafter thread1 wakes (task1 activates):");
+    for &(name, c) in &threads {
+        println!("  {name}: {:.0}", v.client_value(c)?);
+    }
+    println!("\nalice's 1000 base units now split across both tasks; bob is untouched");
+    Ok(())
+}

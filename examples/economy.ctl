@@ -1,0 +1,30 @@
+# A two-user machine economy, in Section 4.7 commands.
+# Run with: cargo run -p lottery-ctl --bin lotteryctl < examples/economy.ctl
+
+# The admin gives alice twice bob's funding.
+mkcur alice
+mkcur bob
+mktkt alice_backing 2000 base
+mktkt bob_backing 1000 base
+fund alice_backing alice
+fund bob_backing bob
+
+# Alice runs a build and an editor, weighted 3:1 inside her currency.
+fundx 300 alice build
+fundx 100 alice editor
+
+# Bob runs a single simulation.
+fundx 100 bob sim
+
+# Inspect the economy.
+lscur
+lsproc
+value build
+value editor
+value sim
+
+# Bob's currency is his to inflate: a second job halves the first's value
+# without touching alice at all.
+fundx 100 bob sim2
+value sim
+value build

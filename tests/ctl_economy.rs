@@ -1,0 +1,90 @@
+//! Cross-crate: an economy built through the Section 4.7 command
+//! interface drives actual lotteries with the expected proportions.
+
+use lottery_core::ledger::Valuator;
+use lottery_core::lottery::{list::ListLottery, TicketPool};
+use lottery_core::rng::ParkMiller;
+use lottery_ctl::{ObjectRef, Session};
+
+/// Builds a two-user economy via commands, then draws 20,000 lotteries
+/// over the processes' ledger values.
+#[test]
+fn command_built_economy_draws_proportionally() {
+    let mut s = Session::new();
+    for line in [
+        "mkcur alice",
+        "mkcur bob",
+        "mktkt a_back 300 base",
+        "mktkt b_back 100 base",
+        "fund a_back alice",
+        "fund b_back bob",
+        "fundx 100 alice a_job",
+        "fundx 100 bob b_job",
+    ] {
+        s.eval(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+    }
+
+    let procs: Vec<_> = ["a_job", "b_job"]
+        .iter()
+        .map(|n| match s.lookup(n) {
+            Some(ObjectRef::Proc(c)) => (*n, c),
+            other => panic!("{n} resolved to {other:?}"),
+        })
+        .collect();
+
+    let mut valuator = Valuator::new(s.ledger());
+    let mut pool: ListLottery<&str, f64> = ListLottery::new();
+    for &(name, client) in &procs {
+        pool.insert(name, valuator.client_value(client).unwrap());
+    }
+    let mut rng = ParkMiller::new(42);
+    let mut wins = 0u32;
+    let n = 20_000;
+    for _ in 0..n {
+        if *pool.draw(&mut rng).unwrap() == "a_job" {
+            wins += 1;
+        }
+    }
+    let share = f64::from(wins) / f64::from(n);
+    assert!((share - 0.75).abs() < 0.01, "a_job share {share}");
+}
+
+/// The `dot` command renders the same economy as valid Graphviz.
+#[test]
+fn dot_renders_command_built_graph() {
+    let mut s = Session::new();
+    for line in [
+        "mkcur team",
+        "mktkt t 500 base",
+        "fund t team",
+        "fundx 100 team worker",
+    ] {
+        s.eval(line).unwrap();
+    }
+    let dot = s.eval("dot").unwrap();
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("team"));
+    assert!(dot.contains("worker"));
+    assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+}
+
+/// Deactivation through the command interface shifts lottery weight,
+/// consistent with ledger semantics.
+#[test]
+fn deactivate_command_redistributes_value() {
+    let mut s = Session::new();
+    for line in [
+        "mkcur pool",
+        "mktkt back 900 base",
+        "fund back pool",
+        "fundx 100 pool first",
+        "fundx 200 pool second",
+    ] {
+        s.eval(line).unwrap();
+    }
+    assert_eq!(s.eval("value first").unwrap(), "300.0");
+    assert_eq!(s.eval("value second").unwrap(), "600.0");
+    s.eval("deactivate second").unwrap();
+    assert_eq!(s.eval("value first").unwrap(), "900.0");
+    assert_eq!(s.eval("value second").unwrap(), "0.0");
+}

@@ -1,0 +1,136 @@
+//! Reproducibility: every experiment in the repository is a pure function
+//! of its seed.
+
+use lottery_apps::dbserver::{self, DbExperiment};
+use lottery_apps::dhrystone::{self, FairnessRun};
+use lottery_apps::insulation::{self, InsulationExperiment};
+use lottery_apps::montecarlo::{self, MonteCarloExperiment};
+use lottery_core::rng::{ParkMiller, SchedRng};
+use lottery_sim::prelude::*;
+use lottery_sync::experiment::{self, MutexExperiment};
+
+#[test]
+fn dhrystone_runs_reproduce() {
+    let cfg = FairnessRun {
+        duration: SimTime::from_secs(30),
+        ..FairnessRun::default()
+    };
+    let a = dhrystone::run_fairness(&cfg, SimDuration::from_secs(8));
+    let b = dhrystone::run_fairness(&cfg, SimDuration::from_secs(8));
+    assert_eq!(a.observed, b.observed);
+    assert_eq!(a.windows, b.windows);
+}
+
+#[test]
+fn dhrystone_seeds_differ() {
+    let mk = |seed| {
+        dhrystone::run_fairness(
+            &FairnessRun {
+                seed,
+                duration: SimTime::from_secs(30),
+                ..FairnessRun::default()
+            },
+            SimDuration::from_secs(8),
+        )
+        .windows
+    };
+    assert_ne!(mk(1), mk(2), "different seeds should differ in detail");
+}
+
+#[test]
+fn db_experiment_reproduces() {
+    let cfg = DbExperiment {
+        client_queries: vec![Some(3), None, None],
+        service: SimDuration::from_ms(1000),
+        duration: SimTime::from_secs(60),
+        ..DbExperiment::default()
+    };
+    let a = dbserver::run(&cfg);
+    let b = dbserver::run(&cfg);
+    for (x, y) in a.clients.iter().zip(&b.clients) {
+        assert_eq!(x.queries, y.queries);
+        assert_eq!(x.mean_response_secs, y.mean_response_secs);
+    }
+}
+
+#[test]
+fn montecarlo_reproduces() {
+    let cfg = MonteCarloExperiment {
+        starts: vec![SimTime::ZERO, SimTime::from_secs(10)],
+        duration: SimTime::from_secs(40),
+        ..MonteCarloExperiment::default()
+    };
+    let a = montecarlo::run(&cfg);
+    let b = montecarlo::run(&cfg);
+    assert_eq!(a.totals, b.totals);
+}
+
+#[test]
+fn insulation_reproduces() {
+    let cfg = InsulationExperiment {
+        duration: SimTime::from_secs(60),
+        intruder_at: SimTime::from_secs(30),
+        ..InsulationExperiment::default()
+    };
+    let a = insulation::run(&cfg);
+    let b = insulation::run(&cfg);
+    assert_eq!(a.before, b.before);
+    assert_eq!(a.after, b.after);
+}
+
+#[test]
+fn mutex_experiment_reproduces() {
+    let cfg = MutexExperiment {
+        duration_ms: 20_000,
+        ..MutexExperiment::default()
+    };
+    let a = experiment::run(&cfg);
+    let b = experiment::run(&cfg);
+    assert_eq!(a.groups[0].acquisitions, b.groups[0].acquisitions);
+    assert_eq!(a.groups[1].waiting_ms.mean(), b.groups[1].waiting_ms.mean());
+}
+
+#[test]
+fn park_miller_streams_are_stable() {
+    // A pinned prefix of the seed-1 stream: any change to the generator
+    // breaks every experiment's reproducibility, so pin it here too.
+    let mut rng = ParkMiller::new(1);
+    let prefix: Vec<u32> = (0..5).map(|_| rng.next_u31()).collect();
+    assert_eq!(
+        prefix,
+        vec![
+            16_806,
+            282_475_248,
+            1_622_650_072,
+            984_943_657,
+            1_144_108_929
+        ]
+    );
+}
+
+#[test]
+fn full_kernel_trace_is_seed_deterministic() {
+    let run = |seed: u32| -> Vec<u64> {
+        let policy = LotteryPolicy::new(seed);
+        let base = policy.base_currency();
+        let mut kernel = Kernel::new(policy);
+        let a = kernel.spawn("a", Box::new(ComputeBound), FundingSpec::new(base, 200));
+        let b = kernel.spawn(
+            "b",
+            Box::new(IoBound::new(
+                SimDuration::from_ms(20),
+                SimDuration::from_ms(80),
+            )),
+            FundingSpec::new(base, 100),
+        );
+        kernel.run_until(SimTime::from_secs(30));
+        vec![
+            kernel.metrics().cpu_us(a),
+            kernel.metrics().cpu_us(b),
+            kernel.metrics().decisions,
+            kernel.metrics().context_switches,
+        ]
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78));
+}

@@ -1,0 +1,165 @@
+//! End-to-end proportional-share guarantees across the whole stack:
+//! kernel + lottery policy + currency graph.
+
+use lottery_sim::prelude::*;
+
+/// Runs `n` compute-bound tasks with the given base-currency ticket
+/// amounts for `secs` seconds and returns their CPU shares.
+fn shares(tickets: &[u64], secs: u64, seed: u32) -> Vec<f64> {
+    let policy = LotteryPolicy::new(seed);
+    let base = policy.base_currency();
+    let mut kernel = Kernel::new(policy);
+    let tids: Vec<ThreadId> = tickets
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            kernel.spawn(
+                format!("t{i}"),
+                Box::new(ComputeBound),
+                FundingSpec::new(base, t),
+            )
+        })
+        .collect();
+    kernel.run_until(SimTime::from_secs(secs));
+    let total = kernel.now().as_us() as f64;
+    tids.iter()
+        .map(|&t| kernel.metrics().cpu_us(t) as f64 / total)
+        .collect()
+}
+
+#[test]
+fn shares_converge_for_every_integral_ratio() {
+    for ratio in 1..=10u64 {
+        let s = shares(&[ratio * 100, 100], 300, ratio as u32 * 7 + 1);
+        let expected = ratio as f64 / (ratio as f64 + 1.0);
+        assert!(
+            (s[0] - expected).abs() < 0.04,
+            "ratio {ratio}: share {} vs expected {expected}",
+            s[0]
+        );
+    }
+}
+
+#[test]
+fn many_equal_clients_split_evenly() {
+    let s = shares(&[50; 20], 600, 11);
+    for (i, &share) in s.iter().enumerate() {
+        assert!(
+            (share - 0.05).abs() < 0.015,
+            "client {i} got {share}, expected ~0.05"
+        );
+    }
+}
+
+#[test]
+fn tiny_share_does_not_starve() {
+    // 1 ticket against 1000: the small client still gets CPU (geometric
+    // first-win distribution guarantees progress).
+    let s = shares(&[1000, 1], 600, 3);
+    assert!(s[1] > 0.0, "1-in-1001 client starved");
+    assert!(
+        (s[1] - 1.0 / 1001.0).abs() < 3.0 / 1001.0,
+        "share {} far from 1/1001",
+        s[1]
+    );
+}
+
+#[test]
+fn accuracy_improves_with_duration() {
+    // Longer runs must track the allocation more tightly (binomial cv
+    // shrinks as 1/sqrt(lotteries)). Average over seeds to avoid a flaky
+    // single-sample comparison.
+    let mean_err = |secs: u64| -> f64 {
+        (0..10)
+            .map(|seed| {
+                let s = shares(&[300, 100], secs, 100 + seed);
+                (s[0] - 0.75).abs()
+            })
+            .sum::<f64>()
+            / 10.0
+    };
+    let short = mean_err(20);
+    let long = mean_err(500);
+    assert!(
+        long < short,
+        "500 s error {long} should beat 20 s error {short}"
+    );
+}
+
+#[test]
+fn currency_funded_tasks_match_direct_funding() {
+    // A task funded 100 tickets in a currency worth 300 base must behave
+    // like a task funded 300 base directly.
+    let mut policy = LotteryPolicy::new(17);
+    let base = policy.base_currency();
+    let cur = policy.create_currency("wrap", 300).unwrap();
+    let mut kernel = Kernel::new(policy);
+    let wrapped = kernel.spawn(
+        "wrapped",
+        Box::new(ComputeBound),
+        FundingSpec::new(cur, 100),
+    );
+    let direct = kernel.spawn(
+        "direct",
+        Box::new(ComputeBound),
+        FundingSpec::new(base, 300),
+    );
+    kernel.run_until(SimTime::from_secs(200));
+    let ratio = kernel.metrics().cpu_ratio(wrapped, direct).unwrap();
+    assert!((ratio - 1.0).abs() < 0.1, "ratio {ratio}");
+}
+
+#[test]
+fn stride_and_lottery_agree_on_long_run_shares() {
+    let lottery = shares(&[300, 100], 300, 5);
+
+    let mut kernel = Kernel::new(StridePolicy::new(SimDuration::from_ms(100)));
+    let a = kernel.spawn("a", Box::new(ComputeBound), 300u64);
+    let b = kernel.spawn("b", Box::new(ComputeBound), 100u64);
+    kernel.run_until(SimTime::from_secs(300));
+    let total = kernel.now().as_us() as f64;
+    let stride = [
+        kernel.metrics().cpu_us(a) as f64 / total,
+        kernel.metrics().cpu_us(b) as f64 / total,
+    ];
+    assert!(
+        (lottery[0] - stride[0]).abs() < 0.03,
+        "{lottery:?} vs {stride:?}"
+    );
+}
+
+#[test]
+fn timesharing_cannot_express_proportions() {
+    // The motivating gap: decay-usage timesharing equalizes compute-bound
+    // threads regardless of base priority, so a 2:1 intent is not
+    // expressible. (Priorities affect latency, not steady-state share.)
+    let mut kernel = Kernel::new(TimesharePolicy::new(SimDuration::from_ms(100)));
+    let hi = kernel.spawn("hi", Box::new(ComputeBound), 10u8);
+    let lo = kernel.spawn("lo", Box::new(ComputeBound), 14u8);
+    kernel.run_until(SimTime::from_secs(300));
+    let ratio = kernel.metrics().cpu_ratio(hi, lo).unwrap();
+    assert!(
+        ratio < 1.5,
+        "decay-usage flattened the priority gap to {ratio}; no proportional control"
+    );
+}
+
+#[test]
+fn dynamic_inflation_shifts_shares_immediately() {
+    let policy = LotteryPolicy::new(23);
+    let base = policy.base_currency();
+    let mut kernel = Kernel::new(policy);
+    let a = kernel.spawn("a", Box::new(ComputeBound), FundingSpec::new(base, 100));
+    let b = kernel.spawn("b", Box::new(ComputeBound), FundingSpec::new(base, 100));
+    kernel.run_until(SimTime::from_secs(100));
+    let a_before = kernel.metrics().cpu_us(a);
+
+    kernel.policy_mut().set_funding(a, 900).unwrap();
+    kernel.run_until(SimTime::from_secs(200));
+    let a_share_after = (kernel.metrics().cpu_us(a) - a_before) as f64 / 100_000_000.0;
+    assert!(
+        (a_share_after - 0.9).abs() < 0.05,
+        "after inflation a's share was {a_share_after}"
+    );
+    let _ = b;
+}
