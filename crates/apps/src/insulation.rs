@@ -137,13 +137,17 @@ mod tests {
         let r = run(&InsulationExperiment::default());
 
         // Phase 1: A1:A2 = 1:2 and B1:B2 = 1:2; A and B split evenly.
+        // The within-currency ratio is the noisiest statistic here (the
+        // small task wins ~250 of 1500 quanta before the intruder, so a
+        // 2-sigma excursion moves the ratio by ~0.3); keep the bound wide
+        // enough that an unlucky but unbiased sample path passes.
         assert!(
-            (r.before[1] / r.before[0] - 2.0).abs() < 0.25,
+            (r.before[1] / r.before[0] - 2.0).abs() < 0.35,
             "{:?}",
             r.before
         );
         assert!(
-            (r.before[3] / r.before[2] - 2.0).abs() < 0.25,
+            (r.before[3] / r.before[2] - 2.0).abs() < 0.35,
             "{:?}",
             r.before
         );

@@ -15,46 +15,58 @@ fn run_quanta<P: Policy>(kernel: &mut Kernel<P>, quanta: u64) {
 
 fn bench_lottery_flat(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch/lottery-flat");
-    for &n in &[2usize, 8, 32, 128] {
-        let policy = LotteryPolicy::new(1);
-        let base = policy.base_currency();
-        let mut kernel = Kernel::new(policy);
-        for i in 0..n {
-            kernel.spawn(
-                format!("t{i}"),
-                Box::new(ComputeBound),
-                FundingSpec::new(base, 100),
-            );
+    for &(label, structure) in &[
+        ("list", SelectStructure::List),
+        ("tree", SelectStructure::Tree),
+    ] {
+        for &n in &[2usize, 8, 32, 128] {
+            let mut policy = LotteryPolicy::new(1);
+            policy.set_structure(structure);
+            let base = policy.base_currency();
+            let mut kernel = Kernel::new(policy);
+            for i in 0..n {
+                kernel.spawn(
+                    format!("t{i}"),
+                    Box::new(ComputeBound),
+                    FundingSpec::new(base, 100),
+                );
+            }
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| run_quanta(&mut kernel, 1))
+            });
         }
-        group.throughput(Throughput::Elements(1));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| run_quanta(&mut kernel, 1))
-        });
     }
     group.finish();
 }
 
 fn bench_lottery_deep(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch/lottery-currency-depth");
-    for &depth in &[0usize, 2, 4, 8] {
-        let mut policy = LotteryPolicy::new(1);
-        let mut cur = policy.base_currency();
-        for d in 0..depth {
-            cur = policy
-                .create_subcurrency(&format!("level{d}"), cur, 1000)
-                .unwrap();
+    for &(label, structure) in &[
+        ("list", SelectStructure::List),
+        ("tree", SelectStructure::Tree),
+    ] {
+        for &depth in &[0usize, 2, 4, 8] {
+            let mut policy = LotteryPolicy::new(1);
+            policy.set_structure(structure);
+            let mut cur = policy.base_currency();
+            for d in 0..depth {
+                cur = policy
+                    .create_subcurrency(&format!("level{d}"), cur, 1000)
+                    .unwrap();
+            }
+            let mut kernel = Kernel::new(policy);
+            for i in 0..8 {
+                kernel.spawn(
+                    format!("t{i}"),
+                    Box::new(ComputeBound),
+                    FundingSpec::new(cur, 100),
+                );
+            }
+            group.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, _| {
+                b.iter(|| run_quanta(&mut kernel, 1))
+            });
         }
-        let mut kernel = Kernel::new(policy);
-        for i in 0..8 {
-            kernel.spawn(
-                format!("t{i}"),
-                Box::new(ComputeBound),
-                FundingSpec::new(cur, 100),
-            );
-        }
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| run_quanta(&mut kernel, 1))
-        });
     }
     group.finish();
 }

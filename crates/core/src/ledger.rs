@@ -28,7 +28,8 @@
 //! ledger.fund_currency(t, alice).unwrap();
 //! ```
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 
 use crate::arena::Arena;
 use crate::client::{Client, ClientId};
@@ -47,6 +48,72 @@ pub struct Ledger {
     clients: Arena<Client>,
     base: CurrencyId,
     epoch: u64,
+    /// Incremental valuation cache (interior mutability so reads through
+    /// `&Ledger` can memoize). See [`Ledger::cached_client_value`].
+    cache: RefCell<ValuationCache>,
+}
+
+/// Incrementally maintained currency/client values in base units.
+///
+/// An entry's *presence* is its validity: mutators remove exactly the
+/// entries whose values they may have changed (see [`mark_currency`]), and
+/// reads recompute absent entries on demand. The `dirty` set accumulates
+/// clients whose cached value was invalidated, as a change notification
+/// queue for schedulers that mirror client values into an external
+/// structure (a partial-sum tree); it is drained by
+/// [`Ledger::drain_dirty_clients`] and is independent of recomputation.
+#[derive(Debug, Default)]
+struct ValuationCache {
+    currencies: HashMap<CurrencyId, f64>,
+    clients: HashMap<ClientId, f64>,
+    dirty: HashSet<ClientId>,
+}
+
+/// Invalidates `start` and every cached entry downstream of it.
+///
+/// Downstream edges run from a currency through its *issued* tickets to the
+/// currencies or clients they fund — the reverse of the valuation
+/// dependency direction, so no extra edge storage is needed.
+///
+/// The walk stops at currencies with no cached entry. That early stop is
+/// sound because computation preserves the invariant *"a cached entry
+/// implies every currency whose value it read is also cached"*: computing a
+/// value memoizes its full upstream closure, and this walk removes the full
+/// cached downstream closure. An uncached currency therefore has no cached
+/// dependents left to invalidate.
+fn mark_currency(
+    tickets: &Arena<Ticket>,
+    currencies: &Arena<Currency>,
+    cache: &mut ValuationCache,
+    start: CurrencyId,
+) {
+    let mut work = vec![start];
+    while let Some(cur) = work.pop() {
+        if cache.currencies.remove(&cur).is_none() {
+            continue;
+        }
+        let Some(currency) = currencies.get(cur) else {
+            continue;
+        };
+        for &t in currency.issued() {
+            match tickets.get(t).map(Ticket::target) {
+                Some(FundingTarget::Currency(next)) => work.push(next),
+                Some(FundingTarget::Client(client)) => mark_client(cache, client),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Invalidates a client's cached value, queueing a dirty notification.
+///
+/// A client that was never cached has no dependents to notify: only
+/// schedulers that read a value (and thereby cached it) need to hear that
+/// it changed.
+fn mark_client(cache: &mut ValuationCache, client: ClientId) {
+    if cache.clients.remove(&client).is_some() {
+        cache.dirty.insert(client);
+    }
 }
 
 impl Default for Ledger {
@@ -66,6 +133,7 @@ impl Ledger {
             clients: Arena::new(),
             base,
             epoch: 0,
+            cache: RefCell::new(ValuationCache::default()),
         }
     }
 
@@ -177,6 +245,9 @@ impl Ledger {
             return Err(LotteryError::CurrencyInUse);
         }
         self.currencies.remove(id);
+        // An empty currency backs nothing, so removing its (necessarily
+        // zero) cached value cannot strand dependents.
+        self.cache.get_mut().currencies.remove(&id);
         self.bump();
         Ok(())
     }
@@ -198,6 +269,11 @@ impl Ledger {
             return Err(LotteryError::ClientInUse);
         }
         self.clients.remove(id);
+        // Purge both the cached value and any pending dirty notification:
+        // a destroyed client must never surface from the drain hook.
+        let cache = self.cache.get_mut();
+        cache.clients.remove(&id);
+        cache.dirty.remove(&id);
         self.bump();
         Ok(())
     }
@@ -273,9 +349,9 @@ impl Ledger {
         if amount == 0 {
             return Err(LotteryError::ZeroAmount);
         }
-        let (old, currency, active) = {
+        let (old, currency, active, target) = {
             let t = self.ticket(id)?;
-            (t.amount(), t.currency(), t.is_active())
+            (t.amount(), t.currency(), t.is_active(), t.target())
         };
         if old == amount {
             return Ok(());
@@ -293,6 +369,11 @@ impl Ledger {
             .get_mut(id)
             .expect("checked above")
             .set_amount(amount);
+        if active {
+            // The denomination's active amount shifted (diluting every
+            // sibling's share) and the ticket's own face value changed.
+            self.mark_ticket_change(currency, target);
+        }
         self.bump();
         Ok(())
     }
@@ -518,9 +599,9 @@ impl Ledger {
     fn activate_ticket(&mut self, id: TicketId) {
         let mut work = vec![id];
         while let Some(tid) = work.pop() {
-            let (amount, denom, already) = {
+            let (amount, denom, already, target) = {
                 let t = self.tickets.get(tid).expect("ticket liveness invariant");
-                (t.amount(), t.currency(), t.is_active())
+                (t.amount(), t.currency(), t.is_active(), t.target())
             };
             if already {
                 continue;
@@ -529,6 +610,7 @@ impl Ledger {
                 .get_mut(tid)
                 .expect("checked above")
                 .set_active(true);
+            self.mark_ticket_change(denom, target);
             let crossed = self
                 .currencies
                 .get_mut(denom)
@@ -550,9 +632,9 @@ impl Ledger {
     fn deactivate_ticket(&mut self, id: TicketId) {
         let mut work = vec![id];
         while let Some(tid) = work.pop() {
-            let (amount, denom, active) = {
+            let (amount, denom, active, target) = {
                 let t = self.tickets.get(tid).expect("ticket liveness invariant");
-                (t.amount(), t.currency(), t.is_active())
+                (t.amount(), t.currency(), t.is_active(), t.target())
             };
             if !active {
                 continue;
@@ -561,6 +643,7 @@ impl Ledger {
                 .get_mut(tid)
                 .expect("checked above")
                 .set_active(false);
+            self.mark_ticket_change(denom, target);
             let crossed = self
                 .currencies
                 .get_mut(denom)
@@ -599,9 +682,134 @@ impl Ledger {
             kind: ObjectKind::Client,
             handle: id.raw(),
         })?;
+        if client.compensation() == factor {
+            // No value changed; skip the epoch bump and cache invalidation
+            // (the dispatcher clears compensation on every pick, which is
+            // almost always already 1.0).
+            return Ok(());
+        }
         client.set_compensation(factor);
+        mark_client(self.cache.get_mut(), id);
         self.bump();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental valuation (cache-backed).
+    // ------------------------------------------------------------------
+
+    /// Invalidates everything a ticket's value change can reach: the
+    /// denomination's downstream subgraph (its active amount shifted) and
+    /// the ticket's own funding target.
+    ///
+    /// The target must be marked explicitly — not only via the
+    /// denomination — because the early-stopping invariant of
+    /// [`mark_currency`] only covers dependents that *read* the
+    /// denomination's value. A target valued while this ticket was
+    /// inactive (or a client funded by a base-denominated ticket) never
+    /// read it, yet its value changes with the ticket's.
+    fn mark_ticket_change(&mut self, denom: CurrencyId, target: FundingTarget) {
+        let cache = self.cache.get_mut();
+        mark_currency(&self.tickets, &self.currencies, cache, denom);
+        match target {
+            FundingTarget::Currency(c) => {
+                mark_currency(&self.tickets, &self.currencies, cache, c);
+            }
+            FundingTarget::Client(c) => mark_client(cache, c),
+            FundingTarget::Unfunded => {}
+        }
+    }
+
+    /// The value of `client` in base units (including compensation),
+    /// revalidating only cache entries invalidated since the last read.
+    ///
+    /// Semantically identical to a fresh [`Valuator::client_value`], but
+    /// amortized: a warm read is a hash lookup, and after a mutation only
+    /// the invalidated subgraph is walked again — so per-read cost is
+    /// independent of the currency graph's depth once warm.
+    pub fn cached_client_value(&self, client: ClientId) -> Result<f64> {
+        let mut cache = self.cache.borrow_mut();
+        self.compute_client_value(&mut cache, client)
+    }
+
+    /// The value of `currency` in base units, served from the incremental
+    /// cache (see [`Ledger::cached_client_value`]).
+    pub fn cached_currency_value(&self, currency: CurrencyId) -> Result<f64> {
+        let mut cache = self.cache.borrow_mut();
+        self.compute_currency_value(&mut cache, currency)
+    }
+
+    /// Drains the queue of clients whose cached value was invalidated
+    /// since the previous drain.
+    ///
+    /// Schedulers that mirror client values into an external structure
+    /// (e.g. a partial-sum tree) call this before each draw and refresh
+    /// exactly the returned clients. Order is unspecified; destroyed
+    /// clients never appear.
+    pub fn drain_dirty_clients(&mut self) -> Vec<ClientId> {
+        self.cache.get_mut().dirty.drain().collect()
+    }
+
+    /// Number of currently valid cached currency entries (for tests and
+    /// instrumentation).
+    pub fn cached_currency_entries(&self) -> usize {
+        self.cache.borrow().currencies.len()
+    }
+
+    fn compute_currency_value(
+        &self,
+        cache: &mut ValuationCache,
+        currency: CurrencyId,
+    ) -> Result<f64> {
+        if let Some(&v) = cache.currencies.get(&currency) {
+            return Ok(v);
+        }
+        let v = if currency == self.base {
+            self.currency(currency)?.active_amount() as f64
+        } else {
+            let mut sum = 0.0;
+            for &t in self.currency(currency)?.backing() {
+                if self.ticket(t)?.is_active() {
+                    sum += self.compute_ticket_value(cache, t)?;
+                }
+            }
+            sum
+        };
+        cache.currencies.insert(currency, v);
+        Ok(v)
+    }
+
+    fn compute_ticket_value(&self, cache: &mut ValuationCache, ticket: TicketId) -> Result<f64> {
+        let t = self.ticket(ticket)?;
+        if !t.is_active() {
+            return Ok(0.0);
+        }
+        let denom = t.currency();
+        let amount = t.amount() as f64;
+        if denom == self.base {
+            return Ok(amount);
+        }
+        let active = self.currency(denom)?.active_amount();
+        if active == 0 {
+            return Ok(0.0);
+        }
+        let cv = self.compute_currency_value(cache, denom)?;
+        Ok(cv * amount / active as f64)
+    }
+
+    fn compute_client_value(&self, cache: &mut ValuationCache, client: ClientId) -> Result<f64> {
+        if let Some(&v) = cache.clients.get(&client) {
+            return Ok(v);
+        }
+        let c = self.client(client)?;
+        let comp = c.compensation();
+        let mut sum = 0.0;
+        for &t in c.funding() {
+            sum += self.compute_ticket_value(cache, t)?;
+        }
+        let v = sum * comp;
+        cache.clients.insert(client, v);
+        Ok(v)
     }
 }
 
@@ -1058,6 +1266,187 @@ mod tests {
         let c = l.create_currency("c").unwrap();
         let _ = l.issue_root(c, u64::MAX).unwrap();
         assert_eq!(l.issue_root(c, 1), Err(LotteryError::AmountOverflow));
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+
+    /// Builds Figure 3's graph (as in `figure3_currency_graph`) and returns
+    /// (ledger, alice, task2, thread2, thread3, thread4, t_alice).
+    fn figure3() -> (Ledger, CurrencyId, CurrencyId, ClientId, ClientId, ClientId, TicketId) {
+        let mut l = Ledger::new();
+        let base = l.base();
+        let alice = l.create_currency("alice").unwrap();
+        let bob = l.create_currency("bob").unwrap();
+        let t_alice = l.issue_root(base, 1000).unwrap();
+        let t_bob = l.issue_root(base, 2000).unwrap();
+        l.fund_currency(t_alice, alice).unwrap();
+        l.fund_currency(t_bob, bob).unwrap();
+        let task2 = l.create_currency("task2").unwrap();
+        let task3 = l.create_currency("task3").unwrap();
+        let t_task2 = l.issue_root(alice, 200).unwrap();
+        let t_task3 = l.issue_root(bob, 100).unwrap();
+        l.fund_currency(t_task2, task2).unwrap();
+        l.fund_currency(t_task3, task3).unwrap();
+        let thread2 = l.create_client("thread2");
+        let thread3 = l.create_client("thread3");
+        let thread4 = l.create_client("thread4");
+        let f2 = l.issue_root(task2, 200).unwrap();
+        let f3 = l.issue_root(task2, 300).unwrap();
+        let f4 = l.issue_root(task3, 100).unwrap();
+        l.fund_client(f2, thread2).unwrap();
+        l.fund_client(f3, thread3).unwrap();
+        l.fund_client(f4, thread4).unwrap();
+        l.activate_client(thread2).unwrap();
+        l.activate_client(thread3).unwrap();
+        l.activate_client(thread4).unwrap();
+        (l, alice, task2, thread2, thread3, thread4, t_alice)
+    }
+
+    /// Fresh-Valuator oracle for a client's value.
+    fn oracle(l: &Ledger, c: ClientId) -> f64 {
+        let mut v = Valuator::new(l);
+        v.client_value(c).unwrap()
+    }
+
+    #[test]
+    fn cached_values_match_valuator() {
+        let (l, alice, _, t2, t3, t4, _) = figure3();
+        assert_eq!(l.cached_client_value(t2).unwrap(), 400.0);
+        assert_eq!(l.cached_client_value(t3).unwrap(), 600.0);
+        assert_eq!(l.cached_client_value(t4).unwrap(), 2000.0);
+        assert_eq!(l.cached_currency_value(alice).unwrap(), 1000.0);
+        // Warm re-reads agree bitwise with a fresh walk.
+        for c in [t2, t3, t4] {
+            assert_eq!(l.cached_client_value(c).unwrap(), oracle(&l, c));
+        }
+    }
+
+    #[test]
+    fn inflation_invalidates_only_affected_subgraph() {
+        let (mut l, _, _, t2, t3, t4, t_alice) = figure3();
+        for c in [t2, t3, t4] {
+            let _ = l.cached_client_value(c).unwrap();
+        }
+        let _ = l.drain_dirty_clients();
+        // Inflate the backing of alice: thread2/thread3 change; thread4
+        // (under bob) must not be disturbed.
+        l.set_amount(t_alice, 2000).unwrap();
+        let mut dirty = l.drain_dirty_clients();
+        dirty.sort();
+        let mut expected = vec![t2, t3];
+        expected.sort();
+        assert_eq!(dirty, expected);
+        assert_eq!(l.cached_client_value(t2).unwrap(), 800.0);
+        assert_eq!(l.cached_client_value(t3).unwrap(), 1200.0);
+        assert_eq!(l.cached_client_value(t4).unwrap(), 2000.0);
+    }
+
+    #[test]
+    fn activation_cascade_invalidates_shared_siblings() {
+        let (mut l, _, _, t2, t3, t4, _) = figure3();
+        for c in [t2, t3, t4] {
+            let _ = l.cached_client_value(c).unwrap();
+        }
+        let _ = l.drain_dirty_clients();
+        // Blocking thread2 frees its 200-ticket share of task2 for
+        // thread3; bob's side is untouched.
+        l.deactivate_client(t2).unwrap();
+        let dirty = l.drain_dirty_clients();
+        assert!(dirty.contains(&t2));
+        assert!(dirty.contains(&t3));
+        assert!(!dirty.contains(&t4));
+        assert_eq!(l.cached_client_value(t2).unwrap(), 0.0);
+        assert_eq!(l.cached_client_value(t3).unwrap(), 1000.0);
+        assert_eq!(l.cached_client_value(t3).unwrap(), oracle(&l, t3));
+    }
+
+    #[test]
+    fn compensation_invalidates_client_only() {
+        let (mut l, _, _, t2, t3, _, _) = figure3();
+        let _ = l.cached_client_value(t2).unwrap();
+        let _ = l.cached_client_value(t3).unwrap();
+        let _ = l.drain_dirty_clients();
+        l.set_compensation(t2, 5.0).unwrap();
+        assert_eq!(l.drain_dirty_clients(), vec![t2]);
+        assert_eq!(l.cached_client_value(t2).unwrap(), 2000.0);
+        // Clearing an already-clear factor is invisible to the cache.
+        l.set_compensation(t3, 1.0).unwrap();
+        assert!(l.drain_dirty_clients().is_empty());
+    }
+
+    #[test]
+    fn base_funded_client_sees_amount_changes() {
+        // A base-denominated funding ticket never reads the base
+        // currency's cached value, so the target itself must be marked.
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), 100).unwrap();
+        l.fund_client(t, c).unwrap();
+        l.activate_client(c).unwrap();
+        assert_eq!(l.cached_client_value(c).unwrap(), 100.0);
+        l.set_amount(t, 250).unwrap();
+        assert_eq!(l.cached_client_value(c).unwrap(), 250.0);
+    }
+
+    #[test]
+    fn activation_reaches_target_valued_while_ticket_was_inactive() {
+        // Value a currency while its backing ticket is inactive, then
+        // activate: the cached value must be invalidated even though the
+        // (uncached) denomination short-circuits the walk.
+        let mut l = Ledger::new();
+        let cur = l.create_currency("cur").unwrap();
+        let back = l.issue_root(l.base(), 500).unwrap();
+        l.fund_currency(back, cur).unwrap();
+        let c = l.create_client("c");
+        let t = l.issue_root(cur, 10).unwrap();
+        l.fund_client(t, c).unwrap();
+        assert_eq!(l.cached_client_value(c).unwrap(), 0.0);
+        assert_eq!(l.cached_currency_value(cur).unwrap(), 0.0);
+        l.activate_client(c).unwrap();
+        assert_eq!(l.cached_client_value(c).unwrap(), 500.0);
+        assert_eq!(l.cached_currency_value(cur).unwrap(), 500.0);
+    }
+
+    #[test]
+    fn destroyed_client_never_surfaces_dirty() {
+        let mut l = Ledger::new();
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), 10).unwrap();
+        l.fund_client(t, c).unwrap();
+        l.activate_client(c).unwrap();
+        let _ = l.cached_client_value(c).unwrap();
+        let _ = l.drain_dirty_clients();
+        l.destroy_client_and_funding(c).unwrap();
+        assert!(!l.drain_dirty_clients().contains(&c));
+    }
+
+    #[test]
+    fn funding_moves_invalidate_both_clients() {
+        let mut l = Ledger::new();
+        let a = l.create_client("a");
+        let b = l.create_client("b");
+        let t = l.issue_root(l.base(), 10).unwrap();
+        l.fund_client(t, a).unwrap();
+        l.activate_client(a).unwrap();
+        l.activate_client(b).unwrap();
+        assert_eq!(l.cached_client_value(a).unwrap(), 10.0);
+        assert_eq!(l.cached_client_value(b).unwrap(), 0.0);
+        l.fund_client(t, b).unwrap();
+        assert_eq!(l.cached_client_value(a).unwrap(), 0.0);
+        assert_eq!(l.cached_client_value(b).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn warm_reads_do_not_rewalk_the_graph() {
+        let (l, _, _, t2, _, _, _) = figure3();
+        let _ = l.cached_client_value(t2).unwrap();
+        let entries = l.cached_currency_entries();
+        assert!(entries >= 2, "alice and task2 memoized");
+        let _ = l.cached_client_value(t2).unwrap();
+        assert_eq!(l.cached_currency_entries(), entries);
     }
 }
 

@@ -25,7 +25,7 @@ use lottery_core::client::ClientId;
 use lottery_core::compensation;
 use lottery_core::currency::CurrencyId;
 use lottery_core::errors::Result;
-use lottery_core::ledger::{Ledger, Valuator};
+use lottery_core::ledger::Ledger;
 use lottery_core::lottery::tree::TreeLottery;
 use lottery_core::lottery::TicketPool;
 use lottery_core::mutex::{TicketMutex, WaiterFunding};
@@ -60,15 +60,17 @@ pub enum SelectStructure {
     /// through the currency graph — always exact.
     #[default]
     List,
-    /// A partial-sum tree over cached client values, updated when threads
-    /// enqueue or when the policy itself changes funding: `O(log n)`
-    /// picks, "suitable as the basis of a distributed lottery scheduler".
+    /// A partial-sum tree over client values: `O(log n)` picks, "suitable
+    /// as the basis of a distributed lottery scheduler".
     ///
-    /// Exact whenever ready-thread values are independent (base-currency
-    /// funding, per-thread currencies). When ready threads *share* a
-    /// currency, a sibling's cached weight can lag by one enqueue while
-    /// activation transients shift the shared currency's active amount;
-    /// long-run proportions still converge to the allocation.
+    /// Exact: leaf weights are fed by the ledger's incremental valuation
+    /// cache, and every ledger mutation queues invalidated clients on a
+    /// dirty list the policy drains before each draw — so even
+    /// shared-currency siblings (whose values shift when a co-holder
+    /// blocks or is granted compensation) are revalued before they can
+    /// influence a lottery. For a fixed seed, tree picks reproduce the
+    /// list walk's winner sequence whenever client values are exactly
+    /// representable.
     Tree,
 }
 
@@ -86,8 +88,15 @@ pub struct LotteryPolicy {
     quantum: SimDuration,
     /// Per-thread funding, indexed by thread id.
     threads: Vec<Option<ThreadFunding>>,
-    /// The ready queue, in scan order.
+    /// The ready queue, in scan order. Removal swap-removes so the order
+    /// always mirrors the tree lottery's leaf-slot order.
     ready: Vec<ThreadId>,
+    /// Membership index: thread id -> position in `ready`, `None` when not
+    /// queued. Replaces `O(n)` ready-queue scans.
+    ready_pos: Vec<Option<u32>>,
+    /// Reverse map from ledger clients to threads, for routing the
+    /// ledger's dirty-client notifications back to tree leaves.
+    client_threads: HashMap<ClientId, ThreadId>,
     /// Outstanding RPC transfers, keyed by (client, server).
     transfers: HashMap<(ThreadId, ThreadId), Transfer>,
     compensation_enabled: bool,
@@ -119,6 +128,8 @@ impl LotteryPolicy {
             quantum,
             threads: Vec::new(),
             ready: Vec::new(),
+            ready_pos: Vec::new(),
+            client_threads: HashMap::new(),
             transfers: HashMap::new(),
             compensation_enabled: true,
             lotteries: 0,
@@ -128,19 +139,26 @@ impl LotteryPolicy {
         }
     }
 
-    /// Selects the winner-search structure (Section 4.2). Call before the
-    /// first enqueue; switching mid-run would desynchronize the tree's
-    /// cached weights.
+    /// Selects the winner-search structure (Section 4.2).
     ///
-    /// # Panics
-    ///
-    /// Panics if threads are already queued.
+    /// May be called at any point, even mid-run with threads queued: the
+    /// partial-sum tree is rebuilt from the ready queue (in queue order,
+    /// so slot order and scan order stay mirrored) with exact values from
+    /// the ledger's valuation cache.
     pub fn set_structure(&mut self, structure: SelectStructure) {
-        assert!(
-            self.ready.is_empty(),
-            "set_structure must precede scheduling"
-        );
         self.structure = structure;
+        self.tree = TreeLottery::with_capacity(self.ready.len());
+        if structure == SelectStructure::Tree {
+            // Every ready weight is computed fresh below; notifications
+            // accumulated while the tree was dormant are obsolete.
+            let _ = self.ledger.drain_dirty_clients();
+            for i in 0..self.ready.len() {
+                let tid = self.ready[i];
+                let client = self.funding_info(tid).client;
+                let value = self.ledger.cached_client_value(client).unwrap_or(0.0);
+                self.tree.insert(tid, value);
+            }
+        }
     }
 
     /// The active winner-search structure.
@@ -148,15 +166,64 @@ impl LotteryPolicy {
         self.structure
     }
 
-    /// Recomputes a ready thread's cached tree weight.
-    fn refresh_tree_weight(&mut self, tid: ThreadId) {
-        if self.structure != SelectStructure::Tree || !self.ready.contains(&tid) {
-            return;
+    /// Whether a thread is on the ready queue (`O(1)`).
+    fn is_ready(&self, tid: ThreadId) -> bool {
+        self.ready_pos
+            .get(tid.index() as usize)
+            .copied()
+            .flatten()
+            .is_some()
+    }
+
+    /// Appends a thread to the ready queue, indexing its position.
+    fn push_ready(&mut self, tid: ThreadId) {
+        let idx = tid.index() as usize;
+        if self.ready_pos.len() <= idx {
+            self.ready_pos.resize(idx + 1, None);
         }
-        let client = self.funding_info(tid).client;
-        let mut v = Valuator::new(&self.ledger);
-        let value = v.client_value(client).unwrap_or(0.0);
-        self.tree.insert(tid, value);
+        debug_assert!(self.ready_pos[idx].is_none(), "double enqueue of {tid}");
+        self.ready_pos[idx] = Some(self.ready.len() as u32);
+        self.ready.push(tid);
+    }
+
+    /// Removes a thread from the ready queue in `O(1)`.
+    ///
+    /// Swap-removes — the same motion [`TreeLottery`]'s removal applies to
+    /// its leaf slots — so ready order and tree slot order stay identical
+    /// and list/tree lotteries walk clients in the same order.
+    fn remove_ready(&mut self, tid: ThreadId) -> bool {
+        let idx = tid.index() as usize;
+        let Some(pos) = self.ready_pos.get(idx).copied().flatten() else {
+            return false;
+        };
+        let pos = pos as usize;
+        self.ready.swap_remove(pos);
+        self.ready_pos[idx] = None;
+        if pos < self.ready.len() {
+            let moved = self.ready[pos];
+            self.ready_pos[moved.index() as usize] = Some(pos as u32);
+        }
+        true
+    }
+
+    /// Refreshes tree leaf weights for every client the ledger reports as
+    /// invalidated since the last draw.
+    ///
+    /// This is what makes tree mode *exact*: any mutation anywhere in the
+    /// currency graph — a sibling blocking, a compensation grant, an RPC
+    /// transfer — queues precisely the affected clients, and their leaves
+    /// are revalued (incrementally, through the cache) before the draw.
+    fn refresh_dirty_weights(&mut self) {
+        for client in self.ledger.drain_dirty_clients() {
+            let Some(&tid) = self.client_threads.get(&client) else {
+                continue;
+            };
+            if !self.is_ready(tid) {
+                continue;
+            }
+            let value = self.ledger.cached_client_value(client).unwrap_or(0.0);
+            self.tree.set_weight(&tid, value);
+        }
     }
 
     /// Disables compensation tickets — the Section 4.5 ablation, which
@@ -199,9 +266,9 @@ impl LotteryPolicy {
     /// Takes effect at the very next lottery.
     pub fn set_funding(&mut self, tid: ThreadId, amount: u64) -> Result<()> {
         let funding = self.funding_info(tid);
-        self.ledger.set_amount(funding.ticket, amount)?;
-        self.refresh_tree_weight(tid);
-        Ok(())
+        // Affected tree weights are refreshed lazily, from the ledger's
+        // dirty-client queue, at the next pick.
+        self.ledger.set_amount(funding.ticket, amount)
     }
 
     /// The face amount of a thread's funding ticket.
@@ -219,8 +286,9 @@ impl LotteryPolicy {
 
     /// A thread's current value in base units (including compensation).
     pub fn value_of(&self, tid: ThreadId) -> f64 {
-        let mut v = Valuator::new(&self.ledger);
-        v.client_value(self.funding_info(tid).client).unwrap_or(0.0)
+        self.ledger
+            .cached_client_value(self.funding_info(tid).client)
+            .unwrap_or(0.0)
     }
 
     /// Read access to the underlying ledger.
@@ -275,12 +343,14 @@ impl Policy for LotteryPolicy {
             ticket,
             currency: spec.currency,
         });
+        self.client_threads.insert(client, tid);
     }
 
     fn on_exit(&mut self, tid: ThreadId) {
         let funding = self.funding_info(tid);
-        self.ready.retain(|&t| t != tid);
+        self.remove_ready(tid);
         self.tree.remove(&tid);
+        self.client_threads.remove(&funding.client);
         self.ledger
             .deactivate_client(funding.client)
             .expect("client liveness");
@@ -291,15 +361,16 @@ impl Policy for LotteryPolicy {
     }
 
     fn enqueue(&mut self, tid: ThreadId, _now: SimTime) {
-        debug_assert!(!self.ready.contains(&tid), "double enqueue of {tid}");
         let funding = self.funding_info(tid);
         self.ledger
             .activate_client(funding.client)
             .expect("client liveness");
-        self.ready.push(tid);
+        self.push_ready(tid);
         if self.structure == SelectStructure::Tree {
-            let mut v = Valuator::new(&self.ledger);
-            let value = v.client_value(funding.client).unwrap_or(0.0);
+            // Exact: activation just invalidated the client (and any
+            // shared-currency siblings, refreshed at the next pick), so
+            // this read revalues precisely the changed subgraph.
+            let value = self.ledger.cached_client_value(funding.client).unwrap_or(0.0);
             self.tree.insert(tid, value);
         }
     }
@@ -309,60 +380,60 @@ impl Policy for LotteryPolicy {
             return None;
         }
         self.lotteries += 1;
-        if self.structure == SelectStructure::Tree {
-            // O(log n) descent over the partial-sum tree of cached
-            // weights; degenerate to FIFO when every weight is zero.
+        let tid = if self.structure == SelectStructure::Tree {
+            // Settle pending invalidations, then an O(log n) descent over
+            // the partial-sum tree; degenerate to FIFO when every weight
+            // is zero.
+            self.refresh_dirty_weights();
             let tid = match self.tree.draw(&mut self.rng) {
                 Ok(&tid) => tid,
                 Err(_) => self.ready[0],
             };
             self.tree.remove(&tid);
-            let index = self
+            self.remove_ready(tid);
+            tid
+        } else {
+            // Value every ready client via the incremental cache: a warm
+            // read per client, plus revalidation of whatever the ledger
+            // invalidated since the last pick.
+            let values: Vec<f64> = self
                 .ready
                 .iter()
-                .position(|&t| t == tid)
-                .expect("tree and ready queue agree");
-            self.ready.remove(index);
-            let funding = self.funding_info(tid);
-            compensation::clear(&mut self.ledger, funding.client).expect("client liveness");
-            return Some(tid);
-        }
-        // Value every ready client through the currency graph; the
-        // valuator memoizes currency values, so this is one graph walk.
-        let mut valuator = Valuator::new(&self.ledger);
-        let values: Vec<f64> = self
-            .ready
-            .iter()
-            .map(|&t| {
-                let client = self.threads[t.index() as usize]
-                    .expect("ready thread is registered")
-                    .client;
-                valuator.client_value(client).unwrap_or(0.0)
-            })
-            .collect();
-        let total: f64 = values.iter().sum();
+                .map(|&t| {
+                    let client = self.threads[t.index() as usize]
+                        .expect("ready thread is registered")
+                        .client;
+                    self.ledger.cached_client_value(client).unwrap_or(0.0)
+                })
+                .collect();
+            let total: f64 = values.iter().sum();
 
-        let index = if total <= 0.0 {
-            // Every ready client is worthless (e.g. an unfunded currency).
-            // Degenerate to FIFO so the machine still makes progress.
-            0
-        } else {
-            // Figure 1: draw a winning value, walk the run queue summing
-            // client values in base units until the sum exceeds it.
-            let winning = self.rng.next_f64() * total;
-            let mut sum = 0.0;
-            let mut chosen = self.ready.len() - 1;
-            for (i, &v) in values.iter().enumerate() {
-                sum += v;
-                if winning < sum {
-                    chosen = i;
-                    break;
+            let index = if total <= 0.0 {
+                // Every ready client is worthless (e.g. an unfunded
+                // currency). Degenerate to FIFO so the machine still
+                // makes progress.
+                0
+            } else {
+                // Figure 1: draw a winning value, walk the run queue
+                // summing client values in base units until the sum
+                // exceeds it.
+                let winning = self.rng.next_f64() * total;
+                let mut sum = 0.0;
+                let mut chosen = self.ready.len() - 1;
+                for (i, &v) in values.iter().enumerate() {
+                    sum += v;
+                    if winning < sum {
+                        chosen = i;
+                        break;
+                    }
                 }
-            }
-            chosen
-        };
+                chosen
+            };
 
-        let tid = self.ready.remove(index);
+            let tid = self.ready[index];
+            self.remove_ready(tid);
+            tid
+        };
         let funding = self.funding_info(tid);
         // The winner starts its quantum: revoke any compensation ticket.
         // Its tickets stay *active* while it runs — it is using them —
@@ -431,8 +502,8 @@ impl Policy for LotteryPolicy {
             // but unwind defensively rather than leak funding.
             let _ = stale.repay(&mut self.ledger);
         }
-        // A queued server thread just gained funding.
-        self.refresh_tree_weight(to);
+        // The server's gained funding reaches its tree leaf through the
+        // ledger's dirty-client queue at the next pick.
     }
 
     /// Destroys the transfer ticket on reply.
@@ -442,7 +513,6 @@ impl Policy for LotteryPolicy {
                 .repay(&mut self.ledger)
                 .expect("transfer ticket is live");
         }
-        self.refresh_tree_weight(to);
     }
 
     fn ready_len(&self) -> usize {
@@ -724,13 +794,140 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "set_structure must precede scheduling")]
-    fn structure_change_mid_run_rejected() {
+    fn structure_switch_mid_run_rebuilds_tree() {
         let mut p = LotteryPolicy::new(1);
-        let s0 = base_spec(&p, 100);
+        let s0 = base_spec(&p, 300);
+        let s1 = base_spec(&p, 100);
         p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
         p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        // A few list-mode lotteries first, then switch with threads queued.
+        for _ in 0..10 {
+            let w = p.pick(SimTime::ZERO).unwrap();
+            p.enqueue(w, SimTime::ZERO);
+        }
         p.set_structure(SelectStructure::Tree);
+        let mut wins = [0u32; 2];
+        let n = 20_000;
+        for _ in 0..n {
+            let w = p.pick(SimTime::ZERO).unwrap();
+            wins[w.index() as usize] += 1;
+            p.enqueue(w, SimTime::ZERO);
+        }
+        let share = f64::from(wins[0]) / f64::from(n);
+        assert!((share - 0.75).abs() < 0.01, "share {share}");
+        // And back: the list walk picks up where the tree left off.
+        p.set_structure(SelectStructure::List);
+        assert!(p.pick(SimTime::ZERO).is_some());
+    }
+
+    /// With every client value exactly representable, tree mode must
+    /// reproduce the list walk's winner sequence draw for draw — the
+    /// partial-sum descent is just a faster search over the same
+    /// intervals, fed by the same valuation cache.
+    ///
+    /// The workload shares one currency among all threads and mixes full
+    /// quanta with blocking (deactivation + compensation), so sibling
+    /// values shift constantly — exactly the case where the tree's cached
+    /// weights used to go stale.
+    #[test]
+    fn tree_matches_list_winner_sequence_exactly() {
+        // Backing 252000 = lcm(1000, 900, 800, 700, 600): every reachable
+        // active amount divides it, keeping all client values integral.
+        let run = |structure: SelectStructure| -> Vec<ThreadId> {
+            let mut p = LotteryPolicy::new(20_260_806);
+            p.set_structure(structure);
+            let shared = p.create_currency("shared", 252_000).unwrap();
+            let amounts = [100u64, 200, 300, 400];
+            for (i, &amount) in amounts.iter().enumerate() {
+                let tid = ThreadId::from_index(i as u32);
+                p.on_spawn(tid, FundingSpec::new(shared, amount));
+                p.enqueue(tid, SimTime::ZERO);
+            }
+            let mut winners = Vec::new();
+            let mut blocked: Option<ThreadId> = None;
+            for step in 0..400 {
+                let w = p.pick(SimTime::ZERO).unwrap();
+                winners.push(w);
+                if step % 2 == 0 {
+                    // Full quantum: back on the queue immediately.
+                    p.charge(
+                        w,
+                        SimDuration::from_ms(100),
+                        SimDuration::from_ms(100),
+                        EndReason::QuantumExpired,
+                    );
+                    p.enqueue(w, SimTime::ZERO);
+                } else {
+                    // Block halfway: deactivates the winner's tickets
+                    // (shifting every sibling's share) and grants a 2x
+                    // compensation factor for its return.
+                    p.charge(
+                        w,
+                        SimDuration::from_ms(50),
+                        SimDuration::from_ms(100),
+                        EndReason::Blocked,
+                    );
+                    if let Some(b) = blocked.replace(w) {
+                        p.enqueue(b, SimTime::ZERO);
+                    }
+                }
+            }
+            winners
+        };
+        let list = run(SelectStructure::List);
+        let tree = run(SelectStructure::Tree);
+        assert_eq!(list, tree);
+        // Sanity: the workload actually rotates winners.
+        assert!(list.iter().any(|&t| t != list[0]));
+    }
+
+    #[test]
+    fn tree_mode_is_exact_for_shared_currencies() {
+        // Two threads share a currency; a third holds base tickets. When
+        // the shared pair's sibling blocks, the survivor's value doubles
+        // — the tree must see that before the next draw, or the base
+        // thread would be over-selected.
+        let mut p = LotteryPolicy::new(3);
+        p.set_structure(SelectStructure::Tree);
+        let shared = p.create_currency("shared", 1000).unwrap();
+        p.on_spawn(T0, FundingSpec::new(shared, 100));
+        p.on_spawn(T1, FundingSpec::new(shared, 100));
+        let base = base_spec(&p, 1000);
+        p.on_spawn(T2, base);
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        p.enqueue(T2, SimTime::ZERO);
+        assert_eq!(p.value_of(T0), 500.0);
+        // T1 wins nothing for a while: block it indefinitely.
+        let mut removed = false;
+        let mut wins = [0u32; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            let w = p.pick(SimTime::ZERO).unwrap();
+            if w == T1 && !removed {
+                removed = true;
+                p.charge(
+                    T1,
+                    SimDuration::from_ms(100),
+                    SimDuration::from_ms(100),
+                    EndReason::Blocked,
+                );
+                continue;
+            }
+            wins[w.index() as usize] += 1;
+            p.charge(
+                w,
+                SimDuration::from_ms(100),
+                SimDuration::from_ms(100),
+                EndReason::QuantumExpired,
+            );
+            p.enqueue(w, SimTime::ZERO);
+        }
+        // After T1 blocks, T0 owns all of `shared`: 1000 vs 1000 base.
+        let share = f64::from(wins[0]) / f64::from(wins[0] + wins[2]);
+        assert!((share - 0.5).abs() < 0.01, "share {share}");
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, compile benches, lint.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo bench --no-run --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

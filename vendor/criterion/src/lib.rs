@@ -1,0 +1,402 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal wall-clock harness exposing the `criterion` API
+//! surface the benches use: groups, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Differences from real criterion, by design:
+//!
+//! * Sampling is simple: warm-up, iteration-count calibration, then a
+//!   fixed number of timed batches; the reported statistic is the median
+//!   of per-iteration times across batches. No outlier analysis or
+//!   bootstrap confidence intervals.
+//! * Every run writes a machine-readable summary, `BENCH_<target>.json`,
+//!   at the workspace root, so successive PRs can track the performance
+//!   trajectory without parsing human-oriented output.
+//!
+//! Environment knobs: `BENCH_SAMPLE_MS` (per-batch budget, default 8 ms),
+//! `BENCH_SAMPLES` (batches per benchmark, default 11), and
+//! `BENCH_WARMUP_MS` (default 20 ms).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (recorded in the summary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: an optional function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter, `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// One measured benchmark, as recorded in the JSON summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id, `group/function/parameter`.
+    pub id: String,
+    /// Median per-iteration time across sample batches, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time across sample batches, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest batch's per-iteration time, in nanoseconds.
+    pub min_ns: f64,
+    /// Number of sample batches.
+    pub samples: usize,
+    /// Iterations per batch.
+    pub iters: u64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+/// Harness settings plus the accumulated results of a run.
+pub struct Criterion {
+    warmup: Duration,
+    sample_budget: Duration,
+    samples: usize,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = |var: &str, default_ms: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_ms)
+        };
+        Self {
+            warmup: Duration::from_millis(ms("BENCH_WARMUP_MS", 20)),
+            sample_budget: Duration::from_millis(ms("BENCH_SAMPLE_MS", 8)),
+            samples: std::env::var("BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(11)
+                .max(3),
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The only supported option is a
+    /// positional substring filter; cargo's own flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--quiet" | "-q" | "--noplot" | "--exact" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                _ if a.starts_with('-') => {}
+                _ => self.filter = Some(a),
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: run the body repeatedly until the budget elapses. The
+        // Bencher records time-per-iter, which calibrates the batch size.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        let mut warmup_time = Duration::ZERO;
+        while warmup_start.elapsed() < self.warmup {
+            f(&mut bencher);
+            warmup_iters += bencher.iters;
+            warmup_time += bencher.elapsed;
+            bencher.iters = (bencher.iters * 2).min(1 << 20);
+        }
+        let per_iter = warmup_time.as_secs_f64() / warmup_iters.max(1) as f64;
+        let iters = ((self.sample_budget.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                bencher.iters = iters;
+                f(&mut bencher);
+                bencher.elapsed.as_secs_f64() * 1e9 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min = per_iter_ns[0];
+        println!("{id:<55} time: [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(mean));
+        self.results.push(BenchResult {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            samples: self.samples,
+            iters,
+            throughput,
+        });
+    }
+
+    /// Writes `BENCH_<target>.json` at the workspace root and prints a
+    /// closing line. Called by `criterion_main!`; `manifest_dir` is the
+    /// *bench crate*'s manifest directory, from which the workspace root
+    /// is located.
+    pub fn final_summary(&mut self, target: &str, manifest_dir: &str) {
+        let path = summary_path(target, manifest_dir);
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": {:?},", target);
+        let _ = writeln!(json, "  \"unit\": \"ns_per_iter\",");
+        let _ = writeln!(json, "  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let throughput = match r.throughput {
+                Some(Throughput::Elements(n)) => format!(", \"elements\": {n}"),
+                Some(Throughput::Bytes(n)) => format!(", \"bytes\": {n}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                json,
+                "    {{\"id\": {:?}, \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \"min_ns\": {:.3}, \"samples\": {}, \"iters\": {}{}}}{}",
+                r.id, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters, throughput, comma
+            );
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Finds the workspace root (the nearest ancestor whose `Cargo.toml`
+/// declares `[workspace]`) and names the summary file there.
+fn summary_path(target: &str, manifest_dir: &str) -> PathBuf {
+    let mut dir = PathBuf::from(manifest_dir);
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.join(format!("BENCH_{target}.json"));
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(manifest_dir).join(format!("BENCH_{target}.json"));
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of sample batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.max(3);
+        self
+    }
+
+    /// Overrides the per-batch measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.sample_budget = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(id, throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(id, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (a no-op; results live on the `Criterion`).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the measured body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `body`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target: runs every group, then writes the
+/// machine-readable summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary(env!("CARGO_CRATE_NAME"), env!("CARGO_MANIFEST_DIR"));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            sample_budget: Duration::from_millis(1),
+            samples: 3,
+            filter: None,
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            ..Criterion::default()
+        };
+        c.bench_function("spin", |b| b.iter(|| 1 + 1));
+        assert!(c.results.is_empty());
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

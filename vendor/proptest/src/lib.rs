@@ -1,0 +1,620 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a miniature property-testing framework exposing the `proptest`
+//! API surface its tests use: the [`proptest!`] macro, range / tuple /
+//! [`strategy::Just`] / mapped / union / vec strategies, `prop_assert*`,
+//! `prop_assume!`, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim; minimization is up to the reader.
+//! * **Deterministic seeding.** Cases derive from a fixed seed mixed with
+//!   the test-function name, so runs are reproducible; set
+//!   `PROPTEST_SEED=<u64>` to explore a different stream.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value` from a [`TestRng`].
+    ///
+    /// Object safe: `prop_map` is `Self: Sized`, so `Box<dyn Strategy>`
+    /// works for heterogeneous unions.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy applying `f` to every generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice among strategies of one value type; the engine of
+    /// `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if no arm has positive weight.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs a positive-weight arm");
+            Self { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut winning = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                let w = u64::from(*w);
+                if winning < w {
+                    return arm.generate(rng);
+                }
+                winning -= w;
+            }
+            unreachable!("winning value below total weight")
+        }
+    }
+
+    /// Boxes one `prop_oneof!` arm, driving inference of the common value
+    /// type.
+    pub fn union_arm<V, S>(weight: u32, strategy: S) -> (u32, Box<dyn Strategy<Value = V>>)
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        (weight, Box::new(strategy))
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    (self.start as u128 + rng.below_u128(span)) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                    (*self.start() as u128 + rng.below_u128(span)) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical whole-domain strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy `any::<Self>()` returns.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The canonical strategy for this type.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Whole-domain strategy for primitives (see [`Arbitrary`] impls).
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+    macro_rules! arbitrary_primitives {
+        ($($t:ty => |$rng:ident| $gen:expr;)+) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+
+                fn generate(&self, $rng: &mut TestRng) -> $t {
+                    $gen
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(core::marker::PhantomData)
+                }
+            }
+        )+};
+    }
+
+    arbitrary_primitives! {
+        bool => |rng| rng.next_u64() & 1 == 1;
+        u8 => |rng| rng.next_u64() as u8;
+        u16 => |rng| rng.next_u64() as u16;
+        u32 => |rng| rng.next_u64() as u32;
+        u64 => |rng| rng.next_u64();
+        usize => |rng| rng.next_u64() as usize;
+        i32 => |rng| rng.next_u64() as i32;
+        i64 => |rng| rng.next_u64() as i64;
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length range for [`vec`]; converted from `usize` ranges.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case runner behind the [`crate::proptest!`] macro.
+
+    /// Why a generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// `prop_assert*` failed; the test fails.
+        Fail(String),
+    }
+
+    /// Runner configuration, set via `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+        /// Cumulative `prop_assume!` rejections tolerated before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config requiring `cases` passing cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            Self(seed)
+        }
+
+        /// The next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A draw uniform in `[0, bound)`. Modulo bias is acceptable for
+        /// test-input generation.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// A draw uniform in `[0, bound)` for spans that overflow `u64`
+        /// (e.g. `0..=u64::MAX`).
+        pub fn below_u128(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0);
+            let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            wide % bound
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives one `proptest!` function: generates cases until `cases`
+    /// pass, panicking on the first failure with the offending inputs.
+    pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+    {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x005E_ED0F_1CE5_u64);
+        let mut rng = TestRng::new(base ^ fnv1a(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            let mut inputs = String::new();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                case(&mut rng, &mut inputs)
+            }));
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(what))) => {
+                    rejected += 1;
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "{name}: too many prop_assume! rejections ({rejected}); last: {what}"
+                        );
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(why))) => {
+                    panic!("{name}: case #{passed} failed: {why}\n  inputs: {inputs}");
+                }
+                Err(payload) => {
+                    eprintln!("{name}: case #{passed} panicked\n  inputs: {inputs}");
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a test file needs, glob-imported.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` module path used by test files (`prop::collection`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property-test functions. Each `arg in strategy` binding is
+/// generated per case; the body may use `prop_assert*` / `prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_proptest(
+                $config,
+                stringify!($name),
+                |__rng, __inputs| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    {
+                        use ::std::fmt::Write as _;
+                        $(let _ = ::std::write!(
+                            __inputs,
+                            concat!(stringify!($arg), " = {:?}; "),
+                            &$arg
+                        );)+
+                    }
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                },
+            );
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Rejects the current case, retrying with fresh inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case (with generated-input reporting) if `cond` is
+/// false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} == {:?}", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {:?} == {:?}: {}",
+                    __a,
+                    __b,
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} != {:?}", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {:?} != {:?}: {}",
+                    __a,
+                    __b,
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies of one
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::union_arm(($weight) as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(0..100u64, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn oneof_covers_arms(which in prop_oneof![1 => Just(0u8), 1 => Just(1u8), 3 => Just(2u8)]) {
+            prop_assert!(which <= 2);
+        }
+
+        #[test]
+        fn assume_retries(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1, "x {}", x);
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(p in (0..5u64, 0..5u64).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case #0 failed")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "impossible");
+            }
+        }
+        inner();
+    }
+}
