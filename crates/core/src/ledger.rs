@@ -31,6 +31,8 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
+use lottery_obs::{EventKind, ProbeBus};
+
 use crate::arena::Arena;
 use crate::client::{Client, ClientId};
 use crate::currency::{Currency, CurrencyId, IssuePolicy, Principal};
@@ -51,6 +53,9 @@ pub struct Ledger {
     /// Incremental valuation cache (interior mutability so reads through
     /// `&Ledger` can memoize). See [`Ledger::cached_client_value`].
     cache: RefCell<ValuationCache>,
+    /// Probe bus for cache/mutation observability (disabled by default:
+    /// emitting through a disabled bus is a single branch).
+    bus: ProbeBus,
 }
 
 /// Incrementally maintained currency/client values in base units.
@@ -69,7 +74,8 @@ struct ValuationCache {
     dirty: HashSet<ClientId>,
 }
 
-/// Invalidates `start` and every cached entry downstream of it.
+/// Invalidates `start` and every cached entry downstream of it, returning
+/// `(currency_entries_removed, client_entries_removed)` for the probe bus.
 ///
 /// Downstream edges run from a currency through its *issued* tickets to the
 /// currencies or clients they fund — the reverse of the valuation
@@ -86,33 +92,42 @@ fn mark_currency(
     currencies: &Arena<Currency>,
     cache: &mut ValuationCache,
     start: CurrencyId,
-) {
+) -> (u32, u32) {
+    let (mut removed_currencies, mut removed_clients) = (0, 0);
     let mut work = vec![start];
     while let Some(cur) = work.pop() {
         if cache.currencies.remove(&cur).is_none() {
             continue;
         }
+        removed_currencies += 1;
         let Some(currency) = currencies.get(cur) else {
             continue;
         };
         for &t in currency.issued() {
             match tickets.get(t).map(Ticket::target) {
                 Some(FundingTarget::Currency(next)) => work.push(next),
-                Some(FundingTarget::Client(client)) => mark_client(cache, client),
+                Some(FundingTarget::Client(client)) => {
+                    removed_clients += u32::from(mark_client(cache, client));
+                }
                 _ => {}
             }
         }
     }
+    (removed_currencies, removed_clients)
 }
 
-/// Invalidates a client's cached value, queueing a dirty notification.
+/// Invalidates a client's cached value, queueing a dirty notification;
+/// returns whether a cached entry was actually removed.
 ///
 /// A client that was never cached has no dependents to notify: only
 /// schedulers that read a value (and thereby cached it) need to hear that
 /// it changed.
-fn mark_client(cache: &mut ValuationCache, client: ClientId) {
+fn mark_client(cache: &mut ValuationCache, client: ClientId) -> bool {
     if cache.clients.remove(&client).is_some() {
         cache.dirty.insert(client);
+        true
+    } else {
+        false
     }
 }
 
@@ -134,7 +149,20 @@ impl Ledger {
             base,
             epoch: 0,
             cache: RefCell::new(ValuationCache::default()),
+            bus: ProbeBus::disabled(),
         }
+    }
+
+    /// Attaches a probe bus; subsequent mutations and cache traffic emit
+    /// structured events through it. The default bus is disabled and costs
+    /// one branch per probe site.
+    pub fn set_probe_bus(&mut self, bus: ProbeBus) {
+        self.bus = bus;
+    }
+
+    /// The ledger's current probe bus (cheap to clone; clones share state).
+    pub fn probe_bus(&self) -> &ProbeBus {
+        &self.bus
     }
 
     /// The conserved base currency.
@@ -212,6 +240,9 @@ impl Ledger {
         policy: IssuePolicy,
     ) -> Result<CurrencyId> {
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp {
+            op: "create-currency",
+        });
         Ok(self.currencies.insert(Currency::new(name, policy)))
     }
 
@@ -249,6 +280,9 @@ impl Ledger {
         // zero) cached value cannot strand dependents.
         self.cache.get_mut().currencies.remove(&id);
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp {
+            op: "destroy-currency",
+        });
         Ok(())
     }
 
@@ -259,6 +293,9 @@ impl Ledger {
     /// Creates an inactive client with no funding.
     pub fn create_client(&mut self, name: impl Into<String>) -> ClientId {
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp {
+            op: "create-client",
+        });
         self.clients.insert(Client::new(name))
     }
 
@@ -275,6 +312,9 @@ impl Ledger {
         cache.clients.remove(&id);
         cache.dirty.remove(&id);
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp {
+            op: "destroy-client",
+        });
         Ok(())
     }
 
@@ -319,6 +359,7 @@ impl Ledger {
             .expect("checked above")
             .add_issued(id, amount);
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp { op: "issue" });
         Ok(id)
     }
 
@@ -336,6 +377,9 @@ impl Ledger {
             cur.remove_issued(id, ticket.amount());
         }
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp {
+            op: "destroy-ticket",
+        });
         Ok(())
     }
 
@@ -375,6 +419,7 @@ impl Ledger {
             self.mark_ticket_change(currency, target);
         }
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp { op: "set-amount" });
         Ok(())
     }
 
@@ -464,6 +509,7 @@ impl Ledger {
             self.activate_ticket(ticket);
         }
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp { op: "fund-client" });
         Ok(())
     }
 
@@ -497,6 +543,9 @@ impl Ledger {
             self.activate_ticket(ticket);
         }
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp {
+            op: "fund-currency",
+        });
         Ok(())
     }
 
@@ -523,6 +572,7 @@ impl Ledger {
             .expect("checked above")
             .set_target(FundingTarget::Unfunded);
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp { op: "unfund" });
         Ok(())
     }
 
@@ -571,6 +621,9 @@ impl Ledger {
             self.activate_ticket(t);
         }
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp {
+            op: "activate-client",
+        });
         Ok(())
     }
 
@@ -590,6 +643,9 @@ impl Ledger {
             self.deactivate_ticket(t);
         }
         self.bump();
+        self.bus.emit(|| EventKind::LedgerOp {
+            op: "deactivate-client",
+        });
         Ok(())
     }
 
@@ -689,8 +745,19 @@ impl Ledger {
             return Ok(());
         }
         client.set_compensation(factor);
-        mark_client(self.cache.get_mut(), id);
+        let removed = mark_client(self.cache.get_mut(), id);
         self.bump();
+        if removed {
+            let dirty_depth = self.cache.get_mut().dirty.len() as u32;
+            self.bus.emit(|| EventKind::CacheInvalidate {
+                currencies: 0,
+                clients: 1,
+                dirty_depth,
+            });
+        }
+        self.bus.emit(|| EventKind::LedgerOp {
+            op: "set-compensation",
+        });
         Ok(())
     }
 
@@ -710,13 +777,24 @@ impl Ledger {
     /// read it, yet its value changes with the ticket's.
     fn mark_ticket_change(&mut self, denom: CurrencyId, target: FundingTarget) {
         let cache = self.cache.get_mut();
-        mark_currency(&self.tickets, &self.currencies, cache, denom);
+        let (mut currencies, mut clients) =
+            mark_currency(&self.tickets, &self.currencies, cache, denom);
         match target {
             FundingTarget::Currency(c) => {
-                mark_currency(&self.tickets, &self.currencies, cache, c);
+                let (more_cur, more_cli) = mark_currency(&self.tickets, &self.currencies, cache, c);
+                currencies += more_cur;
+                clients += more_cli;
             }
-            FundingTarget::Client(c) => mark_client(cache, c),
+            FundingTarget::Client(c) => clients += u32::from(mark_client(cache, c)),
             FundingTarget::Unfunded => {}
+        }
+        if currencies > 0 || clients > 0 {
+            let dirty_depth = cache.dirty.len() as u32;
+            self.bus.emit(|| EventKind::CacheInvalidate {
+                currencies,
+                clients,
+                dirty_depth,
+            });
         }
     }
 
@@ -747,7 +825,12 @@ impl Ledger {
     /// exactly the returned clients. Order is unspecified; destroyed
     /// clients never appear.
     pub fn drain_dirty_clients(&mut self) -> Vec<ClientId> {
-        self.cache.get_mut().dirty.drain().collect()
+        let drained: Vec<ClientId> = self.cache.get_mut().dirty.drain().collect();
+        if !drained.is_empty() {
+            let count = drained.len() as u32;
+            self.bus.emit(|| EventKind::DirtyDrain { drained: count });
+        }
+        drained
     }
 
     /// Number of currently valid cached currency entries (for tests and
@@ -762,8 +845,16 @@ impl Ledger {
         currency: CurrencyId,
     ) -> Result<f64> {
         if let Some(&v) = cache.currencies.get(&currency) {
+            self.bus.emit(|| EventKind::CacheLookup {
+                kind: "currency",
+                hit: true,
+            });
             return Ok(v);
         }
+        self.bus.emit(|| EventKind::CacheLookup {
+            kind: "currency",
+            hit: false,
+        });
         let v = if currency == self.base {
             self.currency(currency)?.active_amount() as f64
         } else {
@@ -799,8 +890,16 @@ impl Ledger {
 
     fn compute_client_value(&self, cache: &mut ValuationCache, client: ClientId) -> Result<f64> {
         if let Some(&v) = cache.clients.get(&client) {
+            self.bus.emit(|| EventKind::CacheLookup {
+                kind: "client",
+                hit: true,
+            });
             return Ok(v);
         }
+        self.bus.emit(|| EventKind::CacheLookup {
+            kind: "client",
+            hit: false,
+        });
         let c = self.client(client)?;
         let comp = c.compensation();
         let mut sum = 0.0;
@@ -1275,7 +1374,15 @@ mod cache_tests {
 
     /// Builds Figure 3's graph (as in `figure3_currency_graph`) and returns
     /// (ledger, alice, task2, thread2, thread3, thread4, t_alice).
-    fn figure3() -> (Ledger, CurrencyId, CurrencyId, ClientId, ClientId, ClientId, TicketId) {
+    fn figure3() -> (
+        Ledger,
+        CurrencyId,
+        CurrencyId,
+        ClientId,
+        ClientId,
+        ClientId,
+        TicketId,
+    ) {
         let mut l = Ledger::new();
         let base = l.base();
         let alice = l.create_currency("alice").unwrap();

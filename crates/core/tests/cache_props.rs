@@ -29,35 +29,75 @@ enum Op {
     CreateClient,
     /// Issue a ticket in currency `c % |currencies|`, amount 1..=500,
     /// funding client `cl % |clients|`.
-    FundClient { c: usize, amount: u64, cl: usize },
+    FundClient {
+        c: usize,
+        amount: u64,
+        cl: usize,
+    },
     /// Issue a ticket in currency `c` funding currency `d` (cycle and
     /// base-funding attempts are expected to fail cleanly).
-    FundCurrency { c: usize, d: usize, amount: u64 },
-    Activate { cl: usize },
-    Deactivate { cl: usize },
-    DestroyTicket { t: usize },
-    SetAmount { t: usize, amount: u64 },
-    Unfund { t: usize },
+    FundCurrency {
+        c: usize,
+        d: usize,
+        amount: u64,
+    },
+    Activate {
+        cl: usize,
+    },
+    Deactivate {
+        cl: usize,
+    },
+    DestroyTicket {
+        t: usize,
+    },
+    SetAmount {
+        t: usize,
+        amount: u64,
+    },
+    Unfund {
+        t: usize,
+    },
     /// Split ticket `t` into two parts, the first `num/8` of its amount.
-    Split { t: usize, num: u64 },
-    Merge { a: usize, b: usize },
+    Split {
+        t: usize,
+        num: u64,
+    },
+    Merge {
+        a: usize,
+        b: usize,
+    },
     /// Compensation factor `1.0 + 0.5 * k`.
-    SetCompensation { cl: usize, k: u64 },
-    DestroyClient { cl: usize },
+    SetCompensation {
+        cl: usize,
+        k: u64,
+    },
+    DestroyClient {
+        cl: usize,
+    },
     /// Warm a random client's cache entry mid-sequence.
-    ReadClient { cl: usize },
+    ReadClient {
+        cl: usize,
+    },
     /// Warm a random currency's cache entry mid-sequence.
-    ReadCurrency { c: usize },
+    ReadCurrency {
+        c: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         Just(Op::CreateCurrency),
         Just(Op::CreateClient),
-        (0..8usize, 1..500u64, 0..8usize)
-            .prop_map(|(c, amount, cl)| Op::FundClient { c, amount, cl }),
-        (0..8usize, 0..8usize, 1..500u64)
-            .prop_map(|(c, d, amount)| Op::FundCurrency { c, d, amount }),
+        (0..8usize, 1..500u64, 0..8usize).prop_map(|(c, amount, cl)| Op::FundClient {
+            c,
+            amount,
+            cl
+        }),
+        (0..8usize, 0..8usize, 1..500u64).prop_map(|(c, d, amount)| Op::FundCurrency {
+            c,
+            d,
+            amount
+        }),
         (0..8usize).prop_map(|cl| Op::Activate { cl }),
         (0..8usize).prop_map(|cl| Op::Deactivate { cl }),
         (0..32usize).prop_map(|t| Op::DestroyTicket { t }),
@@ -176,7 +216,10 @@ impl World {
                 if first >= amount {
                     return;
                 }
-                let rest = self.ledger.split_ticket(t, &[first, amount - first]).unwrap();
+                let rest = self
+                    .ledger
+                    .split_ticket(t, &[first, amount - first])
+                    .unwrap();
                 self.tickets.extend(rest);
             }
             Op::Merge { a, b } => {

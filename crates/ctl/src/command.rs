@@ -78,12 +78,17 @@ pub enum Command {
         /// Denomination currency name.
         currency: String,
     },
-    /// `lscur` — list currencies.
-    LsCur,
-    /// `lstkt [currency]` — list tickets, optionally filtered.
+    /// `lscur [--json]` — list currencies.
+    LsCur {
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
+    },
+    /// `lstkt [currency] [--json]` — list tickets, optionally filtered.
     LsTkt {
         /// Optional denomination filter.
         currency: Option<String>,
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
     },
     /// `lsproc` — list processes.
     LsProc,
@@ -94,6 +99,16 @@ pub enum Command {
     },
     /// `dot` — render the whole ledger as Graphviz.
     Dot,
+    /// `stat` — Prometheus-style snapshot of the session's probe
+    /// aggregator (ledger-op counters, cache hit rates).
+    Stat,
+    /// `trace on|off` — toggle the session flight recorder.
+    Trace {
+        /// `true` for `trace on`.
+        on: bool,
+    },
+    /// `dump` — replay the flight recorder as JSONL, one event per line.
+    Dump,
 }
 
 /// Parse failures.
@@ -134,9 +149,12 @@ commands (Section 4.7 of the paper):
   activate <process>               mark a process runnable
   deactivate <process>             mark a process blocked
   fundx <amount> <currency> <name> launch a process with funding
-  lscur | lstkt [currency] | lsproc  inspect objects
+  lscur [--json] | lstkt [currency] [--json] | lsproc  inspect objects
   value <name>                     base-unit value of any object
   dot                              render the ledger as Graphviz
+  stat                             probe-counter snapshot (Prometheus text)
+  trace on|off                     toggle the session flight recorder
+  dump                             flight-recorder events as JSONL
   help                             this text";
 
     /// Parses one line. Blank lines and `#` comments are [`Command::Nop`].
@@ -206,13 +224,33 @@ commands (Section 4.7 of the paper):
                 currency: currency.to_string(),
             }),
             ["fundx", ..] => Err(ParseError::Usage("fundx <amount> <currency> <name>")),
-            ["lscur"] => Ok(Command::LsCur),
-            ["lstkt"] => Ok(Command::LsTkt { currency: None }),
+            ["lscur"] => Ok(Command::LsCur { json: false }),
+            ["lscur", "--json"] => Ok(Command::LsCur { json: true }),
+            ["lscur", ..] => Err(ParseError::Usage("lscur [--json]")),
+            ["lstkt"] => Ok(Command::LsTkt {
+                currency: None,
+                json: false,
+            }),
+            ["lstkt", "--json"] => Ok(Command::LsTkt {
+                currency: None,
+                json: true,
+            }),
+            ["lstkt", currency, "--json"] | ["lstkt", "--json", currency] => Ok(Command::LsTkt {
+                currency: Some(currency.to_string()),
+                json: true,
+            }),
             ["lstkt", currency] => Ok(Command::LsTkt {
                 currency: Some(currency.to_string()),
+                json: false,
             }),
+            ["lstkt", ..] => Err(ParseError::Usage("lstkt [currency] [--json]")),
             ["lsproc"] => Ok(Command::LsProc),
             ["dot"] => Ok(Command::Dot),
+            ["stat"] => Ok(Command::Stat),
+            ["trace", "on"] => Ok(Command::Trace { on: true }),
+            ["trace", "off"] => Ok(Command::Trace { on: false }),
+            ["trace", ..] => Err(ParseError::Usage("trace on|off")),
+            ["dump"] => Ok(Command::Dump),
             ["value", name] => Ok(Command::Value {
                 name: name.to_string(),
             }),
@@ -263,9 +301,58 @@ mod tests {
         assert_eq!(
             Command::parse("lstkt bob"),
             Ok(Command::LsTkt {
-                currency: Some("bob".into())
+                currency: Some("bob".into()),
+                json: false
             })
         );
+    }
+
+    #[test]
+    fn parses_observability_verbs() {
+        assert_eq!(Command::parse("stat"), Ok(Command::Stat));
+        assert_eq!(Command::parse("trace on"), Ok(Command::Trace { on: true }));
+        assert_eq!(
+            Command::parse("trace off"),
+            Ok(Command::Trace { on: false })
+        );
+        assert!(matches!(
+            Command::parse("trace maybe"),
+            Err(ParseError::Usage(_))
+        ));
+        assert_eq!(Command::parse("dump"), Ok(Command::Dump));
+    }
+
+    #[test]
+    fn parses_json_flags() {
+        assert_eq!(
+            Command::parse("lscur --json"),
+            Ok(Command::LsCur { json: true })
+        );
+        assert_eq!(
+            Command::parse("lstkt --json"),
+            Ok(Command::LsTkt {
+                currency: None,
+                json: true
+            })
+        );
+        assert_eq!(
+            Command::parse("lstkt bob --json"),
+            Ok(Command::LsTkt {
+                currency: Some("bob".into()),
+                json: true
+            })
+        );
+        assert_eq!(
+            Command::parse("lstkt --json bob"),
+            Ok(Command::LsTkt {
+                currency: Some("bob".into()),
+                json: true
+            })
+        );
+        assert!(matches!(
+            Command::parse("lscur bob"),
+            Err(ParseError::Usage(_))
+        ));
     }
 
     #[test]

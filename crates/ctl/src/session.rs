@@ -8,13 +8,18 @@
 //! principal may only issue tickets in currencies whose policy admits it).
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use lottery_core::client::ClientId;
 use lottery_core::currency::{CurrencyId, IssuePolicy, Principal};
 use lottery_core::ledger::{Ledger, Valuator};
 use lottery_core::ticket::{FundingTarget, TicketId};
+use lottery_obs::{json, Aggregator, FlightRecorder, ProbeBus, Shared};
 
 use crate::command::{Command, ParseError};
+
+/// Events the session flight recorder retains (`trace on` … `dump`).
+const FLIGHT_CAPACITY: usize = 4096;
 
 /// What a user-visible name refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +85,11 @@ pub struct Session {
     ledger: Ledger,
     names: BTreeMap<String, ObjectRef>,
     principal: Principal,
+    /// Always-on counter aggregation backing the `stat` verb.
+    stats: Shared<Aggregator>,
+    /// Bounded event ring backing `dump`; only fed while tracing.
+    flight: Shared<FlightRecorder>,
+    tracing: bool,
 }
 
 impl Default for Session {
@@ -100,11 +110,28 @@ impl Session {
         let ledger = Ledger::new();
         let mut names = BTreeMap::new();
         names.insert("base".to_string(), ObjectRef::Currency(ledger.base()));
-        Self {
+        let mut session = Self {
             ledger,
             names,
             principal,
+            stats: Shared::new(Aggregator::new()),
+            flight: Shared::new(FlightRecorder::new(FLIGHT_CAPACITY)),
+            tracing: false,
+        };
+        session.rewire_bus();
+        session
+    }
+
+    /// Installs a probe bus on the ledger matching the current recorder
+    /// set. The bus has no detach, so toggling tracing swaps the whole
+    /// bus; the shared recorder handles (and their contents) survive.
+    fn rewire_bus(&mut self) {
+        let bus = ProbeBus::enabled();
+        bus.attach(self.stats.clone());
+        if self.tracing {
+            bus.attach(self.flight.clone());
         }
+        self.ledger.set_probe_bus(bus);
     }
 
     /// The underlying ledger (for embedding in a scheduler).
@@ -269,12 +296,8 @@ impl Session {
                 self.bind(&name, ObjectRef::Proc(client))?;
                 Ok(format!("launched {name} with {amount}.{currency}"))
             }
-            Command::LsCur => {
+            Command::LsCur { json } => {
                 let mut v = Valuator::new(&self.ledger);
-                let mut out = format!(
-                    "{:<12} {:>8} {:>8} {:>12}\n",
-                    "currency", "active", "issued", "value (base)"
-                );
                 let rows: Vec<(String, CurrencyId)> = self
                     .names
                     .iter()
@@ -283,28 +306,43 @@ impl Session {
                         _ => None,
                     })
                     .collect();
+                if json {
+                    let mut items = Vec::with_capacity(rows.len());
+                    for (name, id) in rows {
+                        let cur = self.ledger.currency(id)?;
+                        items.push(format!(
+                            "{{\"currency\":\"{}\",\"active\":{},\"issued\":{},\"value\":{}}}",
+                            json::escape(&name),
+                            cur.active_amount(),
+                            cur.total_amount(),
+                            json::number(v.currency_value(id)?),
+                        ));
+                    }
+                    return Ok(format!("[{}]", items.join(",")));
+                }
+                let mut out = format!(
+                    "{:<12} {:>8} {:>8} {:>12}\n",
+                    "currency", "active", "issued", "value (base)"
+                );
                 for (name, id) in rows {
                     let cur = self.ledger.currency(id)?;
-                    out.push_str(&format!(
-                        "{:<12} {:>8} {:>8} {:>12.1}\n",
+                    let _ = writeln!(
+                        out,
+                        "{:<12} {:>8} {:>8} {:>12.1}",
                         name,
                         cur.active_amount(),
                         cur.total_amount(),
                         v.currency_value(id)?,
-                    ));
+                    );
                 }
                 Ok(out)
             }
-            Command::LsTkt { currency } => {
+            Command::LsTkt { currency, json } => {
                 let filter = match &currency {
                     Some(c) => Some(self.currency(c)?),
                     None => None,
                 };
                 let mut v = Valuator::new(&self.ledger);
-                let mut out = format!(
-                    "{:<12} {:>8} {:<12} {:>8} {:>12}\n",
-                    "ticket", "amount", "funds", "active", "value (base)"
-                );
                 let rows: Vec<(String, TicketId)> = self
                     .names
                     .iter()
@@ -313,6 +351,15 @@ impl Session {
                         _ => None,
                     })
                     .collect();
+                let mut out = if json {
+                    String::new()
+                } else {
+                    format!(
+                        "{:<12} {:>8} {:<12} {:>8} {:>12}\n",
+                        "ticket", "amount", "funds", "active", "value (base)"
+                    )
+                };
+                let mut items = Vec::new();
                 for (name, id) in rows {
                     let t = self.ledger.ticket(id)?;
                     if let Some(f) = filter {
@@ -326,14 +373,29 @@ impl Session {
                         FundingTarget::Client(c) => self.name_of(ObjectRef::Proc(c)),
                     };
                     let (amount, active) = (t.amount(), t.is_active());
-                    out.push_str(&format!(
-                        "{:<12} {:>8} {:<12} {:>8} {:>12.1}\n",
-                        name,
-                        amount,
-                        target,
-                        active,
-                        v.ticket_value(id)?,
-                    ));
+                    if json {
+                        items.push(format!(
+                            "{{\"ticket\":\"{}\",\"amount\":{},\"funds\":\"{}\",\"active\":{},\"value\":{}}}",
+                            json::escape(&name),
+                            amount,
+                            json::escape(&target),
+                            active,
+                            json::number(v.ticket_value(id)?),
+                        ));
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "{:<12} {:>8} {:<12} {:>8} {:>12.1}",
+                            name,
+                            amount,
+                            target,
+                            active,
+                            v.ticket_value(id)?,
+                        );
+                    }
+                }
+                if json {
+                    return Ok(format!("[{}]", items.join(",")));
                 }
                 Ok(out)
             }
@@ -360,6 +422,19 @@ impl Session {
                 Ok(out)
             }
             Command::Dot => Ok(lottery_core::viz::to_dot(&self.ledger)),
+            Command::Stat => Ok(self.stats.with(|a| a.prometheus_text())),
+            Command::Trace { on } => {
+                self.tracing = on;
+                self.rewire_bus();
+                if on {
+                    Ok(format!(
+                        "tracing on (flight recorder keeps the last {FLIGHT_CAPACITY} events)"
+                    ))
+                } else {
+                    Ok("tracing off".to_string())
+                }
+            }
+            Command::Dump => Ok(self.flight.with(|f| f.to_jsonl())),
             Command::Value { name } => {
                 let mut v = Valuator::new(&self.ledger);
                 let value = match self.names.get(&name) {
@@ -540,5 +615,85 @@ mod tests {
         assert!(e.to_string().contains("x"));
         let e = CtlError::Ledger(lottery_core::errors::LotteryError::CurrencyCycle);
         assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn stat_counts_ledger_ops() {
+        let mut s = Session::new();
+        eval(&mut s, "mkcur alice");
+        eval(&mut s, "mktkt a 100 base");
+        eval(&mut s, "fund a alice");
+        let stat = eval(&mut s, "stat");
+        assert!(
+            stat.contains("lottery_ledger_ops_total{op=\"create-currency\"} 1"),
+            "{stat}"
+        );
+        assert!(
+            stat.contains("lottery_ledger_ops_total{op=\"issue\"} 1"),
+            "{stat}"
+        );
+        assert!(
+            stat.contains("lottery_ledger_ops_total{op=\"fund-currency\"} 1"),
+            "{stat}"
+        );
+    }
+
+    #[test]
+    fn trace_dump_round_trips_jsonl() {
+        let mut s = Session::new();
+        eval(&mut s, "mkcur alice");
+        // Nothing is retained before tracing is enabled.
+        assert_eq!(eval(&mut s, "dump"), "");
+        assert!(eval(&mut s, "trace on").contains("tracing on"));
+        eval(&mut s, "mktkt a 100 base");
+        eval(&mut s, "fund a alice");
+        let dump = eval(&mut s, "dump");
+        assert!(!dump.is_empty());
+        for line in dump.lines() {
+            let v = lottery_obs::json::parse(line).expect("dump line parses");
+            assert!(v.get("kind").is_some(), "{line}");
+        }
+        assert!(dump.contains("\"issue\""), "{dump}");
+        // `trace off` stops feeding the ring; the retained events remain.
+        assert_eq!(eval(&mut s, "trace off"), "tracing off");
+        let before = eval(&mut s, "dump");
+        eval(&mut s, "mkcur bob");
+        assert_eq!(eval(&mut s, "dump"), before);
+    }
+
+    #[test]
+    fn lscur_json_parses_and_matches_values() {
+        let mut s = Session::new();
+        eval(&mut s, "mkcur alice");
+        eval(&mut s, "mktkt a 1000 base");
+        eval(&mut s, "fund a alice");
+        eval(&mut s, "fundx 200 alice worker");
+        let out = eval(&mut s, "lscur --json");
+        let v = lottery_obs::json::parse(&out).expect("lscur --json parses");
+        let rows = v.as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        let alice = rows
+            .iter()
+            .find(|r| r.get("currency").and_then(|c| c.as_str()) == Some("alice"))
+            .unwrap();
+        // The JSON path reports the same valuation the `value` verb does.
+        let expected: f64 = eval(&mut s, "value alice").parse().unwrap();
+        assert_eq!(alice.get("value").and_then(|x| x.as_f64()), Some(expected));
+        assert_eq!(alice.get("active").and_then(|x| x.as_f64()), Some(200.0));
+    }
+
+    #[test]
+    fn lstkt_json_respects_filter() {
+        let mut s = Session::new();
+        eval(&mut s, "mkcur work");
+        eval(&mut s, "mktkt wb 10 base");
+        eval(&mut s, "fund wb work");
+        eval(&mut s, "mktkt t1 5 work");
+        let out = eval(&mut s, "lstkt work --json");
+        let v = lottery_obs::json::parse(&out).expect("lstkt --json parses");
+        let rows = v.as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("ticket").and_then(|t| t.as_str()), Some("t1"));
+        assert_eq!(rows[0].get("funds").and_then(|f| f.as_str()), Some("-"));
     }
 }

@@ -13,6 +13,7 @@ mod fig_insulation;
 mod fig_mutex;
 mod fig_rates;
 mod math;
+mod obs;
 mod overhead;
 
 use std::env;
@@ -78,6 +79,11 @@ const EXPERIMENTS: &[(&str, &str, Entry)] = &[
         "overhead",
         "system overhead vs baselines (Section 5.6)",
         overhead::run,
+    ),
+    (
+        "obs",
+        "probe-bus pipeline: drift monitor, counters, trace exports",
+        obs::obs,
     ),
     (
         "binomial",

@@ -1,0 +1,100 @@
+//! The observability pipeline, end to end.
+//!
+//! Runs a Figure-9-shaped workload (two sibling currencies, uneven
+//! intra-currency splits) with every probe-bus consumer attached at once:
+//! a flight recorder, the counter aggregator, and the fairness-drift
+//! monitor. Prints the drift report and a counter snapshot,
+//! cross-checks the monitor's CPU shares against the kernel's own
+//! [`Metrics`] accounting, and exports the flight record as JSONL plus a
+//! Chrome `trace_event` timeline under `target/obs/`.
+
+use std::fs;
+use std::path::Path;
+
+use lottery_sim::prelude::*;
+
+/// End-to-end probe-bus run: drift table, counters, exports.
+pub fn obs(seed: u32) {
+    let duration = SimTime::from_secs(30);
+
+    let mut policy = LotteryPolicy::new(seed);
+    let base = policy.base_currency();
+    let a = policy.create_subcurrency("A", base, 100).unwrap();
+    let b = policy.create_subcurrency("B", base, 100).unwrap();
+    let mut kernel = Kernel::new(policy);
+
+    let flight = Shared::new(FlightRecorder::new(1 << 16));
+    let stats = Shared::new(Aggregator::new());
+    let monitor = Shared::new(FairnessMonitor::new());
+    let bus = ProbeBus::enabled();
+    bus.attach(flight.clone());
+    bus.attach(stats.clone());
+    bus.attach(monitor.clone());
+    kernel.set_probe_bus(bus);
+
+    // A is split 1:2 between A1/A2, B likewise between B1/B2; both
+    // currencies are worth 100 base, so entitled base-unit values are
+    // A1 = B1 = 33.3 and A2 = B2 = 66.7.
+    let spawns = [
+        ("A1", a, 100u64, 100.0 / 3.0),
+        ("A2", a, 200, 200.0 / 3.0),
+        ("B1", b, 100, 100.0 / 3.0),
+        ("B2", b, 200, 200.0 / 3.0),
+    ];
+    let mut threads = Vec::new();
+    for &(name, cur, amount, entitled) in &spawns {
+        let tid = kernel.spawn(name, Box::new(ComputeBound), FundingSpec::new(cur, amount));
+        monitor.with(|m| m.set_entitlement(tid.index(), entitled));
+        threads.push((name, tid));
+    }
+
+    kernel.run_until(duration);
+
+    let report = monitor.with(|m| m.report());
+    println!("fairness drift (observed vs entitled, binomial z alarm):");
+    print!("{}", report.to_text());
+
+    // The monitor derives CPU shares purely from quantum-end probe
+    // events; the kernel's Metrics accounts run segments directly. The
+    // two pipelines must agree.
+    let total_cpu: u64 = threads
+        .iter()
+        .map(|&(_, tid)| kernel.metrics().cpu_us(tid))
+        .sum();
+    let mut max_dev: f64 = 0.0;
+    for (row, &(_, tid)) in report.rows.iter().zip(&threads) {
+        let metrics_share = kernel.metrics().cpu_us(tid) as f64 / total_cpu as f64;
+        max_dev = max_dev.max((row.cpu_share - metrics_share).abs());
+    }
+    println!(
+        "probe-bus vs Metrics cpu-share max deviation: {max_dev:.6} ({})",
+        if max_dev < 0.01 { "agree" } else { "DISAGREE" }
+    );
+
+    println!("\ncounter snapshot:");
+    let text = stats.with(|s| s.prometheus_text());
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        println!("  {line}");
+    }
+
+    let dir = Path::new("target/obs");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let (jsonl, trace, events, dropped) =
+        flight.with(|f| (f.to_jsonl(), f.to_chrome_trace(), f.len(), f.dropped()));
+    let jsonl_path = dir.join("flight.jsonl");
+    let trace_path = dir.join("trace.json");
+    match fs::write(&jsonl_path, &jsonl) {
+        Ok(()) => println!(
+            "\nwrote {} ({events} events, {dropped} dropped)",
+            jsonl_path.display()
+        ),
+        Err(e) => eprintln!("failed to write {}: {e}", jsonl_path.display()),
+    }
+    match fs::write(&trace_path, &trace) {
+        Ok(()) => println!("wrote {} (chrome://tracing)", trace_path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", trace_path.display()),
+    }
+}

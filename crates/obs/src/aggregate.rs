@@ -1,0 +1,304 @@
+//! Counter/histogram aggregation and the Prometheus-style snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use lottery_stats::{Histogram, Summary};
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Recorder;
+
+/// Folds the event stream into counters and distributions.
+///
+/// Where the [`crate::FlightRecorder`] answers "what just happened", the
+/// aggregator answers "how much, how often, how long" over a whole run —
+/// the numbers a `stat` verb or a scrape endpoint reports.
+#[derive(Debug)]
+pub struct Aggregator {
+    /// Lotteries held.
+    pub draws: u64,
+    /// Ready entries per draw.
+    pub draw_entries: Summary,
+    /// Search effort per draw (entries scanned / tree levels).
+    pub draw_levels: Summary,
+    /// Total pool value per draw, in base units.
+    pub draw_total: Summary,
+    /// Dispatches observed.
+    pub dispatches: u64,
+    /// Ready-queue wait before dispatch, in microseconds.
+    pub dispatch_wait_us: Summary,
+    /// Ready-queue wait distribution (0–1 s, 50 buckets).
+    pub dispatch_wait_hist: Histogram,
+    /// Ready-queue depth after each pick.
+    pub queue_depth: Summary,
+    /// Per-CPU maximum observed queue depth.
+    pub cpu_queue_depth_max: BTreeMap<u32, u32>,
+    /// Valuation-cache hits.
+    pub cache_hits: u64,
+    /// Valuation-cache misses.
+    pub cache_misses: u64,
+    /// Cached currency entries removed by invalidations.
+    pub invalidated_currencies: u64,
+    /// Cached client entries removed by invalidations.
+    pub invalidated_clients: u64,
+    /// Dirty-queue depth after each invalidation.
+    pub dirty_depth: Summary,
+    /// Clients drained per dirty-queue drain.
+    pub dirty_drained: Summary,
+    /// Compensation tickets granted.
+    pub compensations: u64,
+    /// Ledger mutations by operation tag.
+    pub ledger_ops: BTreeMap<&'static str, u64>,
+}
+
+impl Default for Aggregator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self {
+            draws: 0,
+            draw_entries: Summary::new(),
+            draw_levels: Summary::new(),
+            draw_total: Summary::new(),
+            dispatches: 0,
+            dispatch_wait_us: Summary::new(),
+            dispatch_wait_hist: Histogram::new(0.0, 1_000_000.0, 50),
+            queue_depth: Summary::new(),
+            cpu_queue_depth_max: BTreeMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            invalidated_currencies: 0,
+            invalidated_clients: 0,
+            dirty_depth: Summary::new(),
+            dirty_drained: Summary::new(),
+            compensations: 0,
+            ledger_ops: BTreeMap::new(),
+        }
+    }
+
+    /// Cache hit rate in `[0, 1]`, or `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Renders the counters in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut counter = |name: &str, help: &str, value: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter("lottery_draws_total", "Lotteries held.", self.draws as f64);
+        counter(
+            "lottery_dispatches_total",
+            "Threads dispatched.",
+            self.dispatches as f64,
+        );
+        counter(
+            "lottery_cache_hits_total",
+            "Valuation-cache hits.",
+            self.cache_hits as f64,
+        );
+        counter(
+            "lottery_cache_misses_total",
+            "Valuation-cache misses.",
+            self.cache_misses as f64,
+        );
+        counter(
+            "lottery_cache_invalidated_currencies_total",
+            "Cached currency values invalidated.",
+            self.invalidated_currencies as f64,
+        );
+        counter(
+            "lottery_cache_invalidated_clients_total",
+            "Cached client values invalidated.",
+            self.invalidated_clients as f64,
+        );
+        counter(
+            "lottery_compensations_total",
+            "Compensation tickets granted.",
+            self.compensations as f64,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP lottery_ledger_ops_total Ledger mutations by operation."
+        );
+        let _ = writeln!(out, "# TYPE lottery_ledger_ops_total counter");
+        for (op, count) in &self.ledger_ops {
+            let _ = writeln!(out, "lottery_ledger_ops_total{{op=\"{op}\"}} {count}");
+        }
+        let mut gauge = |name: &str, help: &str, value: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "lottery_draw_entries_mean",
+            "Mean ready entries per draw.",
+            self.draw_entries.mean(),
+        );
+        gauge(
+            "lottery_draw_levels_mean",
+            "Mean search effort per draw (entries scanned or tree levels).",
+            self.draw_levels.mean(),
+        );
+        gauge(
+            "lottery_dispatch_wait_us_mean",
+            "Mean ready-queue wait before dispatch (us).",
+            self.dispatch_wait_us.mean(),
+        );
+        gauge(
+            "lottery_dispatch_wait_us_p99",
+            "p99 ready-queue wait before dispatch (us).",
+            self.dispatch_wait_hist.percentile(0.99).unwrap_or(0.0),
+        );
+        gauge(
+            "lottery_queue_depth_mean",
+            "Mean ready-queue depth after pick.",
+            self.queue_depth.mean(),
+        );
+        gauge(
+            "lottery_dirty_depth_mean",
+            "Mean dirty-queue depth after invalidation.",
+            self.dirty_depth.mean(),
+        );
+        gauge(
+            "lottery_cache_hit_rate",
+            "Valuation-cache hit rate.",
+            self.cache_hit_rate().unwrap_or(0.0),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP lottery_cpu_queue_depth_max Max observed per-CPU queue depth."
+        );
+        let _ = writeln!(out, "# TYPE lottery_cpu_queue_depth_max gauge");
+        for (cpu, depth) in &self.cpu_queue_depth_max {
+            let _ = writeln!(out, "lottery_cpu_queue_depth_max{{cpu=\"{cpu}\"}} {depth}");
+        }
+        out
+    }
+}
+
+impl Recorder for Aggregator {
+    fn record(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::Dispatch {
+                wait_us,
+                queue_depth,
+                cpu,
+                ..
+            } => {
+                self.dispatches += 1;
+                self.dispatch_wait_us.record(wait_us as f64);
+                self.dispatch_wait_hist.record(wait_us as f64);
+                self.queue_depth.record(queue_depth as f64);
+                let max = self.cpu_queue_depth_max.entry(cpu).or_insert(0);
+                *max = (*max).max(queue_depth);
+            }
+            EventKind::LotteryDraw {
+                entries,
+                levels,
+                total,
+                ..
+            } => {
+                self.draws += 1;
+                self.draw_entries.record(entries as f64);
+                self.draw_levels.record(levels as f64);
+                self.draw_total.record(total);
+            }
+            EventKind::Compensation { .. } => self.compensations += 1,
+            EventKind::LedgerOp { op } => *self.ledger_ops.entry(op).or_insert(0) += 1,
+            EventKind::CacheLookup { hit, .. } => {
+                if hit {
+                    self.cache_hits += 1;
+                } else {
+                    self.cache_misses += 1;
+                }
+            }
+            EventKind::CacheInvalidate {
+                currencies,
+                clients,
+                dirty_depth,
+            } => {
+                self.invalidated_currencies += currencies as u64;
+                self.invalidated_clients += clients as u64;
+                self.dirty_depth.record(dirty_depth as f64);
+            }
+            EventKind::DirtyDrain { drained } => self.dirty_drained.record(drained as f64),
+            EventKind::QueueDepth { cpu, depth } => {
+                self.queue_depth.record(depth as f64);
+                let max = self.cpu_queue_depth_max.entry(cpu).or_insert(0);
+                *max = (*max).max(depth);
+            }
+            EventKind::ThreadSpawn { .. }
+            | EventKind::QuantumEnd { .. }
+            | EventKind::Wake { .. }
+            | EventKind::RpcDeliver { .. }
+            | EventKind::RpcReply { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_counters_and_snapshot_renders() {
+        let mut a = Aggregator::new();
+        let feed = [
+            EventKind::Dispatch {
+                thread: 0,
+                cpu: 0,
+                wait_us: 100,
+                queue_depth: 3,
+            },
+            EventKind::LotteryDraw {
+                structure: "list",
+                entries: 4,
+                levels: 2,
+                total: 1000.0,
+                winning: 1.0,
+                winner: 0,
+            },
+            EventKind::CacheLookup {
+                kind: "client",
+                hit: true,
+            },
+            EventKind::CacheLookup {
+                kind: "client",
+                hit: false,
+            },
+            EventKind::CacheInvalidate {
+                currencies: 2,
+                clients: 1,
+                dirty_depth: 1,
+            },
+            EventKind::LedgerOp { op: "fund-client" },
+            EventKind::LedgerOp { op: "fund-client" },
+            EventKind::Compensation {
+                thread: 0,
+                factor: 2.0,
+            },
+        ];
+        for kind in feed {
+            a.record(&Event { time_us: 0, kind });
+        }
+        assert_eq!(a.dispatches, 1);
+        assert_eq!(a.draws, 1);
+        assert_eq!(a.cache_hit_rate(), Some(0.5));
+        assert_eq!(a.invalidated_currencies, 2);
+        assert_eq!(a.ledger_ops.get("fund-client"), Some(&2));
+        let text = a.prometheus_text();
+        assert!(text.contains("lottery_draws_total 1"));
+        assert!(text.contains("lottery_ledger_ops_total{op=\"fund-client\"} 2"));
+        assert!(text.contains("lottery_cache_hit_rate 0.5"));
+    }
+}

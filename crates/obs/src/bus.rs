@@ -1,0 +1,172 @@
+//! The probe bus: one event pipeline for every layer.
+//!
+//! A [`ProbeBus`] is cloned into each instrumented layer (ledger, policy,
+//! kernel); clones share the recorder list and the event clock. The
+//! disabled bus — the default — is `None` inside: emitting through it is
+//! one branch, and because [`ProbeBus::emit`] takes a *closure*, the event
+//! payload is never even constructed. That is the "zero overhead when
+//! disabled" contract the dispatch benchmarks verify.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Recorder;
+
+struct BusInner {
+    /// The emitting kernel's clock, in microseconds; stamped onto every
+    /// event so probes in clockless layers (the ledger) get coherent
+    /// timestamps.
+    clock_us: AtomicU64,
+    recorders: Mutex<Vec<Box<dyn Recorder + Send>>>,
+}
+
+/// A cloneable handle to a shared probe pipeline.
+#[derive(Clone)]
+pub struct ProbeBus {
+    inner: Option<Arc<BusInner>>,
+}
+
+impl Default for ProbeBus {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl fmt::Debug for ProbeBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbeBus")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl ProbeBus {
+    /// A disabled bus: emits are a single branch, nothing is recorded.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled bus with no recorders yet (attach some with
+    /// [`ProbeBus::attach`]).
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(BusInner {
+                clock_us: AtomicU64::new(0),
+                recorders: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// An enabled bus with one recorder attached.
+    pub fn with_recorder(recorder: impl Recorder + Send + 'static) -> Self {
+        let bus = Self::enabled();
+        bus.attach(recorder);
+        bus
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches a recorder; every subsequent emit fans out to it too.
+    ///
+    /// Returns `false` (and drops the recorder) on a disabled bus — a
+    /// disabled bus is permanently inert; build an enabled one instead.
+    pub fn attach(&self, recorder: impl Recorder + Send + 'static) -> bool {
+        match &self.inner {
+            Some(inner) => {
+                inner
+                    .recorders
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(Box::new(recorder));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances the bus clock (called by the kernel as simulated time
+    /// moves; cheap enough to call per event).
+    pub fn set_time_us(&self, time_us: u64) {
+        if let Some(inner) = &self.inner {
+            inner.clock_us.store(time_us, Ordering::Relaxed);
+        }
+    }
+
+    /// The current bus clock.
+    pub fn time_us(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.clock_us.load(Ordering::Relaxed))
+    }
+
+    /// Emits an event to every recorder.
+    ///
+    /// The closure is only invoked when the bus is enabled, so disabled
+    /// emission costs one branch and no payload construction.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> EventKind) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let event = Event {
+            time_us: inner.clock_us.load(Ordering::Relaxed),
+            kind: build(),
+        };
+        let mut recorders = inner.recorders.lock().unwrap_or_else(|e| e.into_inner());
+        for r in recorders.iter_mut() {
+            r.record(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::FlightRecorder;
+    use crate::recorder::Shared;
+
+    #[test]
+    fn disabled_bus_never_builds_payloads() {
+        let bus = ProbeBus::disabled();
+        let mut built = false;
+        bus.emit(|| {
+            built = true;
+            EventKind::Wake { thread: 0 }
+        });
+        assert!(!built);
+        assert!(!bus.is_enabled());
+        assert!(!bus.attach(FlightRecorder::new(4)));
+    }
+
+    #[test]
+    fn clones_share_recorders_and_clock() {
+        let flight = Shared::new(FlightRecorder::new(16));
+        let bus = ProbeBus::with_recorder(flight.clone());
+        let clone = bus.clone();
+        clone.set_time_us(42);
+        bus.emit(|| EventKind::Wake { thread: 7 });
+        assert_eq!(bus.time_us(), 42);
+        flight.with(|f| {
+            assert_eq!(f.len(), 1);
+            let e = f.events().next().unwrap();
+            assert_eq!(e.time_us, 42);
+            assert_eq!(e.kind, EventKind::Wake { thread: 7 });
+        });
+    }
+
+    #[test]
+    fn fan_out_reaches_every_recorder() {
+        let a = Shared::new(FlightRecorder::new(8));
+        let b = Shared::new(FlightRecorder::new(8));
+        let bus = ProbeBus::with_recorder(a.clone());
+        bus.attach(b.clone());
+        bus.emit(|| EventKind::LedgerOp { op: "issue" });
+        assert_eq!(a.with(|f| f.len()), 1);
+        assert_eq!(b.with(|f| f.len()), 1);
+    }
+}

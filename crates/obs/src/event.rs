@@ -1,0 +1,306 @@
+//! The structured event schema shared by every probe point.
+//!
+//! Events reference threads and clients by raw index (the schedulers'
+//! `ThreadId::index()` / arena slots) and describe enums with `'static`
+//! string tags, keeping this crate free of upward type dependencies. The
+//! JSONL wire format is one object per event:
+//!
+//! ```json
+//! {"t_us":100000,"kind":"dispatch","thread":2,"cpu":0,"wait_us":300000,"queue_depth":3}
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// A timestamped probe event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated time of the event, in microseconds.
+    pub time_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Every probe point in the stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A thread was registered with the kernel.
+    ThreadSpawn {
+        /// Thread index.
+        thread: u32,
+    },
+    /// A thread was dispatched onto a CPU.
+    Dispatch {
+        /// Thread index.
+        thread: u32,
+        /// CPU index (0 on the uniprocessor kernel).
+        cpu: u32,
+        /// Ready-queue wait before this dispatch, in microseconds.
+        wait_us: u64,
+        /// Ready-queue depth immediately after the pick.
+        queue_depth: u32,
+    },
+    /// A dispatch ended.
+    QuantumEnd {
+        /// Thread index.
+        thread: u32,
+        /// CPU index.
+        cpu: u32,
+        /// `"quantum-expired"`, `"yielded"`, `"blocked"`, or `"exited"`.
+        reason: &'static str,
+        /// CPU time consumed during the dispatch, in microseconds.
+        used_us: u64,
+    },
+    /// A blocked thread became ready.
+    Wake {
+        /// Thread index.
+        thread: u32,
+    },
+    /// A synchronous request was delivered to a server thread.
+    RpcDeliver {
+        /// The blocked client thread.
+        client: u32,
+        /// The server thread now working on its behalf.
+        server: u32,
+    },
+    /// A reply completed an RPC.
+    RpcReply {
+        /// The client thread being woken.
+        client: u32,
+        /// The server thread that served it.
+        server: u32,
+    },
+    /// One lottery was held (Figure 1 / Section 4.2).
+    LotteryDraw {
+        /// `"list"` or `"tree"`.
+        structure: &'static str,
+        /// Ready entries participating.
+        entries: u32,
+        /// Search effort: entries scanned (list) or tree depth (tree).
+        levels: u32,
+        /// Total base-unit value in the pool.
+        total: f64,
+        /// The winning value drawn in `[0, total)`; `-1` when the pool was
+        /// worthless and the pick degenerated to FIFO (no number drawn).
+        winning: f64,
+        /// The winning thread index.
+        winner: u32,
+    },
+    /// A compensation ticket was granted (Section 4.5).
+    Compensation {
+        /// Thread index.
+        thread: u32,
+        /// The multiplicative factor `q/used` now inflating the client.
+        factor: f64,
+    },
+    /// A ledger mutation (the audit log of Section 4.3 operations).
+    LedgerOp {
+        /// Operation tag, e.g. `"fund-client"`.
+        op: &'static str,
+    },
+    /// A valuation-cache read.
+    CacheLookup {
+        /// `"client"` or `"currency"`.
+        kind: &'static str,
+        /// Whether the value was served from the cache.
+        hit: bool,
+    },
+    /// A mutation invalidated part of the valuation cache.
+    CacheInvalidate {
+        /// Cached currency entries removed.
+        currencies: u32,
+        /// Cached client entries removed.
+        clients: u32,
+        /// Dirty-queue depth after the invalidation.
+        dirty_depth: u32,
+    },
+    /// The scheduler drained the dirty-client queue before a draw.
+    DirtyDrain {
+        /// Clients drained.
+        drained: u32,
+    },
+    /// A per-CPU ready-queue depth sample.
+    QueueDepth {
+        /// CPU index.
+        cpu: u32,
+        /// Ready-queue depth observed.
+        depth: u32,
+    },
+}
+
+impl EventKind {
+    /// The event's wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ThreadSpawn { .. } => "spawn",
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::QuantumEnd { .. } => "quantum-end",
+            EventKind::Wake { .. } => "wake",
+            EventKind::RpcDeliver { .. } => "rpc-deliver",
+            EventKind::RpcReply { .. } => "rpc-reply",
+            EventKind::LotteryDraw { .. } => "lottery-draw",
+            EventKind::Compensation { .. } => "compensation",
+            EventKind::LedgerOp { .. } => "ledger-op",
+            EventKind::CacheLookup { .. } => "cache-lookup",
+            EventKind::CacheInvalidate { .. } => "cache-invalidate",
+            EventKind::DirtyDrain { .. } => "dirty-drain",
+            EventKind::QueueDepth { .. } => "queue-depth",
+        }
+    }
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (the JSONL record format).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t_us\":{},\"kind\":\"{}\"",
+            self.time_us,
+            self.kind.name()
+        );
+        match self.kind {
+            EventKind::ThreadSpawn { thread } | EventKind::Wake { thread } => {
+                let _ = write!(s, ",\"thread\":{thread}");
+            }
+            EventKind::Dispatch {
+                thread,
+                cpu,
+                wait_us,
+                queue_depth,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"thread\":{thread},\"cpu\":{cpu},\"wait_us\":{wait_us},\"queue_depth\":{queue_depth}"
+                );
+            }
+            EventKind::QuantumEnd {
+                thread,
+                cpu,
+                reason,
+                used_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"thread\":{thread},\"cpu\":{cpu},\"reason\":\"{reason}\",\"used_us\":{used_us}"
+                );
+            }
+            EventKind::RpcDeliver { client, server } | EventKind::RpcReply { client, server } => {
+                let _ = write!(s, ",\"client\":{client},\"server\":{server}");
+            }
+            EventKind::LotteryDraw {
+                structure,
+                entries,
+                levels,
+                total,
+                winning,
+                winner,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"structure\":\"{structure}\",\"entries\":{entries},\"levels\":{levels},\"total\":{},\"winning\":{},\"winner\":{winner}",
+                    json::number(total),
+                    json::number(winning)
+                );
+            }
+            EventKind::Compensation { thread, factor } => {
+                let _ = write!(
+                    s,
+                    ",\"thread\":{thread},\"factor\":{}",
+                    json::number(factor)
+                );
+            }
+            EventKind::LedgerOp { op } => {
+                let _ = write!(s, ",\"op\":\"{op}\"");
+            }
+            EventKind::CacheLookup { kind, hit } => {
+                let _ = write!(s, ",\"cache\":\"{kind}\",\"hit\":{hit}");
+            }
+            EventKind::CacheInvalidate {
+                currencies,
+                clients,
+                dirty_depth,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"currencies\":{currencies},\"clients\":{clients},\"dirty_depth\":{dirty_depth}"
+                );
+            }
+            EventKind::DirtyDrain { drained } => {
+                let _ = write!(s, ",\"drained\":{drained}");
+            }
+            EventKind::QueueDepth { cpu, depth } => {
+                let _ = write!(s, ",\"cpu\":{cpu},\"depth\":{depth}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_records_parse_back() {
+        let events = [
+            Event {
+                time_us: 100,
+                kind: EventKind::Dispatch {
+                    thread: 2,
+                    cpu: 0,
+                    wait_us: 300,
+                    queue_depth: 3,
+                },
+            },
+            Event {
+                time_us: 200,
+                kind: EventKind::LotteryDraw {
+                    structure: "tree",
+                    entries: 4,
+                    levels: 2,
+                    total: 1000.0,
+                    winning: 431.25,
+                    winner: 1,
+                },
+            },
+            Event {
+                time_us: 300,
+                kind: EventKind::CacheLookup {
+                    kind: "client",
+                    hit: true,
+                },
+            },
+        ];
+        for e in events {
+            let v = json::parse(&e.to_json()).expect("event JSON parses");
+            assert_eq!(
+                v.get("t_us").and_then(json::Value::as_f64),
+                Some(e.time_us as f64)
+            );
+            assert_eq!(
+                v.get("kind").and_then(json::Value::as_str),
+                Some(e.kind.name())
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_draw_marks_winning_negative() {
+        let e = Event {
+            time_us: 0,
+            kind: EventKind::LotteryDraw {
+                structure: "list",
+                entries: 2,
+                levels: 1,
+                total: 0.0,
+                winning: -1.0,
+                winner: 0,
+            },
+        };
+        let v = json::parse(&e.to_json()).unwrap();
+        assert_eq!(v.get("winning").and_then(json::Value::as_f64), Some(-1.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! The flight recorder: a bounded ring of recent events plus exporters.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Recorder;
+
+/// A bounded ring buffer of probe events.
+///
+/// Keeps the most recent `capacity` events, counting evictions, and
+/// replays its contents as JSONL records or a Chrome `trace_event`
+/// timeline.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        Self {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards every retained event (the eviction counter survives).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+
+    /// Serializes the retained events as JSONL: one JSON object per line,
+    /// oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.ring.len() * 96);
+        for event in &self.ring {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the retained events as a Chrome `trace_event` document
+    /// (load it at `chrome://tracing` or in Perfetto).
+    ///
+    /// Dispatch→quantum-end pairs become complete (`"X"`) slices on a
+    /// per-CPU track; wakes, draws, and RPC endpoints become instants.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&s);
+        };
+        // In-flight dispatches: thread -> (start time, cpu, queue depth).
+        let mut running: HashMap<u32, (u64, u32, u32)> = HashMap::new();
+        for event in &self.ring {
+            let t = event.time_us;
+            match event.kind {
+                EventKind::Dispatch {
+                    thread,
+                    cpu,
+                    queue_depth,
+                    ..
+                } => {
+                    running.insert(thread, (t, cpu, queue_depth));
+                }
+                EventKind::QuantumEnd {
+                    thread,
+                    cpu,
+                    reason,
+                    ..
+                } => {
+                    let (start, start_cpu, depth) = running.remove(&thread).unwrap_or((t, cpu, 0));
+                    let mut s = String::with_capacity(128);
+                    let _ = write!(
+                        s,
+                        "{{\"name\":\"thread {thread}\",\"ph\":\"X\",\"ts\":{start},\"dur\":{},\"pid\":{start_cpu},\"tid\":{thread},\"args\":{{\"reason\":\"{reason}\",\"queue_depth\":{depth}}}}}",
+                        t.saturating_sub(start)
+                    );
+                    push(s, &mut first);
+                }
+                EventKind::Wake { thread } => {
+                    push(
+                        format!(
+                            "{{\"name\":\"wake\",\"ph\":\"i\",\"ts\":{t},\"pid\":0,\"tid\":{thread},\"s\":\"t\"}}"
+                        ),
+                        &mut first,
+                    );
+                }
+                EventKind::LotteryDraw {
+                    structure, winner, ..
+                } => {
+                    push(
+                        format!(
+                            "{{\"name\":\"draw:{structure}\",\"ph\":\"i\",\"ts\":{t},\"pid\":0,\"tid\":{winner},\"s\":\"t\"}}"
+                        ),
+                        &mut first,
+                    );
+                }
+                EventKind::RpcDeliver { client, server } => {
+                    push(
+                        format!(
+                            "{{\"name\":\"rpc-deliver:{client}\",\"ph\":\"i\",\"ts\":{t},\"pid\":0,\"tid\":{server},\"s\":\"t\"}}"
+                        ),
+                        &mut first,
+                    );
+                }
+                EventKind::RpcReply { client, server } => {
+                    push(
+                        format!(
+                            "{{\"name\":\"rpc-reply:{client}\",\"ph\":\"i\",\"ts\":{t},\"pid\":0,\"tid\":{server},\"s\":\"t\"}}"
+                        ),
+                        &mut first,
+                    );
+                }
+                _ => {}
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record(&mut self, event: &Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ev(time_us: u64, kind: EventKind) -> Event {
+        Event { time_us, kind }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut f = FlightRecorder::new(2);
+        f.record(&ev(1, EventKind::Wake { thread: 0 }));
+        f.record(&ev(2, EventKind::Wake { thread: 1 }));
+        f.record(&ev(3, EventKind::Wake { thread: 2 }));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.dropped(), 1);
+        assert_eq!(f.events().next().unwrap().time_us, 2);
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_object_per_line() {
+        let mut f = FlightRecorder::new(8);
+        f.record(&ev(
+            10,
+            EventKind::Dispatch {
+                thread: 0,
+                cpu: 0,
+                wait_us: 5,
+                queue_depth: 1,
+            },
+        ));
+        f.record(&ev(20, EventKind::LedgerOp { op: "issue" }));
+        let jsonl = f.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            json::parse(line).expect("line parses");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_pairs_dispatch_with_quantum_end() {
+        let mut f = FlightRecorder::new(8);
+        f.record(&ev(
+            100,
+            EventKind::Dispatch {
+                thread: 3,
+                cpu: 1,
+                wait_us: 0,
+                queue_depth: 2,
+            },
+        ));
+        f.record(&ev(
+            400,
+            EventKind::QuantumEnd {
+                thread: 3,
+                cpu: 1,
+                reason: "quantum-expired",
+                used_us: 300,
+            },
+        ));
+        f.record(&ev(450, EventKind::Wake { thread: 5 }));
+        let doc = f.to_chrome_trace();
+        let v = json::parse(&doc).expect("chrome trace parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        let slice = &events[0];
+        assert_eq!(slice.get("ph").and_then(json::Value::as_str), Some("X"));
+        assert_eq!(slice.get("ts").and_then(json::Value::as_f64), Some(100.0));
+        assert_eq!(slice.get("dur").and_then(json::Value::as_f64), Some(300.0));
+        assert_eq!(slice.get("pid").and_then(json::Value::as_f64), Some(1.0));
+    }
+}

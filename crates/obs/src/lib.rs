@@ -1,0 +1,42 @@
+//! Observability substrate for the lottery-scheduling stack.
+//!
+//! The paper's entire evaluation (Figures 4–9, Section 5.6) is built on
+//! *observing* the scheduler: per-window shares, observed-vs-entitled
+//! error, response-time distributions, and overhead. This crate provides
+//! the measurement plumbing as a reusable layer below the ledger and the
+//! simulator:
+//!
+//! * [`ProbeBus`] — a structured event bus that is **zero-overhead when
+//!   disabled**: a disabled bus is a single `Option` check, and event
+//!   payloads are built lazily (via closure) only when at least one
+//!   recorder is attached.
+//! * [`Recorder`] — the sink trait. [`NopRecorder`] discards everything
+//!   (for measuring bus overhead), [`FlightRecorder`] keeps a bounded ring
+//!   of recent events, [`Aggregator`] folds events into counters and
+//!   histograms, and [`FairnessMonitor`] derives per-client
+//!   observed-vs-entitled share drift with a binomial z-score alarm
+//!   (Figure 4's error statistics, continuously).
+//! * Exporters — JSONL flight records ([`FlightRecorder::to_jsonl`]),
+//!   Chrome `trace_event` timeline JSON ([`FlightRecorder::to_chrome_trace`]),
+//!   and a Prometheus-style text snapshot ([`Aggregator::prometheus_text`]).
+//! * [`json`] — the dependency-free JSON writer/parser backing every
+//!   exporter (and `lotteryctl --json`).
+//!
+//! Events carry raw integer ids (thread/client indexes) and static string
+//! tags, so this crate sits below `lottery-core` with no type
+//! dependencies on the layers it observes.
+
+pub mod aggregate;
+pub mod bus;
+pub mod event;
+pub mod fairness;
+pub mod flight;
+pub mod json;
+pub mod recorder;
+
+pub use aggregate::Aggregator;
+pub use bus::ProbeBus;
+pub use event::{Event, EventKind};
+pub use fairness::{DriftRow, FairnessMonitor, FairnessReport};
+pub use flight::FlightRecorder;
+pub use recorder::{NopRecorder, Recorder, Shared};

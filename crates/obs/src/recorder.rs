@@ -1,0 +1,82 @@
+//! Event sinks for the probe bus.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// A probe-event sink.
+///
+/// Recorders are driven synchronously from the emitting thread; they must
+/// be cheap and must never call back into the instrumented layers.
+pub trait Recorder {
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+}
+
+/// A recorder that discards everything.
+///
+/// Attaching it keeps the bus *enabled* — every probe point still builds
+/// its payload — which is exactly what the overhead benchmarks need to
+/// price the bus machinery separately from any real sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopRecorder;
+
+impl Recorder for NopRecorder {
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// A shared, cloneable handle around a recorder.
+///
+/// The bus owns its recorders as boxed trait objects; wrapping a recorder
+/// in `Shared` lets the caller keep a handle for reading results back out
+/// after (or during) a run while a clone lives on the bus.
+#[derive(Debug, Default)]
+pub struct Shared<R>(Arc<Mutex<R>>);
+
+impl<R> Clone for Shared<R> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<R> Shared<R> {
+    /// Wraps a recorder for shared access.
+    pub fn new(recorder: R) -> Self {
+        Self(Arc::new(Mutex::new(recorder)))
+    }
+
+    /// Runs `f` with exclusive access to the recorder.
+    pub fn with<T>(&self, f: impl FnOnce(&mut R) -> T) -> T {
+        let mut guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut guard)
+    }
+}
+
+impl<R: Recorder> Recorder for Shared<R> {
+    fn record(&mut self, event: &Event) {
+        self.with(|r| r.record(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn shared_handle_sees_recorded_events() {
+        struct Count(u64);
+        impl Recorder for Count {
+            fn record(&mut self, _: &Event) {
+                self.0 += 1;
+            }
+        }
+        let shared = Shared::new(Count(0));
+        let mut on_bus = shared.clone();
+        on_bus.record(&Event {
+            time_us: 0,
+            kind: EventKind::Wake { thread: 1 },
+        });
+        assert_eq!(shared.with(|c| c.0), 1);
+    }
+}

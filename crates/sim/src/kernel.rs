@@ -20,12 +20,14 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use lottery_obs::{EventKind, ProbeBus, Shared};
+
 use crate::ipc::{Message, Port, PortId};
 use crate::metrics::Metrics;
 use crate::sched::{EndReason, Policy};
 use crate::thread::{BlockReason, Thread, ThreadId, ThreadState};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::Trace;
 use crate::workload::{Burst, Workload, WorkloadCtx};
 
 /// A discrete-event uniprocessor kernel parameterized by its scheduling
@@ -46,7 +48,13 @@ pub struct Kernel<P: Policy> {
     /// scheduler's selection work (Section 5.6's overhead accounting).
     dispatch_cost: SimDuration,
     last_dispatched: Option<ThreadId>,
-    trace: Option<Trace>,
+    /// Structured probe pipeline; disabled by default. The kernel stamps
+    /// its clock onto the bus before each emit so every layer's events
+    /// carry coherent simulated timestamps.
+    bus: ProbeBus,
+    /// The scheduling-event trace, kept as one recorder on the bus (the
+    /// pre-bus `Trace` API is preserved on top of it).
+    trace: Option<Shared<Trace>>,
 }
 
 impl<P: Policy> Kernel<P> {
@@ -63,24 +71,49 @@ impl<P: Policy> Kernel<P> {
             context_switch_cost: SimDuration::ZERO,
             dispatch_cost: SimDuration::ZERO,
             last_dispatched: None,
+            bus: ProbeBus::disabled(),
             trace: None,
         }
     }
 
+    /// Attaches a probe bus to the kernel and its policy. Events from the
+    /// dispatch loop, the policy's lotteries, and the ledger's cache all
+    /// flow through this one pipeline.
+    pub fn set_probe_bus(&mut self, bus: ProbeBus) {
+        self.policy.set_probe_bus(bus.clone());
+        self.bus = bus;
+    }
+
+    /// The kernel's probe bus (cheap to clone; clones share state).
+    pub fn probe_bus(&self) -> &ProbeBus {
+        &self.bus
+    }
+
     /// Enables the scheduling-event flight recorder, keeping the most
     /// recent `capacity` events.
+    ///
+    /// Implemented as a [`Trace`] recorder attached to the probe bus; if
+    /// no bus is attached yet, an enabled one is installed.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
+        if !self.bus.is_enabled() {
+            self.set_probe_bus(ProbeBus::enabled());
+        }
+        let shared = Shared::new(Trace::new(capacity));
+        self.bus.attach(shared.clone());
+        self.trace = Some(shared);
     }
 
-    /// The recorded trace, if enabled.
-    pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+    /// A snapshot of the recorded trace, if enabled.
+    pub fn trace(&self) -> Option<Trace> {
+        self.trace.as_ref().map(|t| t.with(|t| t.clone()))
     }
 
-    fn record_event(&mut self, event: TraceEvent) {
-        if let Some(trace) = &mut self.trace {
-            trace.record(self.clock, event);
+    /// Stamps the clock and emits onto the bus (payload built only when
+    /// the bus is enabled).
+    fn probe(&self, build: impl FnOnce() -> EventKind) {
+        if self.bus.is_enabled() {
+            self.bus.set_time_us(self.clock.as_us());
+            self.bus.emit(build);
         }
     }
 
@@ -155,7 +188,9 @@ impl<P: Policy> Kernel<P> {
         self.threads.push(thread);
         self.policy.on_spawn(tid, spec);
         self.policy.enqueue(tid, self.clock);
-        self.record_event(TraceEvent::Spawn(tid));
+        self.probe(|| EventKind::ThreadSpawn {
+            thread: tid.index(),
+        });
         tid
     }
 
@@ -196,7 +231,12 @@ impl<P: Policy> Kernel<P> {
         // `on_exit` drops the thread from the ready set and releases its
         // policy state (for the lottery policy: client and tickets).
         self.policy.on_exit(tid);
-        self.record_event(TraceEvent::QuantumEnd(tid, EndReason::Exited));
+        self.probe(|| EventKind::QuantumEnd {
+            thread: tid.index(),
+            cpu: 0,
+            reason: EndReason::Exited.as_str(),
+            used_us: 0,
+        });
     }
 
     /// Runs the simulation until the clock reaches `deadline` (plus any
@@ -267,7 +307,9 @@ impl<P: Policy> Kernel<P> {
         thread.set_state(ThreadState::Ready);
         thread.ready_since = Some(when);
         self.policy.enqueue(tid, when);
-        self.record_event(TraceEvent::Wake(tid));
+        self.probe(|| EventKind::Wake {
+            thread: tid.index(),
+        });
     }
 
     /// Runs one dispatched thread until quantum expiry, yield, block, or
@@ -291,7 +333,13 @@ impl<P: Policy> Kernel<P> {
             self.clock.saturating_since(since)
         };
         self.metrics.record_dispatch(tid, waited, switched);
-        self.record_event(TraceEvent::Dispatch(tid));
+        let queue_depth = self.policy.ready_len() as u32;
+        self.probe(|| EventKind::Dispatch {
+            thread: tid.index(),
+            cpu: 0,
+            wait_us: waited.as_us(),
+            queue_depth,
+        });
 
         let mut remaining = quantum;
         loop {
@@ -371,9 +419,9 @@ impl<P: Policy> Kernel<P> {
                         // running within this quantum.
                         self.threads[tid.index() as usize].current_request = Some(message);
                         self.policy.transfer(message.client, tid);
-                        self.record_event(TraceEvent::Deliver {
-                            client: message.client,
-                            server: tid,
+                        self.probe(|| EventKind::RpcDeliver {
+                            client: message.client.index(),
+                            server: tid.index(),
                         });
                         BurstOutcome::Continue
                     }
@@ -388,9 +436,9 @@ impl<P: Policy> Kernel<P> {
                     .current_request
                     .take()
                     .expect("Burst::Reply with no request in service");
-                self.record_event(TraceEvent::Reply {
-                    client: message.client,
-                    server: tid,
+                self.probe(|| EventKind::RpcReply {
+                    client: message.client.index(),
+                    server: tid.index(),
                 });
                 self.policy.untransfer(message.client, tid);
                 // The client may have been killed while waiting; its
@@ -428,8 +476,13 @@ impl<P: Policy> Kernel<P> {
     /// Finishes a dispatch: charges the policy and re-enqueues a still
     /// runnable thread.
     fn end_quantum(&mut self, tid: ThreadId, quantum: SimDuration, reason: EndReason) {
-        self.record_event(TraceEvent::QuantumEnd(tid, reason));
         let used = self.threads[tid.index() as usize].quantum_used;
+        self.probe(|| EventKind::QuantumEnd {
+            thread: tid.index(),
+            cpu: 0,
+            reason: reason.as_str(),
+            used_us: used.as_us(),
+        });
         if used.is_zero() && reason == EndReason::Yielded {
             // A thread that yields without consuming CPU would otherwise
             // let the clock stand still forever; bill one microsecond of
@@ -476,9 +529,9 @@ impl<P: Policy> Kernel<P> {
         );
         thread.current_request = Some(message);
         self.policy.transfer(message.client, server);
-        self.record_event(TraceEvent::Deliver {
-            client: message.client,
-            server,
+        self.probe(|| EventKind::RpcDeliver {
+            client: message.client.index(),
+            server: server.index(),
         });
         self.make_ready(server, self.clock);
     }

@@ -38,6 +38,10 @@ pub mod workload;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use lottery_obs::{
+        Aggregator, FairnessMonitor, FlightRecorder, ProbeBus, Recorder, Shared,
+    };
+
     pub use crate::ipc::PortId;
     pub use crate::kernel::Kernel;
     pub use crate::metrics::Metrics;

@@ -30,6 +30,9 @@ pub struct ThreadMetrics {
     pub response_us: Summary,
     /// Every completed RPC: `(completion time_us, response time_us)`.
     pub responses: Vec<(u64, f64)>,
+    /// Per-segment run lengths, in microseconds (how much CPU each
+    /// dispatch actually consumed).
+    pub run_us: Summary,
     /// Kernel-mutex waiting times, in microseconds (block to handoff).
     pub lock_wait_us: Summary,
     /// Times the thread blocked.
@@ -89,10 +92,9 @@ impl Metrics {
         ran: SimDuration,
         cpu_total: SimDuration,
     ) {
-        let _ = ran;
-        self.thread_mut(tid)
-            .cpu_series
-            .record(now.as_us(), cpu_total.as_us() as f64);
+        let t = self.thread_mut(tid);
+        t.run_us.record(ran.as_us() as f64);
+        t.cpu_series.record(now.as_us(), cpu_total.as_us() as f64);
     }
 
     /// Records a dispatch and its ready-queue wait.
@@ -162,6 +164,10 @@ mod tests {
         );
         assert_eq!(m.cpu_us(T0), 200_000);
         assert_eq!(m.cpu_us(T1), 0);
+        let t = m.thread(T0).unwrap();
+        assert_eq!(t.run_us.count(), 2);
+        assert_eq!(t.run_us.mean(), 100_000.0);
+        assert_eq!(t.run_us.sum(), 200_000.0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use lottery_core::mutex::{TicketMutex, WaiterFunding};
 use lottery_core::rng::{ParkMiller, SchedRng};
 use lottery_core::ticket::TicketId;
 use lottery_core::transfer::{lend, Transfer, TransferTarget};
+use lottery_obs::{EventKind, ProbeBus};
 
 use super::{EndReason, LockId, Policy};
 use crate::thread::ThreadId;
@@ -107,6 +108,8 @@ pub struct LotteryPolicy {
     tree: TreeLottery<ThreadId, f64>,
     /// Kernel mutexes (Section 6.1), scheduled by handoff lotteries.
     locks: Vec<TicketMutex>,
+    /// Probe bus for per-draw observability (disabled by default).
+    bus: ProbeBus,
 }
 
 impl LotteryPolicy {
@@ -136,6 +139,7 @@ impl LotteryPolicy {
             structure: SelectStructure::List,
             tree: TreeLottery::new(),
             locks: Vec::new(),
+            bus: ProbeBus::disabled(),
         }
     }
 
@@ -370,7 +374,10 @@ impl Policy for LotteryPolicy {
             // Exact: activation just invalidated the client (and any
             // shared-currency siblings, refreshed at the next pick), so
             // this read revalues precisely the changed subgraph.
-            let value = self.ledger.cached_client_value(funding.client).unwrap_or(0.0);
+            let value = self
+                .ledger
+                .cached_client_value(funding.client)
+                .unwrap_or(0.0);
             self.tree.insert(tid, value);
         }
     }
@@ -380,15 +387,35 @@ impl Policy for LotteryPolicy {
             return None;
         }
         self.lotteries += 1;
+        let entries = self.ready.len() as u32;
         let tid = if self.structure == SelectStructure::Tree {
             // Settle pending invalidations, then an O(log n) descent over
             // the partial-sum tree; degenerate to FIFO when every weight
-            // is zero.
+            // is zero. Spelled out (rather than `tree.draw`) so the draw
+            // can be observed; the RNG stream is bit-identical — a winning
+            // value is consumed exactly when `draw` would consume one.
             self.refresh_dirty_weights();
-            let tid = match self.tree.draw(&mut self.rng) {
-                Ok(&tid) => tid,
-                Err(_) => self.ready[0],
+            let total = self.tree.total();
+            let (tid, winning) = if self.tree.is_empty() || total <= 0.0 {
+                (self.ready[0], -1.0)
+            } else {
+                let winning = self.rng.next_f64() * total;
+                let tid = match self.tree.select(winning) {
+                    Some(&tid) => tid,
+                    None => self.ready[0],
+                };
+                (tid, winning)
             };
+            let levels = self.tree.depth();
+            let winner = tid.index();
+            self.bus.emit(|| EventKind::LotteryDraw {
+                structure: "tree",
+                entries,
+                levels,
+                total,
+                winning,
+                winner,
+            });
             self.tree.remove(&tid);
             self.remove_ready(tid);
             tid
@@ -408,11 +435,11 @@ impl Policy for LotteryPolicy {
                 .collect();
             let total: f64 = values.iter().sum();
 
-            let index = if total <= 0.0 {
+            let (index, winning) = if total <= 0.0 {
                 // Every ready client is worthless (e.g. an unfunded
                 // currency). Degenerate to FIFO so the machine still
                 // makes progress.
-                0
+                (0, -1.0)
             } else {
                 // Figure 1: draw a winning value, walk the run queue
                 // summing client values in base units until the sum
@@ -427,10 +454,22 @@ impl Policy for LotteryPolicy {
                         break;
                     }
                 }
-                chosen
+                (chosen, winning)
             };
 
             let tid = self.ready[index];
+            let winner = tid.index();
+            // For the list walk, "levels" is the entries scanned before
+            // the winner was found.
+            let levels = index as u32 + 1;
+            self.bus.emit(|| EventKind::LotteryDraw {
+                structure: "list",
+                entries,
+                levels,
+                total,
+                winning,
+                winner,
+            });
             self.remove_ready(tid);
             tid
         };
@@ -466,6 +505,9 @@ impl Policy for LotteryPolicy {
                         quantum.as_us(),
                     )
                     .expect("client liveness");
+                    let thread = tid.index();
+                    let factor = quantum.as_us() as f64 / used.as_us().max(1) as f64;
+                    self.bus.emit(|| EventKind::Compensation { thread, factor });
                 }
             }
             EndReason::QuantumExpired | EndReason::Exited => {}
@@ -517,6 +559,13 @@ impl Policy for LotteryPolicy {
 
     fn ready_len(&self) -> usize {
         self.ready.len()
+    }
+
+    /// Stores the bus and forwards a clone to the ledger, so draw events
+    /// and cache/mutation events share one pipeline.
+    fn set_probe_bus(&mut self, bus: ProbeBus) {
+        self.ledger.set_probe_bus(bus.clone());
+        self.bus = bus;
     }
 
     /// Creates a lottery-scheduled kernel mutex: a mutex currency plus an

@@ -22,6 +22,8 @@ pub mod rr;
 pub mod stride;
 pub mod timeshare;
 
+use lottery_obs::ProbeBus;
+
 use crate::thread::ThreadId;
 use crate::time::{SimDuration, SimTime};
 
@@ -53,6 +55,29 @@ pub enum EndReason {
     Blocked,
     /// The thread exited.
     Exited,
+}
+
+impl EndReason {
+    /// Stable wire name, used by trace exporters and `lotteryctl`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EndReason::QuantumExpired => "quantum-expired",
+            EndReason::Yielded => "yielded",
+            EndReason::Blocked => "blocked",
+            EndReason::Exited => "exited",
+        }
+    }
+
+    /// Parses a wire name produced by [`EndReason::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quantum-expired" => Some(EndReason::QuantumExpired),
+            "yielded" => Some(EndReason::Yielded),
+            "blocked" => Some(EndReason::Blocked),
+            "exited" => Some(EndReason::Exited),
+            _ => None,
+        }
+    }
 }
 
 /// A scheduling policy.
@@ -143,6 +168,14 @@ pub trait Policy {
     /// killed). Default no-op for policies without lock support.
     fn cancel_lock_waits(&mut self, tid: ThreadId) {
         let _ = tid;
+    }
+
+    /// Attaches a probe bus for draw/compensation observability.
+    ///
+    /// Default no-op: baseline policies have nothing to report. The
+    /// lottery policy forwards the bus to its ledger too.
+    fn set_probe_bus(&mut self, bus: ProbeBus) {
+        let _ = bus;
     }
 }
 

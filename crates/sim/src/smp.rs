@@ -15,6 +15,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use lottery_obs::{EventKind, ProbeBus};
+
 use crate::metrics::Metrics;
 use crate::sched::{EndReason, Policy};
 use crate::thread::{BlockReason, Thread, ThreadId, ThreadState};
@@ -41,6 +43,8 @@ pub struct SmpKernel<P: Policy> {
     metrics: Metrics,
     /// Per-CPU busy time, for utilization accounting.
     busy: Vec<SimDuration>,
+    /// Structured probe pipeline; disabled by default.
+    bus: ProbeBus,
 }
 
 impl<P: Policy> SmpKernel<P> {
@@ -61,6 +65,27 @@ impl<P: Policy> SmpKernel<P> {
             seq: 0,
             metrics: Metrics::new(),
             busy: vec![SimDuration::ZERO; cpus],
+            bus: ProbeBus::disabled(),
+        }
+    }
+
+    /// Attaches a probe bus to the kernel and its policy (one pipeline for
+    /// dispatch, draw, and ledger events).
+    pub fn set_probe_bus(&mut self, bus: ProbeBus) {
+        self.policy.set_probe_bus(bus.clone());
+        self.bus = bus;
+    }
+
+    /// The kernel's probe bus.
+    pub fn probe_bus(&self) -> &ProbeBus {
+        &self.bus
+    }
+
+    /// Stamps the clock and emits onto the bus.
+    fn probe(&self, at: SimTime, build: impl FnOnce() -> EventKind) {
+        if self.bus.is_enabled() {
+            self.bus.set_time_us(at.as_us());
+            self.bus.emit(build);
         }
     }
 
@@ -116,6 +141,9 @@ impl<P: Policy> SmpKernel<P> {
         self.threads.push(thread);
         self.policy.on_spawn(tid, spec);
         self.policy.enqueue(tid, self.clock);
+        self.probe(self.clock, || EventKind::ThreadSpawn {
+            thread: tid.index(),
+        });
         self.kick_idle_cpus();
         tid
     }
@@ -151,6 +179,9 @@ impl<P: Policy> SmpKernel<P> {
                     thread.set_state(ThreadState::Ready);
                     thread.ready_since = Some(self.clock);
                     self.policy.enqueue(tid, self.clock);
+                    self.probe(self.clock, || EventKind::Wake {
+                        thread: tid.index(),
+                    });
                     self.kick_idle_cpus();
                 }
                 Event::CpuFree { cpu } => match self.policy.pick(self.clock) {
@@ -175,6 +206,17 @@ impl<P: Policy> SmpKernel<P> {
             start.saturating_since(since)
         };
         self.metrics.record_dispatch(tid, waited, true);
+        let queue_depth = self.policy.ready_len() as u32;
+        self.probe(start, || EventKind::Dispatch {
+            thread: tid.index(),
+            cpu,
+            wait_us: waited.as_us(),
+            queue_depth,
+        });
+        self.probe(start, || EventKind::QueueDepth {
+            cpu,
+            depth: queue_depth,
+        });
 
         let mut elapsed = SimDuration::ZERO;
         let mut remaining = quantum;
@@ -236,6 +278,12 @@ impl<P: Policy> SmpKernel<P> {
         let cpu_total = self.threads[tid.index() as usize].cpu_time;
         self.metrics.record_run(tid, end, elapsed, cpu_total);
         let used = self.threads[tid.index() as usize].quantum_used;
+        self.probe(end, || EventKind::QuantumEnd {
+            thread: tid.index(),
+            cpu,
+            reason: reason.as_str(),
+            used_us: used.as_us(),
+        });
         self.policy.charge(tid, used, quantum, reason);
         match reason {
             EndReason::QuantumExpired | EndReason::Yielded => {

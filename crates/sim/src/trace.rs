@@ -4,8 +4,15 @@
 //! when enabled. Tests use traces to assert *sequences* of decisions
 //! (dispatch → block → wake → dispatch) rather than just aggregate
 //! counters, and experiment debugging uses them as a flight recorder.
+//!
+//! Since the probe-bus rework, `Trace` is an [`lottery_obs::Recorder`]:
+//! the kernel publishes events once, onto its [`lottery_obs::ProbeBus`],
+//! and a trace attached to the bus folds the scheduler-shaped subset into
+//! this typed ring — one event pipeline instead of two.
 
 use std::collections::VecDeque;
+
+use lottery_obs::{Event, EventKind};
 
 use crate::sched::EndReason;
 use crate::thread::ThreadId;
@@ -39,7 +46,7 @@ pub enum TraceEvent {
 }
 
 /// A bounded trace ring.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Trace {
     ring: VecDeque<(SimTime, TraceEvent)>,
     capacity: usize,
@@ -105,6 +112,38 @@ impl Trace {
             })
             .copied()
             .collect()
+    }
+}
+
+impl lottery_obs::Recorder for Trace {
+    /// Folds the scheduler-shaped subset of the probe-bus stream into the
+    /// typed ring; ledger/cache events are not scheduler decisions and are
+    /// skipped.
+    fn record(&mut self, event: &Event) {
+        let at = SimTime::from_us(event.time_us);
+        let mapped = match event.kind {
+            EventKind::ThreadSpawn { thread } => {
+                Some(TraceEvent::Spawn(ThreadId::from_index(thread)))
+            }
+            EventKind::Dispatch { thread, .. } => {
+                Some(TraceEvent::Dispatch(ThreadId::from_index(thread)))
+            }
+            EventKind::QuantumEnd { thread, reason, .. } => EndReason::parse(reason)
+                .map(|why| TraceEvent::QuantumEnd(ThreadId::from_index(thread), why)),
+            EventKind::Wake { thread } => Some(TraceEvent::Wake(ThreadId::from_index(thread))),
+            EventKind::RpcDeliver { client, server } => Some(TraceEvent::Deliver {
+                client: ThreadId::from_index(client),
+                server: ThreadId::from_index(server),
+            }),
+            EventKind::RpcReply { client, server } => Some(TraceEvent::Reply {
+                client: ThreadId::from_index(client),
+                server: ThreadId::from_index(server),
+            }),
+            _ => None,
+        };
+        if let Some(e) = mapped {
+            self.record(at, e);
+        }
     }
 }
 

@@ -1,0 +1,148 @@
+//! RNG-stream invariance of the probe bus.
+//!
+//! The observability contract that matters most for reproducibility:
+//! attaching recorders must never perturb scheduling. Every lottery
+//! consumes random numbers in exactly the same order whether or not the
+//! bus is enabled, so the winner sequence is bit-identical. These
+//! properties drive the policy through random mutation scripts — full and
+//! partial quanta (exercising compensation), blocks, and dynamic ticket
+//! inflation — with observation on and off, for both selection
+//! structures.
+
+use lottery_obs::{Aggregator, FlightRecorder, ProbeBus, Shared};
+use lottery_sim::prelude::*;
+use proptest::prelude::*;
+
+/// One scripted scheduling step, applied after each pick.
+#[derive(Debug, Clone)]
+enum Step {
+    /// The winner uses its full quantum and is requeued.
+    FullQuantum,
+    /// The winner uses `eighths/8` of the quantum and blocks; the
+    /// previously blocked thread (if any) is requeued. Grants a
+    /// compensation ticket. Restricted to 2 and 4 eighths so the
+    /// compensation factors (4.0, 2.0) and every derived value stay
+    /// exactly representable — the list walk's prefix sums and the
+    /// tree's hierarchical sums then agree bit-for-bit.
+    Block { eighths: u64 },
+    /// Inflate thread `t % threads` to `100 * k` tickets, then a full
+    /// quantum for the winner.
+    Inflate { t: usize, k: u64 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::FullQuantum),
+        prop_oneof![Just(2u64), Just(4u64)].prop_map(|eighths| Step::Block { eighths }),
+        (0..8usize, 1..6u64).prop_map(|(t, k)| Step::Inflate { t, k }),
+    ]
+}
+
+/// Runs `script` against a fresh policy, returning the winner sequence.
+fn run(
+    structure: SelectStructure,
+    seed: u32,
+    threads: usize,
+    script: &[Step],
+    bus: Option<ProbeBus>,
+) -> Vec<ThreadId> {
+    let mut p = LotteryPolicy::new(seed);
+    p.set_structure(structure);
+    if let Some(bus) = bus {
+        p.set_probe_bus(bus);
+    }
+    let base = p.base_currency();
+    for i in 0..threads {
+        let tid = ThreadId::from_index(i as u32);
+        p.on_spawn(tid, FundingSpec::new(base, 100 * (i as u64 + 1)));
+        p.enqueue(tid, SimTime::ZERO);
+    }
+    let quantum = SimDuration::from_ms(100);
+    let mut winners = Vec::with_capacity(script.len());
+    let mut blocked: Option<ThreadId> = None;
+    for step in script {
+        let Some(w) = p.pick(SimTime::ZERO) else {
+            break;
+        };
+        winners.push(w);
+        match *step {
+            Step::FullQuantum => {
+                p.charge(w, quantum, quantum, EndReason::QuantumExpired);
+                p.enqueue(w, SimTime::ZERO);
+            }
+            Step::Block { eighths } => {
+                let used = SimDuration::from_ms(100 * eighths / 8);
+                p.charge(w, used, quantum, EndReason::Blocked);
+                if let Some(b) = blocked.replace(w) {
+                    p.enqueue(b, SimTime::ZERO);
+                }
+            }
+            Step::Inflate { t, k } => {
+                let target = ThreadId::from_index((t % threads) as u32);
+                p.set_funding(target, 100 * k).unwrap();
+                p.charge(w, quantum, quantum, EndReason::QuantumExpired);
+                p.enqueue(w, SimTime::ZERO);
+            }
+        }
+    }
+    winners
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Winner sequences are bit-identical with observation off, with a
+    /// no-op-ish aggregator attached, and with a flight recorder
+    /// attached — for both selection structures.
+    #[test]
+    fn winner_sequence_invariant_under_observation(
+        seed in 1..u32::MAX,
+        threads in 2..8usize,
+        script in proptest::collection::vec(step_strategy(), 1..120),
+    ) {
+        for structure in [SelectStructure::List, SelectStructure::Tree] {
+            let silent = run(structure, seed, threads, &script, None);
+            let aggregated = run(
+                structure,
+                seed,
+                threads,
+                &script,
+                Some(ProbeBus::with_recorder(Shared::new(Aggregator::new()))),
+            );
+            let recorded = run(
+                structure,
+                seed,
+                threads,
+                &script,
+                Some(ProbeBus::with_recorder(Shared::new(FlightRecorder::new(256)))),
+            );
+            prop_assert_eq!(&silent, &aggregated, "aggregator perturbed {:?}", structure);
+            prop_assert_eq!(&silent, &recorded, "flight recorder perturbed {:?}", structure);
+        }
+    }
+
+    /// List and tree agree with each other while observed — observation
+    /// composes with the structural equivalence the unit suite checks.
+    #[test]
+    fn structures_agree_while_observed(
+        seed in 1..u32::MAX,
+        threads in 2..8usize,
+        script in proptest::collection::vec(step_strategy(), 1..60),
+    ) {
+        let list = run(
+            SelectStructure::List,
+            seed,
+            threads,
+            &script,
+            Some(ProbeBus::with_recorder(Shared::new(Aggregator::new()))),
+        );
+        let tree = run(
+            SelectStructure::Tree,
+            seed,
+            threads,
+            &script,
+            Some(ProbeBus::with_recorder(Shared::new(Aggregator::new()))),
+        );
+        prop_assert_eq!(list, tree);
+    }
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, test, compile benches, lint.
+# Tier-1 verification: build, test, compile benches, lint, format,
+# and an end-to-end smoke of the observability pipeline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -7,5 +8,14 @@ cargo build --release
 cargo test -q --workspace
 cargo bench --no-run --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all -- --check
+
+# Observability smoke: the obs experiment must emit parseable JSONL
+# flight records and a Chrome trace (consumed here and by tests/).
+cargo run -q --release -p lottery-experiments --bin experiments -- obs > /dev/null
+test -s target/obs/flight.jsonl || { echo "verify: flight.jsonl missing or empty" >&2; exit 1; }
+head -1 target/obs/flight.jsonl | grep -q '"kind"' \
+  || { echo "verify: flight.jsonl lacks structured events" >&2; exit 1; }
+test -s target/obs/trace.json || { echo "verify: trace.json missing or empty" >&2; exit 1; }
 
 echo "verify: OK"

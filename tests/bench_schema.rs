@@ -1,0 +1,107 @@
+//! Schema sanity for the committed benchmark summaries.
+//!
+//! Every `BENCH_*.json` at the workspace root (written by the vendored
+//! criterion harness) must parse and carry the fields downstream tooling
+//! keys on: `name`, `samples`, and `units`, plus per-result ids and
+//! timings.
+
+use lottery_obs::json::{self, Value};
+use std::fs;
+use std::path::Path;
+
+fn bench_files() -> Vec<std::path::PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<_> = fs::read_dir(root)
+        .expect("read workspace root")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn bench_summaries_parse_and_carry_required_fields() {
+    let files = bench_files();
+    assert!(
+        !files.is_empty(),
+        "no BENCH_*.json at the workspace root; run `cargo bench`"
+    );
+    for path in files {
+        let text = fs::read_to_string(&path).unwrap();
+        let v =
+            json::parse(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        for field in ["name", "samples", "units"] {
+            assert!(
+                v.get(field).is_some(),
+                "{} lacks required field {field:?}",
+                path.display()
+            );
+        }
+        assert!(
+            v.get("name").and_then(Value::as_str).is_some(),
+            "{}: name must be a string",
+            path.display()
+        );
+        assert!(
+            v.get("samples").and_then(Value::as_f64).unwrap_or(0.0) >= 3.0,
+            "{}: samples must be a number >= 3",
+            path.display()
+        );
+        assert_eq!(
+            v.get("units").and_then(Value::as_str),
+            Some("ns_per_iter"),
+            "{}: units",
+            path.display()
+        );
+        let results = v
+            .get("results")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| panic!("{}: results must be an array", path.display()));
+        for r in results {
+            assert!(
+                r.get("id").and_then(Value::as_str).is_some(),
+                "{}: every result needs an id",
+                path.display()
+            );
+            assert!(
+                r.get("median_ns").and_then(Value::as_f64).unwrap_or(-1.0) > 0.0,
+                "{}: every result needs a positive median_ns",
+                path.display()
+            );
+            assert!(
+                r.get("samples").and_then(Value::as_f64).unwrap_or(0.0) >= 3.0,
+                "{}: per-result samples",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn obs_overhead_summary_proves_disabled_path_is_free() {
+    // Committed by `cargo bench --bench obs_overhead`: with the recorder
+    // off, dispatch must cost the same as it did before the probe bus
+    // existed. The bench carries off/nop/flight variants for list and
+    // tree; off vs flight shows the price of turning recording on.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_obs_overhead.json");
+    let text = fs::read_to_string(&path).expect("BENCH_obs_overhead.json committed");
+    let v = json::parse(&text).unwrap();
+    let results = v.get("results").and_then(Value::as_array).unwrap();
+    for structure in ["list", "tree"] {
+        for mode in ["off", "nop", "flight"] {
+            let id = format!("obs-overhead/{structure}/{mode}");
+            assert!(
+                results
+                    .iter()
+                    .any(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str())),
+                "missing result {id}"
+            );
+        }
+    }
+}

@@ -181,7 +181,8 @@ impl Criterion {
             bencher.iters = (bencher.iters * 2).min(1 << 20);
         }
         let per_iter = warmup_time.as_secs_f64() / warmup_iters.max(1) as f64;
-        let iters = ((self.sample_budget.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let iters =
+            ((self.sample_budget.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
 
         let mut per_iter_ns: Vec<f64> = (0..self.samples)
             .map(|_| {
@@ -194,7 +195,12 @@ impl Criterion {
         let median = per_iter_ns[per_iter_ns.len() / 2];
         let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
         let min = per_iter_ns[0];
-        println!("{id:<55} time: [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(mean));
+        println!(
+            "{id:<55} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
         self.results.push(BenchResult {
             id,
             median_ns: median,
@@ -213,8 +219,11 @@ impl Criterion {
     pub fn final_summary(&mut self, target: &str, manifest_dir: &str) {
         let path = summary_path(target, manifest_dir);
         let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"name\": {:?},", target);
         let _ = writeln!(json, "  \"bench\": {:?},", target);
         let _ = writeln!(json, "  \"unit\": \"ns_per_iter\",");
+        let _ = writeln!(json, "  \"units\": \"ns_per_iter\",");
+        let _ = writeln!(json, "  \"samples\": {},", self.samples);
         let _ = writeln!(json, "  \"results\": [");
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };

@@ -83,10 +83,7 @@ impl Condvar {
     /// relocks before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard taken during wait");
-        let inner = self
-            .0
-            .wait(inner)
-            .unwrap_or_else(PoisonError::into_inner);
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(inner);
     }
 
