@@ -62,7 +62,7 @@ pub struct Ledger {
 ///
 /// An entry's *presence* is its validity: mutators remove exactly the
 /// entries whose values they may have changed (see [`mark_currency`]), and
-/// reads recompute absent entries on demand. The `dirty` set accumulates
+/// reads recompute absent entries on demand. The `dirty` queue accumulates
 /// clients whose cached value was invalidated, as a change notification
 /// queue for schedulers that mirror client values into an external
 /// structure (a partial-sum tree); it is drained by
@@ -71,7 +71,127 @@ pub struct Ledger {
 struct ValuationCache {
     currencies: HashMap<CurrencyId, f64>,
     clients: HashMap<ClientId, f64>,
-    dirty: HashSet<ClientId>,
+    dirty: ShardedDirtyQueue,
+}
+
+/// Dirty-client notifications partitioned by home shard.
+///
+/// A distributed scheduler assigns each client a *home shard* (one per
+/// CPU); invalidations then land only in the owning shard's queue, so a
+/// CPU refreshing its own partial-sum tree drains only the notifications
+/// it can act on instead of contending on one global set. With a single
+/// shard (the default) this degenerates to exactly the old global queue.
+#[derive(Debug)]
+pub struct ShardedDirtyQueue {
+    /// Home shard per client. Unassigned clients route to shard 0.
+    owner: HashMap<ClientId, u32>,
+    /// Pending notifications, one set per shard.
+    queues: Vec<HashSet<ClientId>>,
+    /// Times an already-assigned client moved to a different shard.
+    reassignments: u64,
+}
+
+impl Default for ShardedDirtyQueue {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl ShardedDirtyQueue {
+    /// Creates a queue with `shards` partitions (at least one).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            owner: HashMap::new(),
+            queues: vec![HashSet::new(); shards.max(1)],
+            reassignments: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The shard a client's notifications route to. Unassigned or
+    /// out-of-range owners clamp into the valid shard range.
+    pub fn shard_of(&self, client: ClientId) -> u32 {
+        let shard = self.owner.get(&client).copied().unwrap_or(0);
+        shard.min(self.queues.len() as u32 - 1)
+    }
+
+    /// Pending notifications in one shard (0 for out-of-range shards).
+    pub fn depth(&self, shard: u32) -> usize {
+        self.queues.get(shard as usize).map_or(0, HashSet::len)
+    }
+
+    /// Total pending notifications across all shards.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(HashSet::len).sum()
+    }
+
+    /// Whether no notifications are pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(HashSet::is_empty)
+    }
+
+    /// Times an already-assigned client changed shards.
+    pub fn reassignments(&self) -> u64 {
+        self.reassignments
+    }
+
+    /// Enqueues a notification on the client's home shard.
+    pub fn insert(&mut self, client: ClientId) {
+        let shard = self.shard_of(client) as usize;
+        self.queues[shard].insert(client);
+    }
+
+    /// Re-homes a client, migrating any pending notification with it so
+    /// the new owner still hears about the earlier invalidation.
+    pub fn assign(&mut self, client: ClientId, shard: u32) {
+        let shard = shard.min(self.queues.len() as u32 - 1);
+        let old = self.shard_of(client);
+        if self.owner.insert(client, shard).is_some() && old != shard {
+            self.reassignments += 1;
+        }
+        if old != shard && self.queues[old as usize].remove(&client) {
+            self.queues[shard as usize].insert(client);
+        }
+    }
+
+    /// Drops a client entirely: its pending notification and its home
+    /// assignment (on destruction — it must never surface from a drain).
+    pub fn forget(&mut self, client: ClientId) {
+        let shard = self.shard_of(client) as usize;
+        self.queues[shard].remove(&client);
+        self.owner.remove(&client);
+    }
+
+    /// Changes the shard count, re-routing pending notifications through
+    /// the (clamped) owner map.
+    pub fn set_shards(&mut self, shards: usize) {
+        let pending: Vec<ClientId> = self.drain_all();
+        self.queues = vec![HashSet::new(); shards.max(1)];
+        for client in pending {
+            self.insert(client);
+        }
+    }
+
+    /// Drains one shard's pending notifications (order unspecified).
+    pub fn drain_shard(&mut self, shard: u32) -> Vec<ClientId> {
+        self.queues
+            .get_mut(shard as usize)
+            .map(|q| q.drain().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drains every shard (order unspecified).
+    pub fn drain_all(&mut self) -> Vec<ClientId> {
+        let mut out = Vec::with_capacity(self.len());
+        for q in &mut self.queues {
+            out.extend(q.drain());
+        }
+        out
+    }
 }
 
 /// Invalidates `start` and every cached entry downstream of it, returning
@@ -306,11 +426,12 @@ impl Ledger {
             return Err(LotteryError::ClientInUse);
         }
         self.clients.remove(id);
-        // Purge both the cached value and any pending dirty notification:
-        // a destroyed client must never surface from the drain hook.
+        // Purge the cached value, any pending dirty notification, and the
+        // shard assignment: a destroyed client must never surface from the
+        // drain hooks.
         let cache = self.cache.get_mut();
         cache.clients.remove(&id);
-        cache.dirty.remove(&id);
+        cache.dirty.forget(id);
         self.bump();
         self.bus.emit(|| EventKind::LedgerOp {
             op: "destroy-client",
@@ -825,7 +946,58 @@ impl Ledger {
     /// exactly the returned clients. Order is unspecified; destroyed
     /// clients never appear.
     pub fn drain_dirty_clients(&mut self) -> Vec<ClientId> {
-        let drained: Vec<ClientId> = self.cache.get_mut().dirty.drain().collect();
+        let drained = self.cache.get_mut().dirty.drain_all();
+        if !drained.is_empty() {
+            let count = drained.len() as u32;
+            self.bus.emit(|| EventKind::DirtyDrain { drained: count });
+        }
+        drained
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded dirty notifications (distributed schedulers).
+    // ------------------------------------------------------------------
+
+    /// Partitions future dirty-client notifications across `shards`
+    /// queues (clamped to at least one). Pending notifications are
+    /// re-routed through the current home assignments, so nothing is
+    /// lost by resizing mid-run. One shard — the default — behaves
+    /// exactly like the unsharded queue.
+    pub fn set_dirty_shards(&mut self, shards: usize) {
+        self.cache.get_mut().dirty.set_shards(shards);
+    }
+
+    /// Number of dirty-notification shards.
+    pub fn dirty_shards(&self) -> usize {
+        self.cache.borrow().dirty.shards()
+    }
+
+    /// Assigns a client's home shard; any pending notification migrates
+    /// with it. Out-of-range shards clamp to the last shard.
+    pub fn assign_dirty_shard(&mut self, client: ClientId, shard: u32) {
+        self.cache.get_mut().dirty.assign(client, shard);
+    }
+
+    /// The shard a client's notifications currently route to.
+    pub fn dirty_shard_of(&self, client: ClientId) -> u32 {
+        self.cache.borrow().dirty.shard_of(client)
+    }
+
+    /// Pending notifications on one shard.
+    pub fn dirty_shard_depth(&self, shard: u32) -> usize {
+        self.cache.borrow().dirty.depth(shard)
+    }
+
+    /// Times an already-assigned client was moved to a different shard
+    /// (the migration count a rebalancer accumulates).
+    pub fn dirty_shard_reassignments(&self) -> u64 {
+        self.cache.borrow().dirty.reassignments()
+    }
+
+    /// Drains the invalidation notifications owned by one shard, leaving
+    /// every other shard's queue untouched.
+    pub fn drain_dirty_shard(&mut self, shard: u32) -> Vec<ClientId> {
+        let drained = self.cache.get_mut().dirty.drain_shard(shard);
         if !drained.is_empty() {
             let count = drained.len() as u32;
             self.bus.emit(|| EventKind::DirtyDrain { drained: count });
@@ -1544,6 +1716,88 @@ mod cache_tests {
         l.fund_client(t, b).unwrap();
         assert_eq!(l.cached_client_value(a).unwrap(), 0.0);
         assert_eq!(l.cached_client_value(b).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn sharded_dirty_routes_to_home_shard() {
+        let (mut l, _, _, t2, t3, t4, t_alice) = figure3();
+        l.set_dirty_shards(2);
+        l.assign_dirty_shard(t2, 0);
+        l.assign_dirty_shard(t3, 0);
+        l.assign_dirty_shard(t4, 1);
+        for c in [t2, t3, t4] {
+            let _ = l.cached_client_value(c).unwrap();
+        }
+        let _ = l.drain_dirty_clients();
+        // Inflating alice's backing dirties thread2/thread3 only; both
+        // live on shard 0, so shard 1 stays quiet.
+        l.set_amount(t_alice, 2000).unwrap();
+        assert_eq!(l.dirty_shard_depth(0), 2);
+        assert_eq!(l.dirty_shard_depth(1), 0);
+        let mut shard0 = l.drain_dirty_shard(0);
+        shard0.sort();
+        let mut expected = vec![t2, t3];
+        expected.sort();
+        assert_eq!(shard0, expected);
+        assert!(l.drain_dirty_shard(1).is_empty());
+    }
+
+    #[test]
+    fn shard_assignment_migrates_pending_notification() {
+        let mut l = Ledger::new();
+        l.set_dirty_shards(4);
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), 10).unwrap();
+        l.fund_client(t, c).unwrap();
+        l.assign_dirty_shard(c, 1);
+        l.activate_client(c).unwrap();
+        let _ = l.cached_client_value(c).unwrap();
+        l.set_amount(t, 20).unwrap();
+        assert_eq!(l.dirty_shard_depth(1), 1);
+        // Migration carries the pending notification to the new owner.
+        l.assign_dirty_shard(c, 3);
+        assert_eq!(l.dirty_shard_of(c), 3);
+        assert_eq!(l.dirty_shard_depth(1), 0);
+        assert_eq!(l.drain_dirty_shard(3), vec![c]);
+        assert_eq!(l.dirty_shard_reassignments(), 1);
+        // Re-assigning to the same shard is not a reassignment.
+        l.assign_dirty_shard(c, 3);
+        assert_eq!(l.dirty_shard_reassignments(), 1);
+    }
+
+    #[test]
+    fn destroyed_client_purged_from_shards() {
+        let mut l = Ledger::new();
+        l.set_dirty_shards(2);
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), 10).unwrap();
+        l.fund_client(t, c).unwrap();
+        l.assign_dirty_shard(c, 1);
+        l.activate_client(c).unwrap();
+        let _ = l.cached_client_value(c).unwrap();
+        l.set_amount(t, 30).unwrap();
+        assert_eq!(l.dirty_shard_depth(1), 1);
+        l.destroy_client_and_funding(c).unwrap();
+        assert_eq!(l.dirty_shard_depth(1), 0);
+        assert!(l.drain_dirty_shard(1).is_empty());
+    }
+
+    #[test]
+    fn resizing_shards_preserves_pending() {
+        let mut l = Ledger::new();
+        l.set_dirty_shards(4);
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), 10).unwrap();
+        l.fund_client(t, c).unwrap();
+        l.assign_dirty_shard(c, 3);
+        l.activate_client(c).unwrap();
+        let _ = l.cached_client_value(c).unwrap();
+        l.set_amount(t, 40).unwrap();
+        // Shrinking clamps the owner into range without losing the
+        // notification; the unsharded drain still sees everything.
+        l.set_dirty_shards(2);
+        assert_eq!(l.dirty_shard_of(c), 1);
+        assert_eq!(l.drain_dirty_clients(), vec![c]);
     }
 
     #[test]

@@ -109,6 +109,15 @@ pub enum Command {
     },
     /// `dump` — replay the flight recorder as JSONL, one event per line.
     Dump,
+    /// `shards <n>` — partition processes across `n` dirty-notification
+    /// shards; `shards [--json]` — per-shard process counts, ticket
+    /// totals, queue depths, and the migration count.
+    Shards {
+        /// Re-partition across this many shards (`None`: just report).
+        count: Option<usize>,
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
+    },
 }
 
 /// Parse failures.
@@ -155,6 +164,7 @@ commands (Section 4.7 of the paper):
   stat                             probe-counter snapshot (Prometheus text)
   trace on|off                     toggle the session flight recorder
   dump                             flight-recorder events as JSONL
+  shards [<n>|--json]              partition processes across n dirty shards / report
   help                             this text";
 
     /// Parses one line. Blank lines and `#` comments are [`Command::Nop`].
@@ -251,6 +261,19 @@ commands (Section 4.7 of the paper):
             ["trace", "off"] => Ok(Command::Trace { on: false }),
             ["trace", ..] => Err(ParseError::Usage("trace on|off")),
             ["dump"] => Ok(Command::Dump),
+            ["shards"] => Ok(Command::Shards {
+                count: None,
+                json: false,
+            }),
+            ["shards", "--json"] => Ok(Command::Shards {
+                count: None,
+                json: true,
+            }),
+            ["shards", n] => Ok(Command::Shards {
+                count: Some(amount(n)? as usize),
+                json: false,
+            }),
+            ["shards", ..] => Err(ParseError::Usage("shards [<n>|--json]")),
             ["value", name] => Ok(Command::Value {
                 name: name.to_string(),
             }),
@@ -320,6 +343,39 @@ mod tests {
             Err(ParseError::Usage(_))
         ));
         assert_eq!(Command::parse("dump"), Ok(Command::Dump));
+    }
+
+    #[test]
+    fn parses_shards() {
+        assert_eq!(
+            Command::parse("shards"),
+            Ok(Command::Shards {
+                count: None,
+                json: false
+            })
+        );
+        assert_eq!(
+            Command::parse("shards --json"),
+            Ok(Command::Shards {
+                count: None,
+                json: true
+            })
+        );
+        assert_eq!(
+            Command::parse("shards 4"),
+            Ok(Command::Shards {
+                count: Some(4),
+                json: false
+            })
+        );
+        assert!(matches!(
+            Command::parse("shards 0"),
+            Err(ParseError::BadAmount(_))
+        ));
+        assert!(matches!(
+            Command::parse("shards 2 --json"),
+            Err(ParseError::Usage(_))
+        ));
     }
 
     #[test]

@@ -435,6 +435,12 @@ impl Session {
                 }
             }
             Command::Dump => Ok(self.flight.with(|f| f.to_jsonl())),
+            Command::Shards { count, json } => {
+                if let Some(n) = count {
+                    return self.partition_shards(n);
+                }
+                self.report_shards(json)
+            }
             Command::Value { name } => {
                 let mut v = Valuator::new(&self.ledger);
                 let value = match self.names.get(&name) {
@@ -446,6 +452,94 @@ impl Session {
                 Ok(format!("{value:.1}"))
             }
         }
+    }
+
+    /// Every named process, sorted by name (the `names` map order).
+    fn procs(&self) -> Vec<(String, ClientId)> {
+        self.names
+            .iter()
+            .filter_map(|(n, o)| match o {
+                ObjectRef::Proc(c) => Some((n.clone(), *c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `shards <n>`: re-partition processes across `n` dirty-notification
+    /// shards, balancing ticket weight greedily (heaviest process first
+    /// onto the lightest shard — the same discipline the distributed
+    /// scheduler uses to home threads).
+    fn partition_shards(&mut self, n: usize) -> Result<String, CtlError> {
+        self.ledger.set_dirty_shards(n);
+        let mut weighted: Vec<(String, ClientId, f64)> = {
+            let mut v = Valuator::new(&self.ledger);
+            self.procs()
+                .into_iter()
+                .map(|(name, id)| v.client_value(id).map(|value| (name, id, value)))
+                .collect::<Result<_, _>>()?
+        };
+        weighted.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        let mut totals = vec![0.0f64; n];
+        let count = weighted.len();
+        for (_, id, value) in weighted {
+            let lightest = (0..n)
+                .min_by(|&a, &b| totals[a].total_cmp(&totals[b]))
+                .expect("amount() rejects zero shards");
+            self.ledger.assign_dirty_shard(id, lightest as u32);
+            totals[lightest] += value;
+        }
+        Ok(format!("partitioned {count} processes across {n} shards"))
+    }
+
+    /// `shards [--json]`: per-shard process counts, ticket totals, and
+    /// dirty-queue depths, plus the cumulative migration count.
+    fn report_shards(&mut self, json: bool) -> Result<String, CtlError> {
+        let n = self.ledger.dirty_shards();
+        let procs = self.procs();
+        let mut counts = vec![0u32; n];
+        let mut totals = vec![0.0f64; n];
+        {
+            let mut v = Valuator::new(&self.ledger);
+            for (_, id) in &procs {
+                let value = v.client_value(*id)?;
+                let shard = self.ledger.dirty_shard_of(*id) as usize;
+                counts[shard] += 1;
+                totals[shard] += value;
+            }
+        }
+        let migrations = self.ledger.dirty_shard_reassignments();
+        if json {
+            let rows: Vec<String> = (0..n)
+                .map(|s| {
+                    format!(
+                        "{{\"shard\":{s},\"procs\":{},\"tickets\":{},\"depth\":{}}}",
+                        counts[s],
+                        json::number(totals[s]),
+                        self.ledger.dirty_shard_depth(s as u32),
+                    )
+                })
+                .collect();
+            return Ok(format!(
+                "{{\"shards\":[{}],\"migrations\":{migrations}}}",
+                rows.join(",")
+            ));
+        }
+        let mut out = format!(
+            "{:<6} {:>6} {:>14} {:>12}\n",
+            "shard", "procs", "tickets (base)", "dirty depth"
+        );
+        for s in 0..n {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>6} {:>14.1} {:>12}",
+                s,
+                counts[s],
+                totals[s],
+                self.ledger.dirty_shard_depth(s as u32),
+            );
+        }
+        let _ = writeln!(out, "migrations: {migrations}");
+        Ok(out)
     }
 
     fn name_of(&self, obj: ObjectRef) -> String {
@@ -680,6 +774,39 @@ mod tests {
         let expected: f64 = eval(&mut s, "value alice").parse().unwrap();
         assert_eq!(alice.get("value").and_then(|x| x.as_f64()), Some(expected));
         assert_eq!(alice.get("active").and_then(|x| x.as_f64()), Some(200.0));
+    }
+
+    #[test]
+    fn shards_partitions_by_ticket_weight() {
+        let mut s = Session::new();
+        eval(&mut s, "fundx 400 base heavy");
+        eval(&mut s, "fundx 200 base mid");
+        eval(&mut s, "fundx 100 base light1");
+        eval(&mut s, "fundx 100 base light2");
+        assert_eq!(
+            eval(&mut s, "shards 2"),
+            "partitioned 4 processes across 2 shards"
+        );
+        // Greedy balance: 400 alone, 200+100+100 together.
+        let report = eval(&mut s, "shards");
+        assert!(report.contains("400.0"), "{report}");
+        assert!(report.contains("migrations: 0"), "{report}");
+        let out = eval(&mut s, "shards --json");
+        let v = lottery_obs::json::parse(&out).expect("shards --json parses");
+        let rows = v.get("shards").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        let totals: Vec<f64> = rows
+            .iter()
+            .map(|r| r.get("tickets").and_then(|t| t.as_f64()).unwrap())
+            .collect();
+        let mut sorted = totals.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![400.0, 400.0]);
+        // Re-partitioning moves already-assigned processes: the ledger
+        // counts those as migrations.
+        eval(&mut s, "shards 4");
+        let report = eval(&mut s, "shards");
+        assert!(!report.contains("migrations: 0"), "{report}");
     }
 
     #[test]

@@ -175,7 +175,8 @@ pub fn smp(seed: u32) {
                 )
             })
             .collect();
-        k.run_until(SimTime::from_secs(120));
+        k.run_until(SimTime::from_secs(120))
+            .expect("compute-bound workloads only");
         let shares: Vec<String> = tids
             .iter()
             .map(|&t| format!("{:.2}", k.metrics().cpu_us(t) as f64 / 120e6))
@@ -189,4 +190,65 @@ pub fn smp(seed: u32) {
     }
     print!("{}", table.render());
     println!("\nshares scale with machine capacity, capped at one full CPU per thread");
+}
+
+/// The distributed lottery: per-CPU partial-sum trees with rebalancing
+/// hold a Figure 2 style 2:1 ticket ratio machine-wide.
+pub fn smp_dist(seed: u32) {
+    const CPUS: usize = 4;
+    let policy = DistributedLottery::new(seed, CPUS);
+    let base = policy.base_currency();
+    let mut k = SmpKernel::new(policy, CPUS);
+    // Four 200-ticket threads, then four 100-ticket threads: greedy
+    // least-loaded homing lands one of each per shard (300 tickets each).
+    let bigs: Vec<ThreadId> = (0..CPUS)
+        .map(|i| {
+            k.spawn(
+                format!("big{i}"),
+                Box::new(ComputeBound),
+                FundingSpec::new(base, 200),
+            )
+        })
+        .collect();
+    let smalls: Vec<ThreadId> = (0..CPUS)
+        .map(|i| {
+            k.spawn(
+                format!("small{i}"),
+                Box::new(ComputeBound),
+                FundingSpec::new(base, 100),
+            )
+        })
+        .collect();
+    let horizon = SimTime::from_secs(240);
+    k.run_until(horizon).expect("compute-bound workloads only");
+
+    let mut table = Table::new(&["shard", "threads", "queue depth", "ticket total", "picks"]);
+    for s in 0..CPUS as u32 {
+        let stats = k.policy_mut().shard_stats(s);
+        table.row(&[
+            s.to_string(),
+            stats.threads.to_string(),
+            stats.queue_depth.to_string(),
+            format!("{:.0}", stats.ticket_total),
+            stats.picks.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let mean = |tids: &[ThreadId]| {
+        tids.iter().map(|&t| k.metrics().cpu_us(t)).sum::<u64>() as f64 / tids.len() as f64
+    };
+    let ratio = mean(&bigs) / mean(&smalls);
+    println!(
+        "\nmachine-wide CPU ratio (200-ticket mean : 100-ticket mean) = {ratio:.3}:1 \
+         over {CPUS} CPUs ({} steals, {} migrations, {} rebalances)",
+        k.policy().steals(),
+        k.policy().migrations(),
+        k.policy().rebalances(),
+    );
+    let ok = (ratio - 2.0).abs() <= 0.1;
+    println!(
+        "2:1 allocation held within 5%: {}",
+        if ok { "OK" } else { "FAILED" }
+    );
 }

@@ -116,6 +116,11 @@ const EXPERIMENTS: &[(&str, &str, Entry)] = &[
         diverse::smp,
     ),
     (
+        "smp-dist",
+        "distributed lottery: per-CPU trees hold 2:1 machine-wide (Section 4.2)",
+        diverse::smp_dist,
+    ),
+    (
         "selection",
         "list vs tree vs move-to-front selection (Section 4.2)",
         ablations::selection,

@@ -47,6 +47,14 @@ pub struct Aggregator {
     pub dirty_drained: Summary,
     /// Compensation tickets granted.
     pub compensations: u64,
+    /// Distributed-lottery picks resolved to a shard.
+    pub shard_picks: u64,
+    /// Picks that stole from a foreign shard (local tree empty).
+    pub shard_steals: u64,
+    /// Clients re-homed to another shard.
+    pub shard_migrations: u64,
+    /// Imbalance-bound violations observed by the rebalancer.
+    pub shard_imbalances: u64,
     /// Ledger mutations by operation tag.
     pub ledger_ops: BTreeMap<&'static str, u64>,
 }
@@ -77,6 +85,10 @@ impl Aggregator {
             dirty_depth: Summary::new(),
             dirty_drained: Summary::new(),
             compensations: 0,
+            shard_picks: 0,
+            shard_steals: 0,
+            shard_migrations: 0,
+            shard_imbalances: 0,
             ledger_ops: BTreeMap::new(),
         }
     }
@@ -125,6 +137,26 @@ impl Aggregator {
             "lottery_compensations_total",
             "Compensation tickets granted.",
             self.compensations as f64,
+        );
+        counter(
+            "lottery_shard_picks_total",
+            "Distributed-lottery picks resolved to a shard.",
+            self.shard_picks as f64,
+        );
+        counter(
+            "lottery_shard_steals_total",
+            "Picks that stole from a foreign shard.",
+            self.shard_steals as f64,
+        );
+        counter(
+            "lottery_shard_migrations_total",
+            "Clients re-homed to another shard.",
+            self.shard_migrations as f64,
+        );
+        counter(
+            "lottery_shard_imbalances_total",
+            "Imbalance-bound violations observed.",
+            self.shard_imbalances as f64,
         );
         let _ = writeln!(
             out,
@@ -232,6 +264,13 @@ impl Recorder for Aggregator {
                 self.dirty_depth.record(dirty_depth as f64);
             }
             EventKind::DirtyDrain { drained } => self.dirty_drained.record(drained as f64),
+            EventKind::ShardPick { stolen, .. } => {
+                self.shard_picks += 1;
+                self.shard_steals += u64::from(stolen);
+            }
+            EventKind::ShardSteal { .. } => {}
+            EventKind::ShardMigrate { .. } => self.shard_migrations += 1,
+            EventKind::ShardImbalance { .. } => self.shard_imbalances += 1,
             EventKind::QueueDepth { cpu, depth } => {
                 self.queue_depth.record(depth as f64);
                 let max = self.cpu_queue_depth_max.entry(cpu).or_insert(0);

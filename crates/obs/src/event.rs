@@ -127,6 +127,40 @@ pub enum EventKind {
         /// Ready-queue depth observed.
         depth: u32,
     },
+    /// A distributed lottery resolved a CPU's pick to a shard.
+    ShardPick {
+        /// CPU index that held the lottery.
+        cpu: u32,
+        /// Shard whose tree the winner was drawn from.
+        shard: u32,
+        /// Whether the pick stole from a foreign shard (local was empty).
+        stolen: bool,
+    },
+    /// A CPU with an empty local tree stole work from another shard.
+    ShardSteal {
+        /// The stealing CPU.
+        cpu: u32,
+        /// The shard stolen from (the heaviest at the time).
+        victim: u32,
+        /// The thread taken.
+        thread: u32,
+    },
+    /// A client was re-homed to another shard (rebalancing or explicit).
+    ShardMigrate {
+        /// The migrated thread.
+        thread: u32,
+        /// Previous home shard.
+        from_shard: u32,
+        /// New home shard.
+        to_shard: u32,
+    },
+    /// Per-shard ticket weight drifted past the imbalance bound.
+    ShardImbalance {
+        /// Heaviest shard's total ticket value, in base units.
+        max_total: f64,
+        /// Mean per-shard total ticket value, in base units.
+        mean_total: f64,
+    },
 }
 
 impl EventKind {
@@ -146,6 +180,10 @@ impl EventKind {
             EventKind::CacheInvalidate { .. } => "cache-invalidate",
             EventKind::DirtyDrain { .. } => "dirty-drain",
             EventKind::QueueDepth { .. } => "queue-depth",
+            EventKind::ShardPick { .. } => "shard-pick",
+            EventKind::ShardSteal { .. } => "shard-steal",
+            EventKind::ShardMigrate { .. } => "shard-migrate",
+            EventKind::ShardImbalance { .. } => "shard-imbalance",
         }
     }
 }
@@ -232,6 +270,37 @@ impl Event {
             }
             EventKind::QueueDepth { cpu, depth } => {
                 let _ = write!(s, ",\"cpu\":{cpu},\"depth\":{depth}");
+            }
+            EventKind::ShardPick { cpu, shard, stolen } => {
+                let _ = write!(s, ",\"cpu\":{cpu},\"shard\":{shard},\"stolen\":{stolen}");
+            }
+            EventKind::ShardSteal {
+                cpu,
+                victim,
+                thread,
+            } => {
+                let _ = write!(s, ",\"cpu\":{cpu},\"victim\":{victim},\"thread\":{thread}");
+            }
+            EventKind::ShardMigrate {
+                thread,
+                from_shard,
+                to_shard,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"thread\":{thread},\"from_shard\":{from_shard},\"to_shard\":{to_shard}"
+                );
+            }
+            EventKind::ShardImbalance {
+                max_total,
+                mean_total,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"max_total\":{},\"mean_total\":{}",
+                    json::number(max_total),
+                    json::number(mean_total)
+                );
             }
         }
         s.push('}');

@@ -45,6 +45,7 @@ pub mod prelude {
     pub use crate::ipc::PortId;
     pub use crate::kernel::Kernel;
     pub use crate::metrics::Metrics;
+    pub use crate::sched::distributed::{DistributedLottery, ShardStats};
     pub use crate::sched::fairshare::{FairSharePolicy, UserId};
     pub use crate::sched::fixed::FixedPriorityPolicy;
     pub use crate::sched::lottery::{FundingSpec, LotteryPolicy, SelectStructure};
@@ -52,7 +53,7 @@ pub mod prelude {
     pub use crate::sched::stride::StridePolicy;
     pub use crate::sched::timeshare::TimesharePolicy;
     pub use crate::sched::{EndReason, Policy};
-    pub use crate::smp::SmpKernel;
+    pub use crate::smp::{SmpError, SmpKernel};
     pub use crate::task::{Task, TaskBuilder};
     pub use crate::thread::{ThreadId, ThreadState};
     pub use crate::time::{SimDuration, SimTime};

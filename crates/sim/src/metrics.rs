@@ -23,6 +23,13 @@ pub struct ThreadMetrics {
     pub cpu_series: ProgressSeries,
     /// Ready-queue wait before each dispatch, in microseconds.
     pub wait_us: Summary,
+    /// Ready-queue wait for dispatches that followed a preemption
+    /// (quantum expiry or yield), in microseconds. A preempted thread
+    /// was never asleep, so this is pure scheduling latency.
+    pub preempt_wait_us: Summary,
+    /// Ready-queue wait for dispatches that followed a true wake (spawn
+    /// or sleep end), in microseconds.
+    pub wake_wait_us: Summary,
     /// Completed synchronous RPCs: `(time_us, count)`.
     pub rpc_series: ProgressSeries,
     /// RPC response times, in microseconds (request sent to reply
@@ -106,6 +113,17 @@ impl Metrics {
         let t = self.thread_mut(tid);
         t.dispatches += 1;
         t.wait_us.record(waited.as_us() as f64);
+    }
+
+    /// Classifies a dispatch's ready-queue wait: preemption requeue
+    /// (quantum expiry / yield) versus true wake (spawn or sleep end).
+    pub(crate) fn record_wait_kind(&mut self, tid: ThreadId, waited: SimDuration, preempted: bool) {
+        let t = self.thread_mut(tid);
+        if preempted {
+            t.preempt_wait_us.record(waited.as_us() as f64);
+        } else {
+            t.wake_wait_us.record(waited.as_us() as f64);
+        }
     }
 
     /// Records a completed RPC for the client.

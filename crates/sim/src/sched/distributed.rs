@@ -1,0 +1,862 @@
+//! The distributed lottery policy (Section 4.2's closing remark).
+//!
+//! The paper notes the partial-sum tree "can also be used as the basis of
+//! a distributed lottery scheduler". This module builds that scheduler:
+//! one partial-sum tree per CPU *shard*, each client assigned a home
+//! shard, and every dispatch decision a purely local lottery over the
+//! picking CPU's own tree. Global proportional share is preserved because
+//! a client's tickets are worth the same base units wherever they live:
+//! each CPU holds lotteries at the same rate, and a client holding value
+//! `v` on a shard of total `S` wins `v/S` of that shard's dispatches —
+//! so keeping per-shard totals balanced keeps machine-wide service
+//! proportional to `v/T`.
+//!
+//! Three mechanisms keep the shards honest:
+//!
+//! * **sharded dirty notifications** — the ledger's valuation
+//!   invalidations are partitioned by home shard
+//!   ([`Ledger::drain_dirty_shard`]), so a pick settles only its own
+//!   shard's stale weights instead of contending on one global queue;
+//! * **work stealing** — a CPU whose shard has no ready thread draws from
+//!   the heaviest foreign shard, keeping CPUs busy without
+//!   re-centralizing the common case;
+//! * **ticket-weight rebalancing** — every `rebalance_interval` picks the
+//!   policy compares per-shard totals and, past a configurable imbalance
+//!   bound, migrates ready threads from the heaviest shard to the
+//!   lightest until the bound holds again.
+//!
+//! With a single shard the policy is *bit-identical* to
+//! [`super::lottery::LotteryPolicy`] in tree mode: the same ledger
+//! operation sequence, the same ready/tree slot order, and the same RNG
+//! discipline (one `next_f64` per non-degenerate draw, none when the pool
+//! is worthless).
+
+use std::collections::HashMap;
+
+use lottery_core::client::ClientId;
+use lottery_core::compensation;
+use lottery_core::currency::CurrencyId;
+use lottery_core::errors::Result;
+use lottery_core::ledger::Ledger;
+use lottery_core::lottery::tree::TreeLottery;
+use lottery_core::lottery::TicketPool;
+use lottery_core::rng::{ParkMiller, SchedRng};
+use lottery_core::ticket::TicketId;
+use lottery_obs::{EventKind, ProbeBus};
+
+use super::lottery::FundingSpec;
+use super::{EndReason, Policy};
+use crate::thread::ThreadId;
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Debug, Clone, Copy)]
+struct ThreadFunding {
+    client: ClientId,
+    ticket: TicketId,
+}
+
+/// One CPU's slice of the machine: a ready queue mirrored by a
+/// partial-sum tree over the cached client values of its threads.
+#[derive(Debug)]
+struct Shard {
+    /// Ready threads homed here, in scan order; removal swap-removes so
+    /// the order always mirrors the tree's leaf-slot order.
+    ready: Vec<ThreadId>,
+    /// Cached-weight mirror of `ready`.
+    tree: TreeLottery<ThreadId, f64>,
+    /// Lotteries resolved from this shard's tree.
+    picks: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            ready: Vec::new(),
+            tree: TreeLottery::new(),
+            picks: 0,
+        }
+    }
+}
+
+/// Per-shard statistics, as reported by [`DistributedLottery::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Threads homed on this shard (ready or not).
+    pub threads: u32,
+    /// Ready-queue depth.
+    pub queue_depth: u32,
+    /// Total ticket value of the shard's ready threads, in base units.
+    pub ticket_total: f64,
+    /// Lotteries resolved from this shard's tree.
+    pub picks: u64,
+    /// Pending dirty-client notifications owned by this shard.
+    pub dirty_depth: u32,
+}
+
+/// A lottery policy with one partial-sum tree per CPU.
+pub struct DistributedLottery {
+    ledger: Ledger,
+    rng: ParkMiller,
+    quantum: SimDuration,
+    /// Per-thread funding, indexed by thread id.
+    threads: Vec<Option<ThreadFunding>>,
+    /// Per-CPU shards; a thread's lotteries happen on its home shard.
+    shards: Vec<Shard>,
+    /// Home shard per thread, indexed by thread id.
+    home: Vec<u32>,
+    /// Membership index: thread id -> position in its home shard's
+    /// `ready`, `None` when not queued.
+    ready_pos: Vec<Option<u32>>,
+    /// Reverse map from ledger clients to threads, for routing sharded
+    /// dirty notifications back to tree leaves.
+    client_threads: HashMap<ClientId, ThreadId>,
+    compensation_enabled: bool,
+    /// Lotteries held (for overhead accounting).
+    lotteries: u64,
+    /// Picks since the last rebalance check.
+    picks_since_check: u32,
+    /// How many picks between rebalance checks.
+    rebalance_interval: u32,
+    /// A shard is "heavy" when its total exceeds `bound × mean`.
+    imbalance_bound: f64,
+    /// Work-stealing picks (local tree was empty).
+    steals: u64,
+    /// Threads re-homed by rebalancing or explicit migration.
+    migrations: u64,
+    /// Rebalance rounds that found the bound violated.
+    rebalances: u64,
+    /// Probe bus for shard/draw observability (disabled by default).
+    bus: ProbeBus,
+}
+
+impl DistributedLottery {
+    /// Creates a distributed lottery over `shards` per-CPU trees with the
+    /// paper's 100 ms quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero shards.
+    pub fn new(seed: u32, shards: usize) -> Self {
+        Self::with_quantum(seed, shards, SimDuration::from_ms(100))
+    }
+
+    /// Creates a distributed lottery with an explicit quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero shards or a zero quantum.
+    pub fn with_quantum(seed: u32, shards: usize, quantum: SimDuration) -> Self {
+        assert!(shards > 0, "a distributed lottery needs at least one shard");
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        let mut ledger = Ledger::new();
+        ledger.set_dirty_shards(shards);
+        Self {
+            ledger,
+            rng: ParkMiller::new(seed),
+            quantum,
+            threads: Vec::new(),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            home: Vec::new(),
+            ready_pos: Vec::new(),
+            client_threads: HashMap::new(),
+            compensation_enabled: true,
+            lotteries: 0,
+            picks_since_check: 0,
+            rebalance_interval: 32,
+            imbalance_bound: 1.5,
+            steals: 0,
+            migrations: 0,
+            rebalances: 0,
+            bus: ProbeBus::disabled(),
+        }
+    }
+
+    /// Number of shards (one per CPU).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Tunes the rebalancer: check every `interval` picks, and call a
+    /// shard heavy when its total exceeds `bound × mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval or a bound below 1.
+    pub fn set_rebalance(&mut self, interval: u32, bound: f64) {
+        assert!(interval > 0, "rebalance interval must be positive");
+        assert!(bound >= 1.0, "imbalance bound must be at least 1");
+        self.rebalance_interval = interval;
+        self.imbalance_bound = bound;
+    }
+
+    /// Disables compensation tickets (the Section 4.5 ablation).
+    pub fn set_compensation_enabled(&mut self, enabled: bool) {
+        self.compensation_enabled = enabled;
+    }
+
+    /// The base currency of this policy's ledger.
+    pub fn base_currency(&self) -> CurrencyId {
+        self.ledger.base()
+    }
+
+    /// Creates a currency backed by `amount` base-currency tickets.
+    pub fn create_currency(&mut self, name: &str, amount: u64) -> Result<CurrencyId> {
+        let cur = self.ledger.create_currency(name)?;
+        let backing = self.ledger.issue_root(self.ledger.base(), amount)?;
+        self.ledger.fund_currency(backing, cur)?;
+        Ok(cur)
+    }
+
+    /// Changes the face amount of a thread's funding ticket — dynamic
+    /// ticket inflation/deflation (Section 3.2).
+    pub fn set_funding(&mut self, tid: ThreadId, amount: u64) -> Result<()> {
+        let funding = self.funding_info(tid);
+        self.ledger.set_amount(funding.ticket, amount)
+    }
+
+    /// The face amount of a thread's funding ticket.
+    pub fn funding(&self, tid: ThreadId) -> u64 {
+        self.ledger
+            .ticket(self.funding_info(tid).ticket)
+            .map(|t| t.amount())
+            .unwrap_or(0)
+    }
+
+    /// The ledger client backing a thread.
+    pub fn client_of(&self, tid: ThreadId) -> ClientId {
+        self.funding_info(tid).client
+    }
+
+    /// A thread's current value in base units (including compensation).
+    pub fn value_of(&self, tid: ThreadId) -> f64 {
+        self.ledger
+            .cached_client_value(self.funding_info(tid).client)
+            .unwrap_or(0.0)
+    }
+
+    /// A thread's home shard.
+    pub fn home_of(&self, tid: ThreadId) -> u32 {
+        self.home[tid.index() as usize]
+    }
+
+    /// Read access to the underlying ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Write access to the underlying ledger.
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
+    }
+
+    /// Number of lotteries held so far.
+    pub fn lotteries_held(&self) -> u64 {
+        self.lotteries
+    }
+
+    /// Work-stealing picks so far.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Threads re-homed so far (rebalancing plus explicit migration).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Rebalance rounds that found the imbalance bound violated.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Per-shard statistics. Settles the shard's pending invalidations
+    /// first so the reported totals are exact.
+    pub fn shard_stats(&mut self, shard: u32) -> ShardStats {
+        self.refresh_shard(shard);
+        let threads = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| f.is_some() && self.home.get(*i) == Some(&shard))
+            .count() as u32;
+        let sh = &self.shards[shard as usize];
+        ShardStats {
+            threads,
+            queue_depth: sh.ready.len() as u32,
+            ticket_total: sh.tree.total(),
+            picks: sh.picks,
+            dirty_depth: self.ledger.dirty_shard_depth(shard) as u32,
+        }
+    }
+
+    /// Sum of every shard's tree total, in base units — the machine-wide
+    /// ready ticket value the conservation proptests check.
+    pub fn ready_ticket_total(&mut self) -> f64 {
+        for s in 0..self.shards.len() as u32 {
+            self.refresh_shard(s);
+        }
+        self.shards.iter().map(|s| s.tree.total()).sum()
+    }
+
+    /// Re-homes a thread to `shard`, moving its ready entry, tree leaf,
+    /// and dirty-notification ownership.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range shard or an unregistered thread.
+    pub fn migrate(&mut self, tid: ThreadId, shard: u32) {
+        assert!((shard as usize) < self.shards.len(), "no such shard");
+        let funding = self.funding_info(tid);
+        let from = self.home[tid.index() as usize];
+        if from == shard {
+            return;
+        }
+        let was_ready = self.remove_ready(tid);
+        if was_ready {
+            self.shards[from as usize].tree.remove(&tid);
+        }
+        self.home[tid.index() as usize] = shard;
+        self.ledger.assign_dirty_shard(funding.client, shard);
+        if was_ready {
+            self.push_ready(tid);
+            let value = self
+                .ledger
+                .cached_client_value(funding.client)
+                .unwrap_or(0.0);
+            self.shards[shard as usize].tree.insert(tid, value);
+        }
+        self.migrations += 1;
+        let thread = tid.index();
+        self.bus.emit(|| EventKind::ShardMigrate {
+            thread,
+            from_shard: from,
+            to_shard: shard,
+        });
+    }
+
+    fn funding_info(&self, tid: ThreadId) -> ThreadFunding {
+        self.threads
+            .get(tid.index() as usize)
+            .copied()
+            .flatten()
+            .expect("thread not registered with the distributed lottery")
+    }
+
+    /// The shard a fresh thread should call home: the one with the least
+    /// ready ticket value, ties to the lowest index.
+    fn least_loaded_shard(&self) -> u32 {
+        let mut best = 0u32;
+        let mut best_total = f64::INFINITY;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let total = shard.tree.total();
+            if total < best_total {
+                best_total = total;
+                best = i as u32;
+            }
+        }
+        best
+    }
+
+    /// Whether a thread is on its home shard's ready queue (`O(1)`).
+    fn is_ready(&self, tid: ThreadId) -> bool {
+        self.ready_pos
+            .get(tid.index() as usize)
+            .copied()
+            .flatten()
+            .is_some()
+    }
+
+    /// Appends a thread to its home shard's ready queue.
+    fn push_ready(&mut self, tid: ThreadId) {
+        let idx = tid.index() as usize;
+        if self.ready_pos.len() <= idx {
+            self.ready_pos.resize(idx + 1, None);
+        }
+        debug_assert!(self.ready_pos[idx].is_none(), "double enqueue of {tid}");
+        let shard = &mut self.shards[self.home[idx] as usize];
+        self.ready_pos[idx] = Some(shard.ready.len() as u32);
+        shard.ready.push(tid);
+    }
+
+    /// Removes a thread from its home shard's ready queue in `O(1)`.
+    ///
+    /// Swap-removes — the same motion [`TreeLottery`]'s removal applies
+    /// to its leaf slots — so ready order and tree slot order stay
+    /// identical within every shard.
+    fn remove_ready(&mut self, tid: ThreadId) -> bool {
+        let idx = tid.index() as usize;
+        let Some(pos) = self.ready_pos.get(idx).copied().flatten() else {
+            return false;
+        };
+        let pos = pos as usize;
+        let shard = &mut self.shards[self.home[idx] as usize];
+        shard.ready.swap_remove(pos);
+        self.ready_pos[idx] = None;
+        if pos < shard.ready.len() {
+            let moved = shard.ready[pos];
+            self.ready_pos[moved.index() as usize] = Some(pos as u32);
+        }
+        true
+    }
+
+    /// Settles a shard's pending valuation invalidations into its tree.
+    ///
+    /// Only this shard's dirty queue is drained — invalidations homed
+    /// elsewhere wait for their own shard's next pick.
+    fn refresh_shard(&mut self, shard: u32) {
+        for client in self.ledger.drain_dirty_shard(shard) {
+            let Some(&tid) = self.client_threads.get(&client) else {
+                continue;
+            };
+            if !self.is_ready(tid) {
+                continue;
+            }
+            let value = self.ledger.cached_client_value(client).unwrap_or(0.0);
+            self.shards[shard as usize].tree.set_weight(&tid, value);
+        }
+    }
+
+    /// The heaviest foreign shard with ready work, for stealing.
+    fn steal_victim(&mut self, thief: u32) -> Option<u32> {
+        let mut best: Option<(u32, f64)> = None;
+        for s in 0..self.shards.len() as u32 {
+            if s == thief || self.shards[s as usize].ready.is_empty() {
+                continue;
+            }
+            self.refresh_shard(s);
+            let total = self.shards[s as usize].tree.total();
+            if best.is_none_or(|(_, t)| total > t) {
+                best = Some((s, total));
+            }
+        }
+        best.map(|(s, _)| s)
+    }
+
+    /// Holds one lottery over `shard`'s tree and removes the winner.
+    ///
+    /// Mirrors [`super::lottery::LotteryPolicy`]'s tree draw exactly: a
+    /// winning value is consumed from the RNG precisely when the pool has
+    /// positive value; a worthless pool degenerates to FIFO without
+    /// drawing.
+    fn draw_from(&mut self, cpu: u32, shard: u32, stolen: bool) -> ThreadId {
+        self.lotteries += 1;
+        self.shards[shard as usize].picks += 1;
+        let sh = &self.shards[shard as usize];
+        let entries = sh.ready.len() as u32;
+        let total = sh.tree.total();
+        let (tid, winning) = if sh.tree.is_empty() || total <= 0.0 {
+            (sh.ready[0], -1.0)
+        } else {
+            let winning = self.rng.next_f64() * total;
+            let tid = match self.shards[shard as usize].tree.select(winning) {
+                Some(&tid) => tid,
+                None => self.shards[shard as usize].ready[0],
+            };
+            (tid, winning)
+        };
+        let levels = self.shards[shard as usize].tree.depth();
+        let winner = tid.index();
+        self.bus.emit(|| EventKind::LotteryDraw {
+            structure: "shard",
+            entries,
+            levels,
+            total,
+            winning,
+            winner,
+        });
+        self.bus
+            .emit(|| EventKind::ShardPick { cpu, shard, stolen });
+        if stolen {
+            self.steals += 1;
+            self.bus.emit(|| EventKind::ShardSteal {
+                cpu,
+                victim: shard,
+                thread: winner,
+            });
+        }
+        self.shards[shard as usize].tree.remove(&tid);
+        self.remove_ready(tid);
+        let client = self.funding_info(tid).client;
+        // The winner starts its quantum: revoke any compensation ticket.
+        compensation::clear(&mut self.ledger, client).expect("client liveness");
+        tid
+    }
+
+    /// Checks per-shard totals and migrates ready threads from the
+    /// heaviest shard to the lightest until the bound holds again.
+    fn maybe_rebalance(&mut self) {
+        for s in 0..self.shards.len() as u32 {
+            self.refresh_shard(s);
+        }
+        let mut round = 0u64;
+        // Each migration strictly shrinks the heaviest shard, so the
+        // total ready count bounds the rounds.
+        let max_rounds = self.shards.iter().map(|s| s.ready.len() as u64).sum();
+        loop {
+            let totals: Vec<f64> = self.shards.iter().map(|s| s.tree.total()).collect();
+            let sum: f64 = totals.iter().sum();
+            let mean = sum / totals.len() as f64;
+            let (heavy, &max_total) = totals
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("at least one shard");
+            if mean <= 0.0 || max_total <= self.imbalance_bound * mean {
+                break;
+            }
+            if round == 0 {
+                self.rebalances += 1;
+                self.bus.emit(|| EventKind::ShardImbalance {
+                    max_total,
+                    mean_total: mean,
+                });
+            }
+            round += 1;
+            if round > max_rounds || self.shards[heavy].ready.len() <= 1 {
+                break;
+            }
+            let (light, &min_total) = totals
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("at least one shard");
+            // Move the ready thread that brings the heavy/light pair
+            // closest to their midpoint. Only strict improvements
+            // (`0 < v < max - min`) are eligible: anything else would
+            // swap the imbalance and oscillate.
+            let midpoint = (max_total - min_total) / 2.0;
+            let mut choice: Option<(ThreadId, f64)> = None;
+            for &tid in &self.shards[heavy].ready {
+                let v = self
+                    .ledger
+                    .cached_client_value(self.funding_info(tid).client)
+                    .unwrap_or(0.0);
+                if v <= 0.0 || v >= max_total - min_total {
+                    continue;
+                }
+                let distance = (v - midpoint).abs();
+                if choice.is_none_or(|(_, best)| distance < (best - midpoint).abs()) {
+                    choice = Some((tid, v));
+                }
+            }
+            let Some((tid, _)) = choice else {
+                // No single migration can help at this ticket
+                // granularity; the bound stays violated until values
+                // shift.
+                break;
+            };
+            self.migrate(tid, light as u32);
+        }
+    }
+}
+
+impl Policy for DistributedLottery {
+    type Spec = FundingSpec;
+
+    /// Registers a thread, homing it on the least-loaded shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec names a stale currency or a zero amount —
+    /// both are harness configuration bugs.
+    fn on_spawn(&mut self, tid: ThreadId, spec: FundingSpec) {
+        let client = self.ledger.create_client(format!("{tid}"));
+        let ticket = self
+            .ledger
+            .issue_root(spec.currency, spec.amount)
+            .expect("invalid funding spec");
+        self.ledger
+            .fund_client(ticket, client)
+            .expect("fresh client and ticket");
+        let idx = tid.index() as usize;
+        if self.threads.len() <= idx {
+            self.threads.resize(idx + 1, None);
+            self.home.resize(idx + 1, 0);
+        }
+        self.threads[idx] = Some(ThreadFunding { client, ticket });
+        let home = self.least_loaded_shard();
+        self.home[idx] = home;
+        self.ledger.assign_dirty_shard(client, home);
+        self.client_threads.insert(client, tid);
+    }
+
+    fn on_exit(&mut self, tid: ThreadId) {
+        let funding = self.funding_info(tid);
+        let home = self.home[tid.index() as usize];
+        if self.remove_ready(tid) {
+            self.shards[home as usize].tree.remove(&tid);
+        }
+        self.client_threads.remove(&funding.client);
+        self.ledger
+            .deactivate_client(funding.client)
+            .expect("client liveness");
+        self.ledger
+            .destroy_client_and_funding(funding.client)
+            .expect("client liveness");
+        self.threads[tid.index() as usize] = None;
+    }
+
+    fn enqueue(&mut self, tid: ThreadId, _now: SimTime) {
+        let funding = self.funding_info(tid);
+        self.ledger
+            .activate_client(funding.client)
+            .expect("client liveness");
+        self.push_ready(tid);
+        // Activation just invalidated the client, so this read revalues
+        // precisely the changed subgraph; siblings refresh at their own
+        // shard's next pick.
+        let value = self
+            .ledger
+            .cached_client_value(funding.client)
+            .unwrap_or(0.0);
+        let home = self.home[tid.index() as usize];
+        self.shards[home as usize].tree.insert(tid, value);
+    }
+
+    /// A shard-0 lottery — the uniprocessor entry point.
+    fn pick(&mut self, now: SimTime) -> Option<ThreadId> {
+        self.pick_on(0, now)
+    }
+
+    /// A local lottery on the CPU's own shard; steals from the heaviest
+    /// foreign shard when the local queue is empty.
+    fn pick_on(&mut self, cpu: u32, _now: SimTime) -> Option<ThreadId> {
+        let local = cpu % self.shards.len() as u32;
+        self.refresh_shard(local);
+        let (shard, stolen) = if self.shards[local as usize].ready.is_empty() {
+            match self.steal_victim(local) {
+                Some(victim) => (victim, true),
+                None => return None,
+            }
+        } else {
+            (local, false)
+        };
+        let tid = self.draw_from(cpu, shard, stolen);
+        self.picks_since_check += 1;
+        if self.picks_since_check >= self.rebalance_interval && self.shards.len() > 1 {
+            self.picks_since_check = 0;
+            self.maybe_rebalance();
+        }
+        Some(tid)
+    }
+
+    fn charge(&mut self, tid: ThreadId, used: SimDuration, quantum: SimDuration, why: EndReason) {
+        // A blocked thread leaves the run queue for good: deactivate its
+        // tickets so shared-currency values redistribute (Section 4.4).
+        if why == EndReason::Blocked {
+            let funding = self.funding_info(tid);
+            self.ledger
+                .deactivate_client(funding.client)
+                .expect("client liveness");
+        }
+        if !self.compensation_enabled {
+            return;
+        }
+        match why {
+            EndReason::Yielded | EndReason::Blocked => {
+                if used < quantum {
+                    let funding = self.funding_info(tid);
+                    compensation::grant(
+                        &mut self.ledger,
+                        funding.client,
+                        used.as_us().max(1),
+                        quantum.as_us(),
+                    )
+                    .expect("client liveness");
+                    let thread = tid.index();
+                    let factor = quantum.as_us() as f64 / used.as_us().max(1) as f64;
+                    self.bus.emit(|| EventKind::Compensation { thread, factor });
+                }
+            }
+            EndReason::QuantumExpired | EndReason::Exited => {}
+        }
+    }
+
+    fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    fn ready_len(&self) -> usize {
+        self.shards.iter().map(|s| s.ready.len()).sum()
+    }
+
+    /// Stores the bus and forwards a clone to the ledger, so draw events
+    /// and cache/mutation events share one pipeline.
+    fn set_probe_bus(&mut self, bus: ProbeBus) {
+        self.ledger.set_probe_bus(bus.clone());
+        self.bus = bus;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId::from_index(0);
+    const T1: ThreadId = ThreadId::from_index(1);
+    const T2: ThreadId = ThreadId::from_index(2);
+    const T3: ThreadId = ThreadId::from_index(3);
+
+    fn base_spec(p: &DistributedLottery, amount: u64) -> FundingSpec {
+        FundingSpec::new(p.base_currency(), amount)
+    }
+
+    #[test]
+    fn spawns_spread_across_shards() {
+        let mut p = DistributedLottery::new(1, 2);
+        let spec = base_spec(&p, 100);
+        for i in 0..4 {
+            let tid = ThreadId::from_index(i);
+            p.on_spawn(tid, spec);
+            p.enqueue(tid, SimTime::ZERO);
+        }
+        let homes: Vec<u32> = (0..4).map(|i| p.home_of(ThreadId::from_index(i))).collect();
+        assert_eq!(homes.iter().filter(|&&h| h == 0).count(), 2);
+        assert_eq!(homes.iter().filter(|&&h| h == 1).count(), 2);
+        // Dirty ownership follows the home assignment.
+        for i in 0..4 {
+            let tid = ThreadId::from_index(i);
+            assert_eq!(p.ledger().dirty_shard_of(p.client_of(tid)), p.home_of(tid));
+        }
+    }
+
+    #[test]
+    fn local_picks_stay_on_the_cpu_shard() {
+        let mut p = DistributedLottery::new(7, 2);
+        let spec = base_spec(&p, 100);
+        for i in 0..4 {
+            let tid = ThreadId::from_index(i);
+            p.on_spawn(tid, spec);
+            p.enqueue(tid, SimTime::ZERO);
+        }
+        let w0 = p.pick_on(0, SimTime::ZERO).unwrap();
+        let w1 = p.pick_on(1, SimTime::ZERO).unwrap();
+        assert_eq!(p.home_of(w0), 0);
+        assert_eq!(p.home_of(w1), 1);
+        assert_eq!(p.steals(), 0);
+    }
+
+    #[test]
+    fn empty_shard_steals_from_the_heaviest() {
+        let mut p = DistributedLottery::new(7, 2);
+        let spec = base_spec(&p, 100);
+        p.on_spawn(T0, spec);
+        p.enqueue(T0, SimTime::ZERO);
+        assert_eq!(p.home_of(T0), 0);
+        // CPU 1's shard is empty: it must steal T0 from shard 0.
+        assert_eq!(p.pick_on(1, SimTime::ZERO), Some(T0));
+        assert_eq!(p.steals(), 1);
+        assert_eq!(p.pick_on(1, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn proportional_shares_hold_per_shard() {
+        let mut p = DistributedLottery::new(42, 1);
+        let s0 = base_spec(&p, 300);
+        let s1 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        let mut wins = [0u32; 2];
+        let n = 20_000;
+        for _ in 0..n {
+            p.enqueue(T0, SimTime::ZERO);
+            p.enqueue(T1, SimTime::ZERO);
+            let w = p.pick(SimTime::ZERO).unwrap();
+            wins[w.index() as usize] += 1;
+            let other = p.pick(SimTime::ZERO).unwrap();
+            assert_ne!(w, other);
+        }
+        let share = f64::from(wins[0]) / f64::from(n);
+        assert!((share - 0.75).abs() < 0.01, "share {share}");
+    }
+
+    #[test]
+    fn migration_moves_ready_entry_and_dirty_ownership() {
+        let mut p = DistributedLottery::new(3, 2);
+        let spec = base_spec(&p, 100);
+        p.on_spawn(T0, spec);
+        p.enqueue(T0, SimTime::ZERO);
+        let from = p.home_of(T0);
+        let to = 1 - from;
+        p.migrate(T0, to);
+        assert_eq!(p.home_of(T0), to);
+        assert_eq!(p.migrations(), 1);
+        assert_eq!(p.ledger().dirty_shard_of(p.client_of(T0)), to);
+        let stats = p.shard_stats(to);
+        assert_eq!(stats.queue_depth, 1);
+        assert_eq!(stats.ticket_total, 100.0);
+        assert_eq!(p.shard_stats(from).queue_depth, 0);
+        // The migrated thread is still drawable from its new home.
+        assert_eq!(p.pick_on(to, SimTime::ZERO), Some(T0));
+    }
+
+    #[test]
+    fn rebalancer_restores_the_imbalance_bound() {
+        let mut p = DistributedLottery::new(9, 2);
+        p.set_rebalance(1, 1.5);
+        let spec = base_spec(&p, 100);
+        // Spawn interleaved so both shards start with four threads each...
+        for i in 0..8 {
+            let tid = ThreadId::from_index(i);
+            p.on_spawn(tid, spec);
+            p.enqueue(tid, SimTime::ZERO);
+        }
+        // ...then inflate all of shard 0's threads 10x, violating the
+        // bound (4000 vs 400).
+        for i in 0..8 {
+            let tid = ThreadId::from_index(i);
+            if p.home_of(tid) == 0 {
+                p.set_funding(tid, 1000).unwrap();
+            }
+        }
+        // The next pick triggers a rebalance check.
+        let w = p.pick_on(0, SimTime::ZERO).unwrap();
+        assert!(p.rebalances() >= 1, "imbalance went unnoticed");
+        assert!(p.migrations() >= 1, "no thread migrated");
+        p.enqueue(w, SimTime::ZERO);
+        let t0 = p.shard_stats(0).ticket_total;
+        let t1 = p.shard_stats(1).ticket_total;
+        let mean = (t0 + t1) / 2.0;
+        assert!(
+            t0.max(t1) <= 1.5 * mean + 1e-9,
+            "still imbalanced: {t0} vs {t1}"
+        );
+    }
+
+    #[test]
+    fn ready_ticket_total_conserves_ledger_value() {
+        let mut p = DistributedLottery::new(5, 4);
+        let shared = p.create_currency("shared", 1000).unwrap();
+        p.on_spawn(T0, FundingSpec::new(shared, 100));
+        p.on_spawn(T1, FundingSpec::new(shared, 300));
+        let base = base_spec(&p, 600);
+        p.on_spawn(T2, base);
+        p.on_spawn(T3, base_spec(&p, 400));
+        for tid in [T0, T1, T2, T3] {
+            p.enqueue(tid, SimTime::ZERO);
+        }
+        // shared is worth 1000 split 1:3, plus 600 + 400 base.
+        assert_eq!(p.ready_ticket_total(), 2000.0);
+        p.set_funding(T2, 100).unwrap();
+        assert_eq!(p.ready_ticket_total(), 1500.0);
+    }
+
+    #[test]
+    fn exit_cleans_up_shard_state() {
+        let mut p = DistributedLottery::new(5, 2);
+        let spec = base_spec(&p, 100);
+        p.on_spawn(T0, spec);
+        p.enqueue(T0, SimTime::ZERO);
+        p.on_exit(T0);
+        assert_eq!(p.ready_len(), 0);
+        assert_eq!(p.ledger().clients().count(), 0);
+        assert_eq!(p.ledger().tickets().count(), 0);
+        assert_eq!(p.pick_on(0, SimTime::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = DistributedLottery::new(1, 0);
+    }
+}

@@ -15,6 +15,7 @@
 //! * [`stride::StridePolicy`] — deterministic stride scheduling (the
 //!   authors' follow-up work), used as the de-randomization ablation.
 
+pub mod distributed;
 pub mod fairshare;
 pub mod fixed;
 pub mod lottery;
@@ -102,6 +103,16 @@ pub trait Policy {
 
     /// Chooses and removes the next thread to run, or `None` when idle.
     fn pick(&mut self, now: SimTime) -> Option<ThreadId>;
+
+    /// Chooses the next thread for a specific CPU.
+    ///
+    /// Policies with per-CPU run queues (the distributed lottery) override
+    /// this to hold a local lottery on the CPU's own shard; the default
+    /// ignores the CPU and delegates to the shared [`Policy::pick`].
+    fn pick_on(&mut self, cpu: u32, now: SimTime) -> Option<ThreadId> {
+        let _ = cpu;
+        self.pick(now)
+    }
 
     /// Accounts a completed run of `used` CPU time out of `quantum`.
     ///

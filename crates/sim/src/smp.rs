@@ -9,11 +9,19 @@
 //! CPU (a thread cannot run on two processors at once).
 //!
 //! Supported workload actions are [`Burst::Run`], [`Burst::Sleep`],
-//! [`Burst::Yield`], and [`Burst::Exit`]; the RPC verbs are a
-//! uniprocessor-kernel feature (see [`crate::kernel::Kernel`]).
+//! [`Burst::Yield`], and [`Burst::Exit`]; the RPC and mutex verbs are a
+//! uniprocessor-kernel feature (see [`crate::kernel::Kernel`]) and
+//! surface as [`SmpError::UnsupportedBurst`] here.
+//!
+//! Policies with per-CPU run queues (the
+//! [`crate::sched::distributed::DistributedLottery`]) get the picking
+//! CPU's index through [`crate::sched::Policy::pick_on`], so each CPU
+//! holds lotteries on its own shard.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
 
 use lottery_obs::{EventKind, ProbeBus};
 
@@ -29,7 +37,39 @@ enum Event {
     CpuFree { cpu: u32 },
     /// A sleeping thread wakes.
     Wake { tid: ThreadId },
+    /// A preempted thread (quantum expiry / yield) rejoins the ready
+    /// queue. Distinct from [`Event::Wake`] so dispatch-latency metrics
+    /// can tell scheduling delay from sleep time.
+    Requeue { tid: ThreadId },
 }
+
+/// A typed SMP-kernel failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmpError {
+    /// A workload issued a burst the SMP kernel does not implement (RPC
+    /// or mutex verbs). The offending thread is exited and the rest of
+    /// the machine keeps running; re-calling
+    /// [`SmpKernel::run_until`] resumes the simulation.
+    UnsupportedBurst {
+        /// The thread whose workload issued the burst.
+        thread: ThreadId,
+        /// The burst's name, e.g. `"request"` or `"lock"`.
+        burst: &'static str,
+    },
+}
+
+impl fmt::Display for SmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmpError::UnsupportedBurst { thread, burst } => write!(
+                f,
+                "{thread} issued a `{burst}` burst, which the SMP kernel does not support"
+            ),
+        }
+    }
+}
+
+impl Error for SmpError {}
 
 /// A shared-run-queue multiprocessor kernel.
 pub struct SmpKernel<P: Policy> {
@@ -43,6 +83,9 @@ pub struct SmpKernel<P: Policy> {
     metrics: Metrics,
     /// Per-CPU busy time, for utilization accounting.
     busy: Vec<SimDuration>,
+    /// Whether a thread's pending readiness came from a preemption
+    /// requeue (true) or a true wake (false), indexed by thread id.
+    requeued: Vec<bool>,
     /// Structured probe pipeline; disabled by default.
     bus: ProbeBus,
 }
@@ -65,6 +108,7 @@ impl<P: Policy> SmpKernel<P> {
             seq: 0,
             metrics: Metrics::new(),
             busy: vec![SimDuration::ZERO; cpus],
+            requeued: Vec::new(),
             bus: ProbeBus::disabled(),
         }
     }
@@ -139,6 +183,7 @@ impl<P: Policy> SmpKernel<P> {
         let mut thread = Thread::new(name, workload);
         thread.ready_since = Some(self.clock);
         self.threads.push(thread);
+        self.requeued.push(false);
         self.policy.on_spawn(tid, spec);
         self.policy.enqueue(tid, self.clock);
         self.probe(self.clock, || EventKind::ThreadSpawn {
@@ -159,14 +204,20 @@ impl<P: Policy> SmpKernel<P> {
 
     /// Runs until the clock reaches `deadline` (in-flight quanta may
     /// overshoot) or no thread is runnable or sleeping.
-    pub fn run_until(&mut self, deadline: SimTime) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmpError::UnsupportedBurst`] when a workload issues an
+    /// RPC or mutex burst. The offending thread is exited; calling
+    /// `run_until` again resumes the rest of the machine.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<(), SmpError> {
         while let Some(&Reverse((when, _, event))) = self.events.peek() {
             // Stop *at* the deadline: a dispatch beginning exactly there
             // belongs to the next run_until slice (mirrors the
             // uniprocessor kernel's `clock < deadline` loop condition).
             if when >= deadline {
                 self.clock = deadline.max(self.clock);
-                return;
+                return Ok(());
             }
             self.events.pop();
             self.clock = self.clock.max(when);
@@ -178,24 +229,44 @@ impl<P: Policy> SmpKernel<P> {
                     let thread = &mut self.threads[tid.index() as usize];
                     thread.set_state(ThreadState::Ready);
                     thread.ready_since = Some(self.clock);
+                    self.requeued[tid.index() as usize] = false;
                     self.policy.enqueue(tid, self.clock);
                     self.probe(self.clock, || EventKind::Wake {
                         thread: tid.index(),
                     });
                     self.kick_idle_cpus();
                 }
-                Event::CpuFree { cpu } => match self.policy.pick(self.clock) {
-                    Some(tid) => self.dispatch(cpu, tid),
+                Event::Requeue { tid } => {
+                    if self.threads[tid.index() as usize].is_exited() {
+                        continue;
+                    }
+                    // A preemption requeue is not a wake: no Wake probe,
+                    // and the wait it starts is pure scheduling latency.
+                    let thread = &mut self.threads[tid.index() as usize];
+                    thread.set_state(ThreadState::Ready);
+                    thread.ready_since = Some(self.clock);
+                    self.requeued[tid.index() as usize] = true;
+                    self.policy.enqueue(tid, self.clock);
+                    self.kick_idle_cpus();
+                }
+                Event::CpuFree { cpu } => match self.policy.pick_on(cpu, self.clock) {
+                    Some(tid) => self.dispatch(cpu, tid)?,
                     None => self.idle_cpus.push(cpu),
                 },
             }
         }
         self.clock = deadline.max(self.clock);
+        Ok(())
     }
 
     /// Runs one quantum of `tid` on `cpu`, computing the entire dispatch
     /// synchronously and scheduling the CPU's next free event.
-    fn dispatch(&mut self, cpu: u32, tid: ThreadId) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmpError::UnsupportedBurst`] on an RPC or mutex burst,
+    /// after exiting the offending thread and freeing the CPU.
+    fn dispatch(&mut self, cpu: u32, tid: ThreadId) -> Result<(), SmpError> {
         let quantum = self.policy.quantum();
         let start = self.clock;
         let waited = {
@@ -205,7 +276,9 @@ impl<P: Policy> SmpKernel<P> {
             thread.quantum_used = SimDuration::ZERO;
             start.saturating_since(since)
         };
+        let preempted = std::mem::replace(&mut self.requeued[tid.index() as usize], false);
         self.metrics.record_dispatch(tid, waited, true);
+        self.metrics.record_wait_kind(tid, waited, preempted);
         let queue_depth = self.policy.ready_len() as u32;
         self.probe(start, || EventKind::Dispatch {
             thread: tid.index(),
@@ -220,6 +293,7 @@ impl<P: Policy> SmpKernel<P> {
 
         let mut elapsed = SimDuration::ZERO;
         let mut remaining = quantum;
+        let mut error = None;
         let reason = loop {
             if self.threads[tid.index() as usize].burst_remaining.is_zero() {
                 let burst = {
@@ -257,7 +331,21 @@ impl<P: Policy> SmpKernel<P> {
                     | Burst::Reply
                     | Burst::Lock { .. }
                     | Burst::Unlock { .. } => {
-                        panic!("RPC and mutex bursts are not supported on the SMP kernel")
+                        // Graceful degradation: exit the offending thread
+                        // (its accounting below stays truthful) and report
+                        // the burst instead of aborting the simulation.
+                        error = Some(SmpError::UnsupportedBurst {
+                            thread: tid,
+                            burst: match burst {
+                                Burst::Request { .. } => "request",
+                                Burst::Receive { .. } => "receive",
+                                Burst::Reply => "reply",
+                                Burst::Lock { .. } => "lock",
+                                _ => "unlock",
+                            },
+                        });
+                        self.threads[tid.index() as usize].set_state(ThreadState::Exited);
+                        break EndReason::Exited;
                     }
                 }
             }
@@ -293,7 +381,7 @@ impl<P: Policy> SmpKernel<P> {
                 // before the CpuFree event so this CPU can win it back.
                 self.seq += 1;
                 self.events
-                    .push(Reverse((end, self.seq, Event::Wake { tid })));
+                    .push(Reverse((end, self.seq, Event::Requeue { tid })));
             }
             EndReason::Blocked => {
                 self.metrics.thread_mut(tid).blocks += 1;
@@ -303,12 +391,17 @@ impl<P: Policy> SmpKernel<P> {
         self.seq += 1;
         self.events
             .push(Reverse((end, self.seq, Event::CpuFree { cpu })));
+        match error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::distributed::DistributedLottery;
     use crate::sched::lottery::{FundingSpec, LotteryPolicy};
     use crate::sched::rr::RoundRobinPolicy;
     use crate::workload::{ComputeBound, FiniteJob, IoBound};
@@ -318,7 +411,7 @@ mod tests {
         let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 2);
         let a = k.spawn("a", Box::new(ComputeBound), ());
         let b = k.spawn("b", Box::new(ComputeBound), ());
-        k.run_until(SimTime::from_secs(10));
+        k.run_until(SimTime::from_secs(10)).unwrap();
         assert_eq!(k.metrics().cpu_us(a), 10_000_000);
         assert_eq!(k.metrics().cpu_us(b), 10_000_000);
         assert!((k.utilization() - 1.0).abs() < 1e-9);
@@ -330,7 +423,7 @@ mod tests {
         let tids: Vec<ThreadId> = (0..4)
             .map(|i| k.spawn(format!("t{i}"), Box::new(ComputeBound), ()))
             .collect();
-        k.run_until(SimTime::from_secs(10));
+        k.run_until(SimTime::from_secs(10)).unwrap();
         for &t in &tids {
             let cpu = k.metrics().cpu_us(t);
             assert!(
@@ -355,7 +448,7 @@ mod tests {
                 )
             })
             .collect();
-        k.run_until(SimTime::from_secs(120));
+        k.run_until(SimTime::from_secs(120)).unwrap();
         for &t in &tids {
             let share = k.metrics().cpu_us(t) as f64 / 120e6;
             assert!((share - 0.5).abs() < 0.05, "share {share}");
@@ -374,7 +467,7 @@ mod tests {
         );
         let s1 = k.spawn("s1", Box::new(ComputeBound), FundingSpec::new(base, 100));
         let s2 = k.spawn("s2", Box::new(ComputeBound), FundingSpec::new(base, 100));
-        k.run_until(SimTime::from_secs(60));
+        k.run_until(SimTime::from_secs(60)).unwrap();
         // `big` cannot exceed one CPU; the small clients share the other.
         let big_share = k.metrics().cpu_us(big) as f64 / 60e6;
         assert!((big_share - 1.0).abs() < 0.02, "big {big_share}");
@@ -398,7 +491,7 @@ mod tests {
             (),
         );
         let cpu = k.spawn("cpu", Box::new(ComputeBound), ());
-        k.run_until(SimTime::from_secs(10));
+        k.run_until(SimTime::from_secs(10)).unwrap();
         assert_eq!(k.metrics().cpu_us(io), 1_000_000, "10% duty");
         assert_eq!(k.metrics().cpu_us(cpu), 10_000_000, "own CPU throughout");
     }
@@ -413,7 +506,7 @@ mod tests {
         );
         let t1 = k.spawn("t1", Box::new(ComputeBound), ());
         let t2 = k.spawn("t2", Box::new(ComputeBound), ());
-        k.run_until(SimTime::from_secs(11));
+        k.run_until(SimTime::from_secs(11)).unwrap();
         assert!(k.threads[short.index() as usize].is_exited());
         // Capacity: 22 CPU-seconds; short used 1; the rest split ~evenly.
         let total = k.metrics().cpu_us(t1) + k.metrics().cpu_us(t2);
@@ -426,7 +519,7 @@ mod tests {
     #[test]
     fn idle_machine_stops() {
         let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 4);
-        k.run_until(SimTime::from_secs(5));
+        k.run_until(SimTime::from_secs(5)).unwrap();
         assert_eq!(k.utilization(), 0.0);
         assert_eq!(k.cpus(), 4);
     }
@@ -435,5 +528,134 @@ mod tests {
     #[should_panic(expected = "at least one CPU")]
     fn zero_cpus_rejected() {
         let _ = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 0);
+    }
+
+    #[test]
+    fn unsupported_burst_is_a_typed_error_not_a_panic() {
+        use crate::ipc::PortId;
+        use crate::workload::WorkloadCtx;
+        let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 2);
+        let rpc = k.spawn(
+            "rpc",
+            Box::new(|_: &WorkloadCtx| Burst::Request {
+                port: PortId::new(0),
+                service: SimDuration::from_ms(10),
+            }),
+            (),
+        );
+        let worker = k.spawn("worker", Box::new(ComputeBound), ());
+        let err = k.run_until(SimTime::from_secs(10)).unwrap_err();
+        assert_eq!(
+            err,
+            SmpError::UnsupportedBurst {
+                thread: rpc,
+                burst: "request"
+            }
+        );
+        assert!(err.to_string().contains("request"));
+        // Graceful degradation: the offender exited, the machine resumes.
+        assert!(k.threads[rpc.index() as usize].is_exited());
+        k.run_until(SimTime::from_secs(10)).unwrap();
+        assert_eq!(k.metrics().cpu_us(worker), 10_000_000);
+    }
+
+    #[test]
+    fn requeue_wait_is_not_counted_as_wake_wait() {
+        // One CPU, two compute-bound threads: after the first dispatches,
+        // every later dispatch follows a preemption requeue with a full
+        // quantum's wait. No thread ever sleeps.
+        let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 1);
+        let a = k.spawn("a", Box::new(ComputeBound), ());
+        let b = k.spawn("b", Box::new(ComputeBound), ());
+        k.run_until(SimTime::from_secs(10)).unwrap();
+        for &t in &[a, b] {
+            let m = k.metrics().thread(t).unwrap();
+            // The spawn-time dispatch is a wake; the rest are requeues.
+            assert_eq!(m.wake_wait_us.count(), 1, "only the spawn wake");
+            assert_eq!(
+                m.preempt_wait_us.count() + 1,
+                m.wait_us.count(),
+                "every non-spawn dispatch followed a requeue"
+            );
+            // The requeue path must not zero the wait: the other thread's
+            // 100 ms quantum is real scheduling latency.
+            assert_eq!(m.preempt_wait_us.mean(), 100_000.0);
+        }
+        // A true sleeper's waits land in the wake bucket.
+        let mut k = SmpKernel::new(RoundRobinPolicy::new(SimDuration::from_ms(100)), 1);
+        let io = k.spawn(
+            "io",
+            Box::new(IoBound::new(
+                SimDuration::from_ms(10),
+                SimDuration::from_ms(90),
+            )),
+            (),
+        );
+        k.run_until(SimTime::from_secs(10)).unwrap();
+        let m = k.metrics().thread(io).unwrap();
+        assert_eq!(m.preempt_wait_us.count(), 0);
+        assert!(m.wake_wait_us.count() > 50);
+    }
+
+    #[test]
+    fn distributed_lottery_runs_the_machine_per_shard() {
+        let policy = DistributedLottery::new(7, 2);
+        let base = policy.base_currency();
+        let mut k = SmpKernel::new(policy, 2);
+        let tids: Vec<ThreadId> = (0..4)
+            .map(|i| {
+                k.spawn(
+                    format!("t{i}"),
+                    Box::new(ComputeBound),
+                    FundingSpec::new(base, 100),
+                )
+            })
+            .collect();
+        k.run_until(SimTime::from_secs(120)).unwrap();
+        // Equal tickets over 2 CPUs: half a CPU each, machine-wide.
+        for &t in &tids {
+            let share = k.metrics().cpu_us(t) as f64 / 120e6;
+            assert!((share - 0.5).abs() < 0.05, "share {share}");
+        }
+        assert!((k.utilization() - 1.0).abs() < 1e-9);
+        // Both shards actually held lotteries.
+        let p = k.policy_mut();
+        assert!(p.shard_stats(0).picks > 0);
+        assert!(p.shard_stats(1).picks > 0);
+    }
+
+    #[test]
+    fn distributed_ratios_hold_machine_wide() {
+        // Figure 2's 2:1 experiment, machine-wide on 4 CPUs: big threads
+        // hold 200 tickets, small ones 100 — shares must track 2:1 even
+        // though every lottery is shard-local.
+        let policy = DistributedLottery::new(13, 4);
+        let base = policy.base_currency();
+        let mut k = SmpKernel::new(policy, 4);
+        // Spawn the bigs first: the least-loaded home assignment then
+        // lands one big and one small on every shard (300 tickets each),
+        // the balance the rebalancer maintains thereafter.
+        let big: Vec<ThreadId> = (0..4)
+            .map(|i| {
+                k.spawn(
+                    format!("big{i}"),
+                    Box::new(ComputeBound),
+                    FundingSpec::new(base, 200),
+                )
+            })
+            .collect();
+        let small: Vec<ThreadId> = (0..4)
+            .map(|i| {
+                k.spawn(
+                    format!("small{i}"),
+                    Box::new(ComputeBound),
+                    FundingSpec::new(base, 100),
+                )
+            })
+            .collect();
+        k.run_until(SimTime::from_secs(240)).unwrap();
+        let sum = |v: &[ThreadId]| v.iter().map(|&t| k.metrics().cpu_us(t)).sum::<u64>() as f64;
+        let ratio = sum(&big) / sum(&small);
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
     }
 }

@@ -1,0 +1,185 @@
+//! Properties of the distributed lottery (Section 4.2's per-CPU trees).
+//!
+//! Two invariants keep the sharded scheduler honest:
+//!
+//! * **ticket-weight conservation** — however clients are spawned,
+//!   exited, migrated, or inflated, the sum of every shard's partial-sum
+//!   tree total equals the ledger's base-currency valuation of the ready
+//!   set: sharding redistributes weight, it never creates or destroys it;
+//! * **RNG-stream invariance on one shard** — a 1-shard
+//!   `DistributedLottery` is the existing `LotteryPolicy` in tree mode:
+//!   the same ledger operation sequence, the same slot order, the same
+//!   draw discipline, so the winner streams are bit-identical.
+
+use lottery_sim::prelude::*;
+use proptest::prelude::*;
+
+/// One scripted mutation, applied between picks.
+#[derive(Debug, Clone)]
+enum Step {
+    /// The winner uses its full quantum and is requeued.
+    FullQuantum,
+    /// The winner uses `eighths/8` of the quantum and blocks; the
+    /// previously blocked thread (if any) is requeued. Grants a
+    /// compensation ticket. Restricted to 2 and 4 eighths so every
+    /// derived value stays exactly representable.
+    Block { eighths: u64 },
+    /// Inflate thread `t % threads` to `100 * k` tickets.
+    Inflate { t: usize, k: u64 },
+    /// Re-home thread `t % threads` to shard `s % shards`.
+    Migrate { t: usize, s: u32 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::FullQuantum),
+        prop_oneof![Just(2u64), Just(4u64)].prop_map(|eighths| Step::Block { eighths }),
+        (0..8usize, 1..6u64).prop_map(|(t, k)| Step::Inflate { t, k }),
+        (0..8usize, 0..8u32).prop_map(|(t, s)| Step::Migrate { t, s }),
+    ]
+}
+
+/// Drives a distributed policy through `script`, returning the winner
+/// sequence. Rebalancing is left at its defaults so migrations come from
+/// both the script and the policy itself.
+fn run_distributed(
+    seed: u32,
+    shards: usize,
+    threads: usize,
+    script: &[Step],
+    check_conservation: bool,
+) -> Vec<ThreadId> {
+    let mut p = DistributedLottery::new(seed, shards);
+    let base = p.base_currency();
+    for i in 0..threads {
+        let tid = ThreadId::from_index(i as u32);
+        p.on_spawn(tid, FundingSpec::new(base, 100 * (i as u64 + 1)));
+        p.enqueue(tid, SimTime::ZERO);
+    }
+    let quantum = SimDuration::from_ms(100);
+    let mut winners = Vec::with_capacity(script.len());
+    let mut blocked: Option<ThreadId> = None;
+    for (i, step) in script.iter().enumerate() {
+        let cpu = (i % shards) as u32;
+        let Some(w) = p.pick_on(cpu, SimTime::ZERO) else {
+            break;
+        };
+        winners.push(w);
+        match *step {
+            Step::FullQuantum => {
+                p.charge(w, quantum, quantum, EndReason::QuantumExpired);
+                p.enqueue(w, SimTime::ZERO);
+            }
+            Step::Block { eighths } => {
+                let used = SimDuration::from_ms(100 * eighths / 8);
+                p.charge(w, used, quantum, EndReason::Blocked);
+                if let Some(b) = blocked.replace(w) {
+                    p.enqueue(b, SimTime::ZERO);
+                }
+            }
+            Step::Inflate { t, k } => {
+                let target = ThreadId::from_index((t % threads) as u32);
+                p.set_funding(target, 100 * k).unwrap();
+                p.charge(w, quantum, quantum, EndReason::QuantumExpired);
+                p.enqueue(w, SimTime::ZERO);
+            }
+            Step::Migrate { t, s } => {
+                let target = ThreadId::from_index((t % threads) as u32);
+                p.migrate(target, s % shards as u32);
+                p.charge(w, quantum, quantum, EndReason::QuantumExpired);
+                p.enqueue(w, SimTime::ZERO);
+            }
+        }
+        if check_conservation {
+            // After every step the ready set is every thread except the
+            // one currently blocked, and every thread is base-funded —
+            // so the machine-wide tree total must equal the ledger's
+            // valuation of exactly those clients.
+            let expected: f64 = (0..threads)
+                .map(|t| ThreadId::from_index(t as u32))
+                .filter(|&tid| Some(tid) != blocked)
+                .map(|tid| p.value_of(tid))
+                .sum();
+            let total = p.ready_ticket_total();
+            assert!(
+                (total - expected).abs() < 1e-9,
+                "shard totals {total} != ledger value {expected} after step {i}"
+            );
+        }
+    }
+    winners
+}
+
+/// Mirrors `run_distributed` on the shared-tree `LotteryPolicy`,
+/// ignoring `Migrate` targets (a 1-shard migration is a no-op).
+fn run_shared_tree(seed: u32, threads: usize, script: &[Step]) -> Vec<ThreadId> {
+    let mut p = LotteryPolicy::new(seed);
+    p.set_structure(SelectStructure::Tree);
+    let base = p.base_currency();
+    for i in 0..threads {
+        let tid = ThreadId::from_index(i as u32);
+        p.on_spawn(tid, FundingSpec::new(base, 100 * (i as u64 + 1)));
+        p.enqueue(tid, SimTime::ZERO);
+    }
+    let quantum = SimDuration::from_ms(100);
+    let mut winners = Vec::with_capacity(script.len());
+    let mut blocked: Option<ThreadId> = None;
+    for step in script {
+        let Some(w) = p.pick(SimTime::ZERO) else {
+            break;
+        };
+        winners.push(w);
+        match *step {
+            Step::FullQuantum | Step::Migrate { .. } => {
+                p.charge(w, quantum, quantum, EndReason::QuantumExpired);
+                p.enqueue(w, SimTime::ZERO);
+            }
+            Step::Block { eighths } => {
+                let used = SimDuration::from_ms(100 * eighths / 8);
+                p.charge(w, used, quantum, EndReason::Blocked);
+                if let Some(b) = blocked.replace(w) {
+                    p.enqueue(b, SimTime::ZERO);
+                }
+            }
+            Step::Inflate { t, k } => {
+                let target = ThreadId::from_index((t % threads) as u32);
+                p.set_funding(target, 100 * k).unwrap();
+                p.charge(w, quantum, quantum, EndReason::QuantumExpired);
+                p.enqueue(w, SimTime::ZERO);
+            }
+        }
+    }
+    winners
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharding conserves ticket weight: after arbitrary
+    /// spawn/inflate/migrate/block sequences, the sum of per-shard tree
+    /// totals equals the ledger's base-currency valuation of the ready
+    /// set.
+    #[test]
+    fn shard_totals_conserve_ledger_value(
+        seed in 1..u32::MAX,
+        shards in 1..6usize,
+        threads in 2..8usize,
+        script in proptest::collection::vec(step_strategy(), 1..80),
+    ) {
+        run_distributed(seed, shards, threads, &script, true);
+    }
+
+    /// On one shard the distributed lottery IS the shared partial-sum
+    /// tree: winner streams are bit-identical, so distributing the
+    /// scheduler changed nothing about the mechanism itself.
+    #[test]
+    fn single_shard_matches_shared_tree_exactly(
+        seed in 1..u32::MAX,
+        threads in 2..8usize,
+        script in proptest::collection::vec(step_strategy(), 1..120),
+    ) {
+        let distributed = run_distributed(seed, 1, threads, &script, false);
+        let shared = run_shared_tree(seed, threads, &script);
+        prop_assert_eq!(distributed, shared);
+    }
+}

@@ -117,7 +117,7 @@ proptest! {
                 )
             })
             .collect();
-        kernel.run_until(SimTime::from_secs(10));
+        kernel.run_until(SimTime::from_secs(10)).unwrap();
         let total: u64 = tids.iter().map(|&t| kernel.metrics().cpu_us(t)).sum();
         let capacity = kernel.now().as_us() * cpus as u64;
         prop_assert!(total <= capacity, "{} > {}", total, capacity);

@@ -18,4 +18,10 @@ head -1 target/obs/flight.jsonl | grep -q '"kind"' \
   || { echo "verify: flight.jsonl lacks structured events" >&2; exit 1; }
 test -s target/obs/trace.json || { echo "verify: trace.json missing or empty" >&2; exit 1; }
 
+# Distributed-lottery smoke: per-CPU shards on a 4-CPU machine must hold
+# a Figure 2 style 2:1 ticket ratio machine-wide (within 5%).
+cargo run -q --release -p lottery-experiments --bin experiments -- smp-dist \
+  | grep -q "within 5%: OK" \
+  || { echo "verify: distributed lottery missed the 2:1 machine-wide ratio" >&2; exit 1; }
+
 echo "verify: OK"

@@ -84,6 +84,33 @@ fn bench_summaries_parse_and_carry_required_fields() {
 }
 
 #[test]
+fn smp_scaling_summary_covers_both_variants_at_every_width() {
+    // Committed by `cargo bench --bench smp_scaling`: shared-queue and
+    // distributed variants at each machine width, with the per-iteration
+    // element count (scheduling decisions per simulated second) so
+    // downstream tooling can compute decisions/s. The distributed rate
+    // should climb with the CPU count; the shared baseline stays flat.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_smp_scaling.json");
+    let text = fs::read_to_string(&path).expect("BENCH_smp_scaling.json committed");
+    let v = json::parse(&text).unwrap();
+    let results = v.get("results").and_then(Value::as_array).unwrap();
+    for variant in ["shared", "distributed"] {
+        for cpus in [1u64, 2, 4, 8] {
+            let id = format!("smp-scaling/{variant}/{cpus}");
+            let r = results
+                .iter()
+                .find(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str()))
+                .unwrap_or_else(|| panic!("missing result {id}"));
+            assert_eq!(
+                r.get("elements").and_then(Value::as_f64),
+                Some((20 * cpus) as f64),
+                "{id}: elements must be the decision count"
+            );
+        }
+    }
+}
+
+#[test]
 fn obs_overhead_summary_proves_disabled_path_is_free() {
     // Committed by `cargo bench --bench obs_overhead`: with the recorder
     // off, dispatch must cost the same as it did before the probe bus

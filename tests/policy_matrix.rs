@@ -168,7 +168,7 @@ fn smp_with_tree_structure() {
             )
         })
         .collect();
-    kernel.run_until(SimTime::from_secs(60));
+    kernel.run_until(SimTime::from_secs(60)).unwrap();
     for &t in &tids {
         let share = kernel.metrics().cpu_us(t) as f64 / 60e6;
         assert!((share - 0.5).abs() < 0.06, "share {share}");
