@@ -72,6 +72,200 @@ struct ValuationCache {
     currencies: HashMap<CurrencyId, f64>,
     clients: HashMap<ClientId, f64>,
     dirty: ShardedDirtyQueue,
+    comp: CompensationLedger,
+}
+
+/// First-class compensation accounting (Sections 3.4 / 4.5), folded into
+/// the valuation cache so compensated weight is tracked *per shard* and
+/// travels with a client across shard reassignment.
+///
+/// Each compensated client (factor > 1) has an entry recording the factor
+/// and a snapshot of its *funded* value (excluding compensation) in base
+/// units, taken when the factor was granted and refreshed whenever the
+/// client is revalued while active. From those the ledger maintains two
+/// per-shard sums:
+///
+/// * **extra** — `(factor − 1) × funded` per client: the base-unit worth of
+///   the implicit compensation ticket each shard is carrying. This is the
+///   compensation weight surfaced to gauges and the `shards` verb.
+/// * **resting** — `factor × funded` summed over compensated clients that
+///   are currently *inactive* (blocked). Their cached value is zero, so
+///   they are invisible to a shard's partial-sum tree — but this is exactly
+///   the weight the tree regains when they wake. Rebalancers add it to raw
+///   tree totals to compare *effective* shard weights.
+///
+/// A client granted compensation while inactive snapshots a funded value of
+/// zero; the snapshot is corrected on its next valuation after activation.
+#[derive(Debug)]
+pub struct CompensationLedger {
+    entries: HashMap<ClientId, CompEntry>,
+    /// Per-shard sum of `extra` over every compensated client homed there.
+    extra: Vec<f64>,
+    /// Per-shard sum of `funded + extra` over *inactive* compensated
+    /// clients homed there.
+    resting: Vec<f64>,
+    granted: u64,
+    revoked: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CompEntry {
+    factor: f64,
+    /// Funded value (no compensation) in base units at the last refresh.
+    funded: f64,
+    shard: u32,
+    resting: bool,
+}
+
+impl CompEntry {
+    /// The implicit compensation ticket's worth: `(factor − 1) × funded`.
+    fn extra(&self) -> f64 {
+        self.funded * (self.factor - 1.0)
+    }
+}
+
+impl Default for CompensationLedger {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl CompensationLedger {
+    fn new(shards: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            extra: vec![0.0; shards.max(1)],
+            resting: vec![0.0; shards.max(1)],
+            granted: 0,
+            revoked: 0,
+        }
+    }
+
+    fn clamp(&self, shard: u32) -> usize {
+        (shard as usize).min(self.extra.len() - 1)
+    }
+
+    fn add_entry(&mut self, e: &CompEntry) {
+        let s = self.clamp(e.shard);
+        self.extra[s] += e.extra();
+        if e.resting {
+            self.resting[s] += e.funded + e.extra();
+        }
+    }
+
+    fn remove_entry(&mut self, e: &CompEntry) {
+        let s = self.clamp(e.shard);
+        self.extra[s] -= e.extra();
+        if e.resting {
+            self.resting[s] -= e.funded + e.extra();
+        }
+    }
+
+    /// Records a grant (or factor update), preserving the resting state of
+    /// an existing entry.
+    fn record(&mut self, client: ClientId, factor: f64, funded: f64, shard: u32, resting: bool) {
+        let resting = self.entries.get(&client).map_or(resting, |e| e.resting);
+        if let Some(old) = self.entries.remove(&client) {
+            self.remove_entry(&old);
+        }
+        let e = CompEntry {
+            factor,
+            funded,
+            shard,
+            resting,
+        };
+        self.add_entry(&e);
+        self.entries.insert(client, e);
+        self.granted += 1;
+    }
+
+    /// Updates the funded-value snapshot of an existing entry.
+    fn refresh_funded(&mut self, client: ClientId, funded: f64) {
+        let Some(mut e) = self.entries.remove(&client) else {
+            return;
+        };
+        self.remove_entry(&e);
+        e.funded = funded;
+        self.add_entry(&e);
+        self.entries.insert(client, e);
+    }
+
+    /// Clears a client's compensation (factor back to 1); counts a
+    /// revocation when an entry actually existed.
+    fn clear(&mut self, client: ClientId) {
+        if let Some(e) = self.entries.remove(&client) {
+            self.remove_entry(&e);
+            self.revoked += 1;
+        }
+    }
+
+    /// Drops a destroyed client without counting a revocation.
+    fn forget(&mut self, client: ClientId) {
+        if let Some(e) = self.entries.remove(&client) {
+            self.remove_entry(&e);
+        }
+    }
+
+    /// Flips a client between active and resting, moving its return
+    /// weight in or out of the shard's resting sum.
+    fn set_resting(&mut self, client: ClientId, resting: bool) {
+        let Some(mut e) = self.entries.remove(&client) else {
+            return;
+        };
+        self.remove_entry(&e);
+        e.resting = resting;
+        self.add_entry(&e);
+        self.entries.insert(client, e);
+    }
+
+    /// Moves a client's compensated weight to another shard (migration and
+    /// steal re-homing) so nothing is lost or double-counted.
+    fn rehome(&mut self, client: ClientId, shard: u32) {
+        let Some(mut e) = self.entries.remove(&client) else {
+            return;
+        };
+        self.remove_entry(&e);
+        e.shard = shard;
+        self.add_entry(&e);
+        self.entries.insert(client, e);
+    }
+
+    /// Changes the shard count and rebuilds the per-shard sums, clamping
+    /// out-of-range homes into the new range.
+    fn set_shards(&mut self, shards: usize) {
+        self.extra = vec![0.0; shards.max(1)];
+        self.resting = vec![0.0; shards.max(1)];
+        let entries: Vec<CompEntry> = self.entries.values().copied().collect();
+        for e in &entries {
+            self.add_entry(e);
+        }
+    }
+
+    fn shard_extra(&self, shard: u32) -> f64 {
+        // Clamp tiny negative residue from repeated float +=/−=.
+        self.extra
+            .get(shard as usize)
+            .copied()
+            .unwrap_or(0.0)
+            .max(0.0)
+    }
+
+    fn shard_resting(&self, shard: u32) -> f64 {
+        self.resting
+            .get(shard as usize)
+            .copied()
+            .unwrap_or(0.0)
+            .max(0.0)
+    }
+
+    /// Global compensated weight, recomputed exactly from the entries.
+    fn total_extra(&self) -> f64 {
+        self.entries.values().map(CompEntry::extra).sum()
+    }
+
+    fn factor_of(&self, client: ClientId) -> f64 {
+        self.entries.get(&client).map_or(1.0, |e| e.factor)
+    }
 }
 
 /// Dirty-client notifications partitioned by home shard.
@@ -432,6 +626,7 @@ impl Ledger {
         let cache = self.cache.get_mut();
         cache.clients.remove(&id);
         cache.dirty.forget(id);
+        cache.comp.forget(id);
         self.bump();
         self.bus.emit(|| EventKind::LedgerOp {
             op: "destroy-client",
@@ -741,6 +936,7 @@ impl Ledger {
         for t in funding {
             self.activate_ticket(t);
         }
+        self.cache.get_mut().comp.set_resting(id, false);
         self.bump();
         self.bus.emit(|| EventKind::LedgerOp {
             op: "activate-client",
@@ -763,6 +959,7 @@ impl Ledger {
         for t in funding {
             self.deactivate_ticket(t);
         }
+        self.cache.get_mut().comp.set_resting(id, true);
         self.bump();
         self.bus.emit(|| EventKind::LedgerOp {
             op: "deactivate-client",
@@ -866,6 +1063,24 @@ impl Ledger {
             return Ok(());
         }
         client.set_compensation(factor);
+        let active = client.is_active();
+        if factor > 1.0 {
+            // Snapshot the implicit compensation ticket's base-unit worth
+            // against the client's home shard. A throwaway valuator keeps
+            // the incremental cache (and its probe traffic) untouched; an
+            // inactive client snapshots zero and is corrected on its next
+            // valuation after activation.
+            let funded = if active {
+                Valuator::new(self).client_funded_value(id)?
+            } else {
+                0.0
+            };
+            let cache = self.cache.get_mut();
+            let shard = cache.dirty.shard_of(id);
+            cache.comp.record(id, factor, funded, shard, !active);
+        } else {
+            self.cache.get_mut().comp.clear(id);
+        }
         let removed = mark_client(self.cache.get_mut(), id);
         self.bump();
         if removed {
@@ -880,6 +1095,50 @@ impl Ledger {
             op: "set-compensation",
         });
         Ok(())
+    }
+
+    /// The compensation factor currently recorded for `client` (1.0 when
+    /// uncompensated or unknown).
+    pub fn compensation_factor(&self, client: ClientId) -> f64 {
+        self.cache.borrow().comp.factor_of(client)
+    }
+
+    /// Compensated weight homed on one shard: the summed base-unit worth
+    /// of the implicit compensation tickets its clients hold.
+    pub fn compensation_shard_weight(&self, shard: u32) -> f64 {
+        self.cache.borrow().comp.shard_extra(shard)
+    }
+
+    /// Resting compensated weight homed on one shard: `factor × funded`
+    /// summed over compensated clients that are currently inactive. This
+    /// is the weight the shard's partial-sum tree regains when they wake,
+    /// and what a rebalancer must add to raw tree totals to compare
+    /// *effective* shard weights.
+    pub fn compensation_resting_weight(&self, shard: u32) -> f64 {
+        self.cache.borrow().comp.shard_resting(shard)
+    }
+
+    /// Global compensated weight across all shards, recomputed exactly
+    /// from the per-client entries (the conservation invariant: per-shard
+    /// weights must sum to this).
+    pub fn compensation_total_weight(&self) -> f64 {
+        self.cache.borrow().comp.total_extra()
+    }
+
+    /// Number of clients currently holding a compensation factor > 1.
+    pub fn compensated_clients(&self) -> usize {
+        self.cache.borrow().comp.entries.len()
+    }
+
+    /// Compensation grants recorded since the ledger was created.
+    pub fn compensations_granted(&self) -> u64 {
+        self.cache.borrow().comp.granted
+    }
+
+    /// Compensation revocations (factor cleared back to 1) recorded since
+    /// the ledger was created.
+    pub fn compensations_revoked(&self) -> u64 {
+        self.cache.borrow().comp.revoked
     }
 
     // ------------------------------------------------------------------
@@ -964,7 +1223,9 @@ impl Ledger {
     /// lost by resizing mid-run. One shard — the default — behaves
     /// exactly like the unsharded queue.
     pub fn set_dirty_shards(&mut self, shards: usize) {
-        self.cache.get_mut().dirty.set_shards(shards);
+        let cache = self.cache.get_mut();
+        cache.dirty.set_shards(shards);
+        cache.comp.set_shards(cache.dirty.shards());
     }
 
     /// Number of dirty-notification shards.
@@ -975,7 +1236,12 @@ impl Ledger {
     /// Assigns a client's home shard; any pending notification migrates
     /// with it. Out-of-range shards clamp to the last shard.
     pub fn assign_dirty_shard(&mut self, client: ClientId, shard: u32) {
-        self.cache.get_mut().dirty.assign(client, shard);
+        let cache = self.cache.get_mut();
+        cache.dirty.assign(client, shard);
+        // Compensated weight travels with the client's home: re-home its
+        // entry to the (clamped) shard the dirty queue settled on.
+        let clamped = cache.dirty.shard_of(client);
+        cache.comp.rehome(client, clamped);
     }
 
     /// The shard a client's notifications currently route to.
@@ -1077,6 +1343,12 @@ impl Ledger {
         let mut sum = 0.0;
         for &t in c.funding() {
             sum += self.compute_ticket_value(cache, t)?;
+        }
+        if comp > 1.0 && c.is_active() {
+            // Keep the compensation ledger's funded-value snapshot in step
+            // with the freshest valuation (corrects grants that happened
+            // while the client was inactive and funded nothing).
+            cache.comp.refresh_funded(client, sum);
         }
         let v = sum * comp;
         cache.clients.insert(client, v);
@@ -1888,5 +2160,110 @@ mod split_merge_tests {
         let t3 = l.issue_root(l.base(), 5).unwrap();
         l.fund_client(t3, c2).unwrap();
         assert_eq!(l.merge_tickets(t1, t3), Err(LotteryError::NotTransferred));
+    }
+}
+
+#[cfg(test)]
+mod comp_ledger_tests {
+    use super::*;
+
+    /// A client funded by `amount` base units, activated.
+    fn active_client(l: &mut Ledger, amount: u64) -> ClientId {
+        let c = l.create_client("c");
+        let t = l.issue_root(l.base(), amount).unwrap();
+        l.fund_client(t, c).unwrap();
+        l.activate_client(c).unwrap();
+        c
+    }
+
+    #[test]
+    fn grant_records_extra_on_home_shard() {
+        let mut l = Ledger::new();
+        let c = active_client(&mut l, 400);
+        l.set_compensation(c, 2.5).unwrap();
+        // Implicit compensation ticket worth (2.5 - 1) * 400 = 600.
+        assert_eq!(l.compensation_factor(c), 2.5);
+        assert_eq!(l.compensation_shard_weight(0), 600.0);
+        assert_eq!(l.compensation_total_weight(), 600.0);
+        assert_eq!(l.compensation_resting_weight(0), 0.0, "client is active");
+        assert_eq!(l.compensated_clients(), 1);
+        assert_eq!(l.compensations_granted(), 1);
+    }
+
+    #[test]
+    fn clear_revokes_and_empties() {
+        let mut l = Ledger::new();
+        let c = active_client(&mut l, 400);
+        l.set_compensation(c, 2.0).unwrap();
+        l.set_compensation(c, 1.0).unwrap();
+        assert_eq!(l.compensation_factor(c), 1.0);
+        assert_eq!(l.compensation_shard_weight(0), 0.0);
+        assert_eq!(l.compensated_clients(), 0);
+        assert_eq!(l.compensations_revoked(), 1);
+        // Clearing an already-clear client is a no-op, not a revocation.
+        l.set_compensation(c, 1.0).unwrap();
+        assert_eq!(l.compensations_revoked(), 1);
+    }
+
+    #[test]
+    fn deactivation_moves_weight_to_resting() {
+        let mut l = Ledger::new();
+        let c = active_client(&mut l, 100);
+        l.set_compensation(c, 4.0).unwrap();
+        assert_eq!(l.compensation_resting_weight(0), 0.0);
+        l.deactivate_client(c).unwrap();
+        // Blocked: the tree sees 0, but factor * funded = 400 returns on
+        // wake; extra (300) still counts toward the shard's comp weight.
+        assert_eq!(l.compensation_shard_weight(0), 300.0);
+        assert_eq!(l.compensation_resting_weight(0), 400.0);
+        l.activate_client(c).unwrap();
+        assert_eq!(l.compensation_resting_weight(0), 0.0);
+        assert_eq!(l.compensation_shard_weight(0), 300.0);
+    }
+
+    #[test]
+    fn migration_rehomes_compensated_weight() {
+        let mut l = Ledger::new();
+        l.set_dirty_shards(4);
+        let c = active_client(&mut l, 200);
+        l.set_compensation(c, 3.0).unwrap();
+        assert_eq!(l.compensation_shard_weight(0), 400.0);
+        l.assign_dirty_shard(c, 2);
+        assert_eq!(l.compensation_shard_weight(0), 0.0);
+        assert_eq!(l.compensation_shard_weight(2), 400.0);
+        assert_eq!(l.compensation_total_weight(), 400.0, "nothing lost");
+        // Resizing the shard space preserves the total (out-of-range homes
+        // clamp into the new range).
+        l.set_dirty_shards(2);
+        let per_shard: f64 = (0..2).map(|s| l.compensation_shard_weight(s)).sum();
+        assert_eq!(per_shard, l.compensation_total_weight());
+    }
+
+    #[test]
+    fn inactive_grant_snapshots_on_next_valuation() {
+        let mut l = Ledger::new();
+        let c = l.create_client("io");
+        let t = l.issue_root(l.base(), 100).unwrap();
+        l.fund_client(t, c).unwrap();
+        // Granted while inactive: funded value unknown (0) until revalued.
+        l.set_compensation(c, 4.0).unwrap();
+        assert_eq!(l.compensation_shard_weight(0), 0.0);
+        l.activate_client(c).unwrap();
+        assert_eq!(l.cached_client_value(c).unwrap(), 400.0);
+        assert_eq!(l.compensation_shard_weight(0), 300.0);
+        assert_eq!(l.compensation_resting_weight(0), 0.0);
+    }
+
+    #[test]
+    fn destroy_forgets_without_revocation() {
+        let mut l = Ledger::new();
+        let c = active_client(&mut l, 50);
+        l.set_compensation(c, 2.0).unwrap();
+        l.deactivate_client(c).unwrap();
+        l.destroy_client_and_funding(c).unwrap();
+        assert_eq!(l.compensation_shard_weight(0), 0.0);
+        assert_eq!(l.compensation_resting_weight(0), 0.0);
+        assert_eq!(l.compensated_clients(), 0);
+        assert_eq!(l.compensations_revoked(), 0);
     }
 }

@@ -109,9 +109,20 @@ pub enum Command {
     },
     /// `dump` — replay the flight recorder as JSONL, one event per line.
     Dump,
+    /// `compensate <process> <used> <quantum>` — grant a Section 4.5
+    /// compensation factor of `quantum / used` (microseconds); equal
+    /// values clear it.
+    Compensate {
+        /// Process name.
+        name: String,
+        /// Microseconds of the quantum actually used.
+        used: u64,
+        /// The full quantum in microseconds.
+        quantum: u64,
+    },
     /// `shards <n>` — partition processes across `n` dirty-notification
-    /// shards; `shards [--json]` — per-shard process counts, ticket
-    /// totals, queue depths, and the migration count.
+    /// shards; `shards [--json]` — per-shard process counts, ticket and
+    /// compensation totals, queue depths, and the migration count.
     Shards {
         /// Re-partition across this many shards (`None`: just report).
         count: Option<usize>,
@@ -157,6 +168,7 @@ commands (Section 4.7 of the paper):
   rmproc <name>                    destroy a process and its tickets
   activate <process>               mark a process runnable
   deactivate <process>             mark a process blocked
+  compensate <proc> <used> <quantum>  grant a q/used compensation factor (us)
   fundx <amount> <currency> <name> launch a process with funding
   lscur [--json] | lstkt [currency] [--json] | lsproc  inspect objects
   value <name>                     base-unit value of any object
@@ -261,6 +273,12 @@ commands (Section 4.7 of the paper):
             ["trace", "off"] => Ok(Command::Trace { on: false }),
             ["trace", ..] => Err(ParseError::Usage("trace on|off")),
             ["dump"] => Ok(Command::Dump),
+            ["compensate", name, used, quantum] => Ok(Command::Compensate {
+                name: name.to_string(),
+                used: amount(used)?,
+                quantum: amount(quantum)?,
+            }),
+            ["compensate", ..] => Err(ParseError::Usage("compensate <process> <used> <quantum>")),
             ["shards"] => Ok(Command::Shards {
                 count: None,
                 json: false,
@@ -375,6 +393,26 @@ mod tests {
         assert!(matches!(
             Command::parse("shards 2 --json"),
             Err(ParseError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_compensate() {
+        assert_eq!(
+            Command::parse("compensate io 5000 20000"),
+            Ok(Command::Compensate {
+                name: "io".into(),
+                used: 5000,
+                quantum: 20000
+            })
+        );
+        assert!(matches!(
+            Command::parse("compensate io"),
+            Err(ParseError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse("compensate io x 20000"),
+            Err(ParseError::BadAmount(_))
         ));
     }
 

@@ -441,6 +441,20 @@ impl Session {
                 }
                 self.report_shards(json)
             }
+            Command::Compensate {
+                name,
+                used,
+                quantum,
+            } => {
+                let id = self.proc(&name)?;
+                lottery_core::compensation::grant(&mut self.ledger, id, used, quantum)?;
+                let factor = self.ledger.compensation_factor(id);
+                if factor > 1.0 {
+                    Ok(format!("process {name} compensated {factor:.2}x"))
+                } else {
+                    Ok(format!("process {name} compensation cleared"))
+                }
+            }
             Command::Value { name } => {
                 let mut v = Valuator::new(&self.ledger);
                 let value = match self.names.get(&name) {
@@ -491,8 +505,12 @@ impl Session {
         Ok(format!("partitioned {count} processes across {n} shards"))
     }
 
-    /// `shards [--json]`: per-shard process counts, ticket totals, and
-    /// dirty-queue depths, plus the cumulative migration count.
+    /// `shards [--json]`: per-shard process counts, ticket totals,
+    /// compensation weight and share, and dirty-queue depths, plus the
+    /// cumulative migration count. The compensation share is the shard's
+    /// extra Section 4.5 weight over its total (compensated) client value —
+    /// the fraction of the shard's pull on the lottery that is compensatory
+    /// rather than funded.
     fn report_shards(&mut self, json: bool) -> Result<String, CtlError> {
         let n = self.ledger.dirty_shards();
         let procs = self.procs();
@@ -507,14 +525,26 @@ impl Session {
                 totals[shard] += value;
             }
         }
+        let comp: Vec<f64> = (0..n)
+            .map(|s| self.ledger.compensation_shard_weight(s as u32))
+            .collect();
+        let share = |s: usize| {
+            if totals[s] > 0.0 {
+                comp[s] / totals[s]
+            } else {
+                0.0
+            }
+        };
         let migrations = self.ledger.dirty_shard_reassignments();
         if json {
             let rows: Vec<String> = (0..n)
                 .map(|s| {
                     format!(
-                        "{{\"shard\":{s},\"procs\":{},\"tickets\":{},\"depth\":{}}}",
+                        "{{\"shard\":{s},\"procs\":{},\"tickets\":{},\"comp_weight\":{},\"compensation_share\":{},\"depth\":{}}}",
                         counts[s],
                         json::number(totals[s]),
+                        json::number(comp[s]),
+                        json::number(share(s)),
                         self.ledger.dirty_shard_depth(s as u32),
                     )
                 })
@@ -525,16 +555,18 @@ impl Session {
             ));
         }
         let mut out = format!(
-            "{:<6} {:>6} {:>14} {:>12}\n",
-            "shard", "procs", "tickets (base)", "dirty depth"
+            "{:<6} {:>6} {:>14} {:>12} {:>11} {:>12}\n",
+            "shard", "procs", "tickets (base)", "comp weight", "comp share", "dirty depth"
         );
         for s in 0..n {
             let _ = writeln!(
                 out,
-                "{:<6} {:>6} {:>14.1} {:>12}",
+                "{:<6} {:>6} {:>14.1} {:>12.1} {:>11.3} {:>12}",
                 s,
                 counts[s],
                 totals[s],
+                comp[s],
+                share(s),
                 self.ledger.dirty_shard_depth(s as u32),
             );
         }
@@ -802,11 +834,64 @@ mod tests {
         let mut sorted = totals.clone();
         sorted.sort_by(f64::total_cmp);
         assert_eq!(sorted, vec![400.0, 400.0]);
+        for r in rows {
+            assert_eq!(r.get("comp_weight").and_then(|x| x.as_f64()), Some(0.0));
+            assert_eq!(
+                r.get("compensation_share").and_then(|x| x.as_f64()),
+                Some(0.0)
+            );
+        }
         // Re-partitioning moves already-assigned processes: the ledger
         // counts those as migrations.
         eval(&mut s, "shards 4");
         let report = eval(&mut s, "shards");
         assert!(!report.contains("migrations: 0"), "{report}");
+    }
+
+    #[test]
+    fn compensate_reports_shard_share() {
+        let mut s = Session::new();
+        eval(&mut s, "fundx 300 base io");
+        eval(&mut s, "fundx 300 base hog");
+        eval(&mut s, "shards 2");
+        // A 20ms quantum used for 5ms: factor 4, extra weight 3x the
+        // process's 300-base value on whichever shard homes it, so that
+        // shard's compensated total is 1200 and 900/1200 of its lottery
+        // pull is compensatory.
+        assert_eq!(
+            eval(&mut s, "compensate io 5000 20000"),
+            "process io compensated 4.00x"
+        );
+        let out = eval(&mut s, "shards --json");
+        let v = lottery_obs::json::parse(&out).expect("shards --json parses");
+        let rows = v.get("shards").unwrap().as_array().unwrap();
+        let weights: Vec<f64> = rows
+            .iter()
+            .map(|r| r.get("comp_weight").and_then(|x| x.as_f64()).unwrap())
+            .collect();
+        let shares: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                r.get("compensation_share")
+                    .and_then(|x| x.as_f64())
+                    .unwrap()
+            })
+            .collect();
+        let mut w = weights.clone();
+        w.sort_by(f64::total_cmp);
+        assert_eq!(w, vec![0.0, 900.0], "{out}");
+        // Extra 900 over the shard's compensated total 1200: share 0.75.
+        assert!(shares.iter().any(|&x| (x - 0.75).abs() < 1e-9), "{out}");
+        let table = eval(&mut s, "shards");
+        assert!(table.contains("comp share"), "{table}");
+        assert!(table.contains("900.0"), "{table}");
+        // Equal used/quantum clears the factor and the shard weight.
+        assert_eq!(
+            eval(&mut s, "compensate io 20000 20000"),
+            "process io compensation cleared"
+        );
+        let out = eval(&mut s, "shards --json");
+        assert!(!out.contains("900"), "{out}");
     }
 
     #[test]

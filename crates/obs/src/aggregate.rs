@@ -47,6 +47,10 @@ pub struct Aggregator {
     pub dirty_drained: Summary,
     /// Compensation tickets granted.
     pub compensations: u64,
+    /// Compensation tickets revoked (cleared at the next dispatch).
+    pub compensation_revocations: u64,
+    /// Last observed compensated weight per shard, in base units.
+    pub shard_comp_weight: BTreeMap<u32, f64>,
     /// Distributed-lottery picks resolved to a shard.
     pub shard_picks: u64,
     /// Picks that stole from a foreign shard (local tree empty).
@@ -85,6 +89,8 @@ impl Aggregator {
             dirty_depth: Summary::new(),
             dirty_drained: Summary::new(),
             compensations: 0,
+            compensation_revocations: 0,
+            shard_comp_weight: BTreeMap::new(),
             shard_picks: 0,
             shard_steals: 0,
             shard_migrations: 0,
@@ -137,6 +143,11 @@ impl Aggregator {
             "lottery_compensations_total",
             "Compensation tickets granted.",
             self.compensations as f64,
+        );
+        counter(
+            "lottery_compensation_revocations_total",
+            "Compensation tickets revoked at dispatch.",
+            self.compensation_revocations as f64,
         );
         counter(
             "lottery_shard_picks_total",
@@ -214,6 +225,17 @@ impl Aggregator {
         for (cpu, depth) in &self.cpu_queue_depth_max {
             let _ = writeln!(out, "lottery_cpu_queue_depth_max{{cpu=\"{cpu}\"}} {depth}");
         }
+        let _ = writeln!(
+            out,
+            "# HELP lottery_compensation_weight Compensated weight homed per shard (base units)."
+        );
+        let _ = writeln!(out, "# TYPE lottery_compensation_weight gauge");
+        for (shard, weight) in &self.shard_comp_weight {
+            let _ = writeln!(
+                out,
+                "lottery_compensation_weight{{shard=\"{shard}\"}} {weight}"
+            );
+        }
         out
     }
 }
@@ -246,6 +268,10 @@ impl Recorder for Aggregator {
                 self.draw_total.record(total);
             }
             EventKind::Compensation { .. } => self.compensations += 1,
+            EventKind::CompensationRevoked { .. } => self.compensation_revocations += 1,
+            EventKind::ShardCompensation { shard, weight, .. } => {
+                self.shard_comp_weight.insert(shard, weight);
+            }
             EventKind::LedgerOp { op } => *self.ledger_ops.entry(op).or_insert(0) += 1,
             EventKind::CacheLookup { hit, .. } => {
                 if hit {
@@ -325,6 +351,16 @@ mod tests {
             EventKind::Compensation {
                 thread: 0,
                 factor: 2.0,
+                shard: 1,
+            },
+            EventKind::CompensationRevoked {
+                thread: 0,
+                shard: 1,
+            },
+            EventKind::ShardCompensation {
+                shard: 1,
+                weight: 250.0,
+                total: 1250.0,
             },
         ];
         for kind in feed {
@@ -339,5 +375,9 @@ mod tests {
         assert!(text.contains("lottery_draws_total 1"));
         assert!(text.contains("lottery_ledger_ops_total{op=\"fund-client\"} 2"));
         assert!(text.contains("lottery_cache_hit_rate 0.5"));
+        assert_eq!(a.compensations, 1);
+        assert_eq!(a.compensation_revocations, 1);
+        assert!(text.contains("lottery_compensation_revocations_total 1"));
+        assert!(text.contains("lottery_compensation_weight{shard=\"1\"} 250"));
     }
 }

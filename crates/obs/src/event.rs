@@ -93,6 +93,28 @@ pub enum EventKind {
         thread: u32,
         /// The multiplicative factor `q/used` now inflating the client.
         factor: f64,
+        /// The shard (CPU) the grant is attributed to — the client's home
+        /// shard at grant time, so traces can localize compensation churn.
+        shard: u32,
+    },
+    /// A compensation ticket was revoked (the client won its next lottery
+    /// and used a full quantum's worth of attention).
+    CompensationRevoked {
+        /// Thread index.
+        thread: u32,
+        /// The shard (CPU) that was carrying the compensated weight.
+        shard: u32,
+    },
+    /// A per-shard compensation-weight sample (emitted when the
+    /// distributed rebalancer compares effective shard totals).
+    ShardCompensation {
+        /// Shard index.
+        shard: u32,
+        /// Compensated weight homed on the shard, in base units.
+        weight: f64,
+        /// The shard's effective total (ready tree + resting compensated
+        /// weight), in base units.
+        total: f64,
     },
     /// A ledger mutation (the audit log of Section 4.3 operations).
     LedgerOp {
@@ -175,6 +197,8 @@ impl EventKind {
             EventKind::RpcReply { .. } => "rpc-reply",
             EventKind::LotteryDraw { .. } => "lottery-draw",
             EventKind::Compensation { .. } => "compensation",
+            EventKind::CompensationRevoked { .. } => "compensation-revoked",
+            EventKind::ShardCompensation { .. } => "shard-compensation",
             EventKind::LedgerOp { .. } => "ledger-op",
             EventKind::CacheLookup { .. } => "cache-lookup",
             EventKind::CacheInvalidate { .. } => "cache-invalidate",
@@ -242,11 +266,30 @@ impl Event {
                     json::number(winning)
                 );
             }
-            EventKind::Compensation { thread, factor } => {
+            EventKind::Compensation {
+                thread,
+                factor,
+                shard,
+            } => {
                 let _ = write!(
                     s,
-                    ",\"thread\":{thread},\"factor\":{}",
+                    ",\"thread\":{thread},\"factor\":{},\"shard\":{shard}",
                     json::number(factor)
+                );
+            }
+            EventKind::CompensationRevoked { thread, shard } => {
+                let _ = write!(s, ",\"thread\":{thread},\"shard\":{shard}");
+            }
+            EventKind::ShardCompensation {
+                shard,
+                weight,
+                total,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"shard\":{shard},\"weight\":{},\"total\":{}",
+                    json::number(weight),
+                    json::number(total)
                 );
             }
             EventKind::LedgerOp { op } => {
@@ -340,6 +383,29 @@ mod tests {
                 kind: EventKind::CacheLookup {
                     kind: "client",
                     hit: true,
+                },
+            },
+            Event {
+                time_us: 400,
+                kind: EventKind::Compensation {
+                    thread: 3,
+                    factor: 4.0,
+                    shard: 1,
+                },
+            },
+            Event {
+                time_us: 500,
+                kind: EventKind::CompensationRevoked {
+                    thread: 3,
+                    shard: 1,
+                },
+            },
+            Event {
+                time_us: 600,
+                kind: EventKind::ShardCompensation {
+                    shard: 2,
+                    weight: 300.0,
+                    total: 1100.0,
                 },
             },
         ];

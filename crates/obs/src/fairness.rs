@@ -16,11 +16,27 @@ use std::fmt::Write as _;
 use crate::event::{Event, EventKind};
 use crate::recorder::Recorder;
 
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 struct ClientObs {
     entitlement: f64,
     wins: u64,
     cpu_us: u64,
+    /// Most recently granted compensation factor (Section 4.5). Sticky
+    /// across revocations: a compensated client holds its factor only
+    /// between waking and its next win, so the *recurring* grant — not the
+    /// instantaneous state — is what predicts its steady-state win rate.
+    comp_factor: f64,
+}
+
+impl Default for ClientObs {
+    fn default() -> Self {
+        Self {
+            entitlement: 0.0,
+            wins: 0,
+            cpu_us: 0,
+            comp_factor: 1.0,
+        }
+    }
 }
 
 /// Per-client drift against entitlement.
@@ -28,9 +44,15 @@ struct ClientObs {
 pub struct DriftRow {
     /// Thread index.
     pub thread: u32,
-    /// Entitled share of the machine in `[0, 1]` (tickets over total
-    /// registered tickets).
+    /// Entitled share of the machine in `[0, 1]`: *compensated* weight
+    /// (tickets × last granted compensation factor) over the total
+    /// compensated weight of the registered set. Win frequency — not CPU
+    /// share — is what compensation inflates, so the binomial test must
+    /// compare against the compensated share.
     pub entitled: f64,
+    /// The compensation factor folded into `entitled` (1 when never
+    /// compensated).
+    pub comp_factor: f64,
     /// Observed share of lottery wins.
     pub win_share: f64,
     /// Observed share of CPU time.
@@ -150,13 +172,19 @@ impl FairnessMonitor {
 
     /// Computes the drift report over everything observed so far.
     pub fn report(&self) -> FairnessReport {
-        let total_tickets: f64 = self.clients.values().map(|c| c.entitlement).sum();
+        // Entitlement is computed from *compensated* weight: a client's
+        // registered tickets times its recurring compensation factor.
+        let total_tickets: f64 = self
+            .clients
+            .values()
+            .map(|c| c.entitlement * c.comp_factor)
+            .sum();
         let total_wins: u64 = self.clients.values().map(|c| c.wins).sum();
         let total_cpu: u64 = self.clients.values().map(|c| c.cpu_us).sum();
         let mut rows = Vec::with_capacity(self.clients.len());
         for (&thread, obs) in &self.clients {
             let entitled = if total_tickets > 0.0 {
-                obs.entitlement / total_tickets
+                obs.entitlement * obs.comp_factor / total_tickets
             } else {
                 0.0
             };
@@ -180,6 +208,7 @@ impl FairnessMonitor {
             rows.push(DriftRow {
                 thread,
                 entitled,
+                comp_factor: obs.comp_factor,
                 win_share,
                 cpu_share,
                 error: cpu_share - entitled,
@@ -217,6 +246,11 @@ impl Recorder for FairnessMonitor {
             } => {
                 if let Some(obs) = self.clients.get_mut(&thread) {
                     obs.cpu_us += used_us;
+                }
+            }
+            EventKind::Compensation { thread, factor, .. } => {
+                if let Some(obs) = self.clients.get_mut(&thread) {
+                    obs.comp_factor = factor;
                 }
             }
             _ => {}
@@ -278,6 +312,38 @@ mod tests {
         let starved = report.rows.iter().find(|r| r.thread == 1).unwrap();
         assert!(starved.z < -3.0, "z = {}", starved.z);
         assert!(starved.error < -0.3);
+    }
+
+    #[test]
+    fn compensated_client_entitlement_tracks_compensated_weight() {
+        let mut m = FairnessMonitor::new();
+        m.set_entitlement(0, 100.0);
+        m.set_entitlement(1, 100.0);
+        // Thread 1 is I/O-bound and recurrently granted a 4x compensation
+        // factor: its win share legitimately runs at 4x its ticket share.
+        m.record(&Event {
+            time_us: 0,
+            kind: EventKind::Compensation {
+                thread: 1,
+                factor: 4.0,
+                shard: 0,
+            },
+        });
+        // Revocation at dispatch must not reset the recurring factor.
+        m.record(&Event {
+            time_us: 1,
+            kind: EventKind::CompensationRevoked {
+                thread: 1,
+                shard: 0,
+            },
+        });
+        feed(&mut m, 0, 2_000, 100);
+        feed(&mut m, 1, 8_000, 25);
+        let report = m.report();
+        let io = report.rows.iter().find(|r| r.thread == 1).unwrap();
+        assert!((io.entitled - 0.8).abs() < 1e-12, "{}", report.to_text());
+        assert_eq!(io.comp_factor, 4.0);
+        assert!(!report.any_alarm(), "{}", report.to_text());
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod prelude {
     pub use crate::ipc::PortId;
     pub use crate::kernel::Kernel;
     pub use crate::metrics::Metrics;
+    pub use crate::sched::comp::CompensationHook;
     pub use crate::sched::distributed::{DistributedLottery, ShardStats};
     pub use crate::sched::fairshare::{FairSharePolicy, UserId};
     pub use crate::sched::fixed::FixedPriorityPolicy;

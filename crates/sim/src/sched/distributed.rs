@@ -23,7 +23,13 @@
 //! * **ticket-weight rebalancing** — every `rebalance_interval` picks the
 //!   policy compares per-shard totals and, past a configurable imbalance
 //!   bound, migrates ready threads from the heaviest shard to the
-//!   lightest until the bound holds again.
+//!   lightest until the bound holds again. By default the comparison uses
+//!   *effective* (compensated) totals: each shard's ready tree total plus
+//!   the ledger's resting compensated weight — the `factor × funded`
+//!   value its blocked, compensated threads bring back when they wake.
+//!   Raw tree totals mistake a shard full of sleeping I/O-bound threads
+//!   for an idle one ([`DistributedLottery::set_comp_aware_rebalance`]
+//!   exposes that ablation).
 //!
 //! With a single shard the policy is *bit-identical* to
 //! [`super::lottery::LotteryPolicy`] in tree mode: the same ledger
@@ -34,7 +40,6 @@
 use std::collections::HashMap;
 
 use lottery_core::client::ClientId;
-use lottery_core::compensation;
 use lottery_core::currency::CurrencyId;
 use lottery_core::errors::Result;
 use lottery_core::ledger::Ledger;
@@ -44,6 +49,7 @@ use lottery_core::rng::{ParkMiller, SchedRng};
 use lottery_core::ticket::TicketId;
 use lottery_obs::{EventKind, ProbeBus};
 
+use super::comp::CompensationHook;
 use super::lottery::FundingSpec;
 use super::{EndReason, Policy};
 use crate::thread::ThreadId;
@@ -87,6 +93,13 @@ pub struct ShardStats {
     pub queue_depth: u32,
     /// Total ticket value of the shard's ready threads, in base units.
     pub ticket_total: f64,
+    /// Compensated weight homed here: the base-unit worth of the implicit
+    /// compensation tickets this shard's threads hold.
+    pub comp_weight: f64,
+    /// Resting compensated weight: `factor × funded` of this shard's
+    /// blocked compensated threads — invisible to `ticket_total`, but the
+    /// value the tree regains when they wake.
+    pub resting_weight: f64,
     /// Lotteries resolved from this shard's tree.
     pub picks: u64,
     /// Pending dirty-client notifications owned by this shard.
@@ -110,7 +123,11 @@ pub struct DistributedLottery {
     /// Reverse map from ledger clients to threads, for routing sharded
     /// dirty notifications back to tree leaves.
     client_threads: HashMap<ClientId, ThreadId>,
-    compensation_enabled: bool,
+    /// Shared compensation grant/revoke policy (Section 4.5).
+    comp: CompensationHook,
+    /// Whether homing, stealing, and rebalancing compare *effective*
+    /// (compensated) shard totals; `false` is the raw-weight ablation.
+    comp_aware: bool,
     /// Lotteries held (for overhead accounting).
     lotteries: u64,
     /// Picks since the last rebalance check.
@@ -159,7 +176,8 @@ impl DistributedLottery {
             home: Vec::new(),
             ready_pos: Vec::new(),
             client_threads: HashMap::new(),
-            compensation_enabled: true,
+            comp: CompensationHook::new(),
+            comp_aware: true,
             lotteries: 0,
             picks_since_check: 0,
             rebalance_interval: 32,
@@ -191,7 +209,33 @@ impl DistributedLottery {
 
     /// Disables compensation tickets (the Section 4.5 ablation).
     pub fn set_compensation_enabled(&mut self, enabled: bool) {
-        self.compensation_enabled = enabled;
+        self.comp.set_enabled(enabled);
+    }
+
+    /// Chooses whether homing, stealing, and rebalancing compare
+    /// effective (compensated) shard totals — ready tree value plus the
+    /// resting compensated weight of blocked threads — or raw ready tree
+    /// totals only. Raw totals are the ablation: a shard whose I/O-bound
+    /// threads are asleep looks empty and attracts load it cannot carry.
+    pub fn set_comp_aware_rebalance(&mut self, enabled: bool) {
+        self.comp_aware = enabled;
+    }
+
+    /// Whether rebalancing currently compares compensated totals.
+    pub fn comp_aware_rebalance(&self) -> bool {
+        self.comp_aware
+    }
+
+    /// A shard's weight as the load balancer sees it: the ready tree
+    /// total, plus (in compensated mode) the `factor × funded` weight of
+    /// its resting compensated threads.
+    fn effective_total(&self, shard: u32) -> f64 {
+        let tree = self.shards[shard as usize].tree.total();
+        if self.comp_aware {
+            tree + self.ledger.compensation_resting_weight(shard)
+        } else {
+            tree
+        }
     }
 
     /// The base currency of this policy's ledger.
@@ -284,6 +328,8 @@ impl DistributedLottery {
             threads,
             queue_depth: sh.ready.len() as u32,
             ticket_total: sh.tree.total(),
+            comp_weight: self.ledger.compensation_shard_weight(shard),
+            resting_weight: self.ledger.compensation_resting_weight(shard),
             picks: sh.picks,
             dirty_depth: self.ledger.dirty_shard_depth(shard) as u32,
         }
@@ -343,15 +389,15 @@ impl DistributedLottery {
     }
 
     /// The shard a fresh thread should call home: the one with the least
-    /// ready ticket value, ties to the lowest index.
+    /// effective ticket value, ties to the lowest index.
     fn least_loaded_shard(&self) -> u32 {
         let mut best = 0u32;
         let mut best_total = f64::INFINITY;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let total = shard.tree.total();
+        for i in 0..self.shards.len() as u32 {
+            let total = self.effective_total(i);
             if total < best_total {
                 best_total = total;
-                best = i as u32;
+                best = i;
             }
         }
         best
@@ -424,7 +470,7 @@ impl DistributedLottery {
                 continue;
             }
             self.refresh_shard(s);
-            let total = self.shards[s as usize].tree.total();
+            let total = self.effective_total(s);
             if best.is_none_or(|(_, t)| total > t) {
                 best = Some((s, total));
             }
@@ -477,23 +523,41 @@ impl DistributedLottery {
         self.shards[shard as usize].tree.remove(&tid);
         self.remove_ready(tid);
         let client = self.funding_info(tid).client;
-        // The winner starts its quantum: revoke any compensation ticket.
-        compensation::clear(&mut self.ledger, client).expect("client liveness");
+        // The winner starts its quantum: revoke any compensation ticket
+        // through the shared hook (which emits the revocation event).
+        self.comp
+            .on_dispatch(&mut self.ledger, &self.bus, tid, client);
         tid
     }
 
-    /// Checks per-shard totals and migrates ready threads from the
-    /// heaviest shard to the lightest until the bound holds again.
+    /// Checks per-shard effective totals and migrates ready threads from
+    /// the heaviest shard to the lightest until the bound holds again.
     fn maybe_rebalance(&mut self) {
         for s in 0..self.shards.len() as u32 {
             self.refresh_shard(s);
+        }
+        // Sample the per-shard compensation share while the totals are
+        // fresh; the aggregator's `lottery_compensation_weight{shard=…}`
+        // gauges are fed from exactly these events.
+        if self.bus.is_enabled() {
+            for s in 0..self.shards.len() as u32 {
+                let weight = self.ledger.compensation_shard_weight(s);
+                let total = self.effective_total(s);
+                self.bus.emit(|| EventKind::ShardCompensation {
+                    shard: s,
+                    weight,
+                    total,
+                });
+            }
         }
         let mut round = 0u64;
         // Each migration strictly shrinks the heaviest shard, so the
         // total ready count bounds the rounds.
         let max_rounds = self.shards.iter().map(|s| s.ready.len() as u64).sum();
         loop {
-            let totals: Vec<f64> = self.shards.iter().map(|s| s.tree.total()).collect();
+            let totals: Vec<f64> = (0..self.shards.len() as u32)
+                .map(|s| self.effective_total(s))
+                .collect();
             let sum: f64 = totals.iter().sum();
             let mean = sum / totals.len() as f64;
             let (heavy, &max_total) = totals
@@ -641,35 +705,12 @@ impl Policy for DistributedLottery {
     }
 
     fn charge(&mut self, tid: ThreadId, used: SimDuration, quantum: SimDuration, why: EndReason) {
-        // A blocked thread leaves the run queue for good: deactivate its
-        // tickets so shared-currency values redistribute (Section 4.4).
-        if why == EndReason::Blocked {
-            let funding = self.funding_info(tid);
-            self.ledger
-                .deactivate_client(funding.client)
-                .expect("client liveness");
-        }
-        if !self.compensation_enabled {
-            return;
-        }
-        match why {
-            EndReason::Yielded | EndReason::Blocked => {
-                if used < quantum {
-                    let funding = self.funding_info(tid);
-                    compensation::grant(
-                        &mut self.ledger,
-                        funding.client,
-                        used.as_us().max(1),
-                        quantum.as_us(),
-                    )
-                    .expect("client liveness");
-                    let thread = tid.index();
-                    let factor = quantum.as_us() as f64 / used.as_us().max(1) as f64;
-                    self.bus.emit(|| EventKind::Compensation { thread, factor });
-                }
-            }
-            EndReason::QuantumExpired | EndReason::Exited => {}
-        }
+        // The shared hook grants a partial-quantum compensation factor and
+        // deactivates a blocked client's tickets so shared-currency values
+        // redistribute (Section 4.4).
+        let client = self.funding_info(tid).client;
+        self.comp
+            .on_charge(&mut self.ledger, &self.bus, tid, client, used, quantum, why);
     }
 
     fn quantum(&self) -> SimDuration {

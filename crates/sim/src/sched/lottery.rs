@@ -22,7 +22,6 @@
 use std::collections::HashMap;
 
 use lottery_core::client::ClientId;
-use lottery_core::compensation;
 use lottery_core::currency::CurrencyId;
 use lottery_core::errors::Result;
 use lottery_core::ledger::Ledger;
@@ -34,6 +33,7 @@ use lottery_core::ticket::TicketId;
 use lottery_core::transfer::{lend, Transfer, TransferTarget};
 use lottery_obs::{EventKind, ProbeBus};
 
+use super::comp::CompensationHook;
 use super::{EndReason, LockId, Policy};
 use crate::thread::ThreadId;
 use crate::time::{SimDuration, SimTime};
@@ -100,7 +100,8 @@ pub struct LotteryPolicy {
     client_threads: HashMap<ClientId, ThreadId>,
     /// Outstanding RPC transfers, keyed by (client, server).
     transfers: HashMap<(ThreadId, ThreadId), Transfer>,
-    compensation_enabled: bool,
+    /// Shared compensation grant/revoke policy (Section 4.5).
+    comp: CompensationHook,
     /// Lotteries held (for overhead accounting).
     lotteries: u64,
     structure: SelectStructure,
@@ -134,7 +135,7 @@ impl LotteryPolicy {
             ready_pos: Vec::new(),
             client_threads: HashMap::new(),
             transfers: HashMap::new(),
-            compensation_enabled: true,
+            comp: CompensationHook::new(),
             lotteries: 0,
             structure: SelectStructure::List,
             tree: TreeLottery::new(),
@@ -234,7 +235,7 @@ impl LotteryPolicy {
     /// reproduces the anomaly where an interactive thread receives far
     /// less than its entitled share.
     pub fn set_compensation_enabled(&mut self, enabled: bool) {
-        self.compensation_enabled = enabled;
+        self.comp.set_enabled(enabled);
     }
 
     /// The base currency of this policy's ledger.
@@ -474,44 +475,20 @@ impl Policy for LotteryPolicy {
             tid
         };
         let funding = self.funding_info(tid);
-        // The winner starts its quantum: revoke any compensation ticket.
-        // Its tickets stay *active* while it runs — it is using them —
-        // which keeps mutex-handoff valuations live; they are deactivated
-        // only when the thread blocks (Section 4.4).
-        compensation::clear(&mut self.ledger, funding.client).expect("client liveness");
+        // The winner starts its quantum: revoke any compensation ticket
+        // through the shared hook (which emits the revocation event).
+        self.comp
+            .on_dispatch(&mut self.ledger, &self.bus, tid, funding.client);
         Some(tid)
     }
 
     fn charge(&mut self, tid: ThreadId, used: SimDuration, quantum: SimDuration, why: EndReason) {
-        // A blocked thread leaves the run queue for good: deactivate its
-        // tickets so shared-currency values redistribute (Section 4.4).
-        if why == EndReason::Blocked {
-            let funding = self.funding_info(tid);
-            self.ledger
-                .deactivate_client(funding.client)
-                .expect("client liveness");
-        }
-        if !self.compensation_enabled {
-            return;
-        }
-        match why {
-            EndReason::Yielded | EndReason::Blocked => {
-                if used < quantum {
-                    let funding = self.funding_info(tid);
-                    compensation::grant(
-                        &mut self.ledger,
-                        funding.client,
-                        used.as_us().max(1),
-                        quantum.as_us(),
-                    )
-                    .expect("client liveness");
-                    let thread = tid.index();
-                    let factor = quantum.as_us() as f64 / used.as_us().max(1) as f64;
-                    self.bus.emit(|| EventKind::Compensation { thread, factor });
-                }
-            }
-            EndReason::QuantumExpired | EndReason::Exited => {}
-        }
+        // The shared hook grants a partial-quantum compensation factor and
+        // deactivates a blocked client's tickets so shared-currency values
+        // redistribute (Section 4.4).
+        let client = self.funding_info(tid).client;
+        self.comp
+            .on_charge(&mut self.ledger, &self.bus, tid, client, used, quantum, why);
     }
 
     fn quantum(&self) -> SimDuration {

@@ -15,6 +15,7 @@
 //! * [`stride::StridePolicy`] — deterministic stride scheduling (the
 //!   authors' follow-up work), used as the de-randomization ablation.
 
+pub mod comp;
 pub mod distributed;
 pub mod fairshare;
 pub mod fixed;

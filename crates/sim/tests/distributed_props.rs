@@ -105,6 +105,19 @@ fn run_distributed(
                 (total - expected).abs() < 1e-9,
                 "shard totals {total} != ledger value {expected} after step {i}"
             );
+            // Compensation conservation: however grants, revocations,
+            // steals, and migrations have shuffled clients around, the
+            // per-shard compensated weights must sum to the ledger's
+            // global compensated value — shard transfer moves weight, it
+            // never mints or leaks it.
+            let comp_sum: f64 = (0..shards as u32)
+                .map(|s| p.ledger().compensation_shard_weight(s))
+                .sum();
+            let comp_total = p.ledger().compensation_total_weight();
+            assert!(
+                (comp_sum - comp_total).abs() < 1e-6,
+                "per-shard compensated weights {comp_sum} != global {comp_total} after step {i}"
+            );
         }
     }
     winners
@@ -181,5 +194,74 @@ proptest! {
         let distributed = run_distributed(seed, 1, threads, &script, false);
         let shared = run_shared_tree(seed, threads, &script);
         prop_assert_eq!(distributed, shared);
+    }
+}
+
+proptest! {
+    // Each case is a full SmpKernel simulation; a handful of cases at a
+    // wide alarm band is the right trade against runtime.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Section 4.5 over SMP: an I/O-bound client burning a partial
+    /// quantum per dispatch carries a recurring compensation factor
+    /// `f = quantum/used`, and the fairness monitor folds that factor
+    /// into its entitled share. With equal base tickets per shard the
+    /// compensated lottery delivers exactly that share of wins — every
+    /// client's `weight × quantum` product collapses to `tickets ×
+    /// quantum`, so per-shard lottery rates cancel — and the binomial
+    /// z-score over a long run stays inside the alarm band.
+    #[test]
+    fn io_share_matches_compensated_entitlement_on_smp(
+        seed in 1..u32::MAX,
+        shards in 2..5usize,
+        per_shard in 2..4usize,
+        used_ms in prop_oneof![Just(5u64), Just(6), Just(8)],
+    ) {
+        let policy = DistributedLottery::with_quantum(seed, shards, SimDuration::from_ms(10));
+        let base = policy.base_currency();
+        let mut kernel = SmpKernel::new(policy, shards);
+        let monitor = Shared::new(FairnessMonitor::with_alarm_z(4.5));
+        let bus = ProbeBus::enabled();
+        bus.attach(monitor.clone());
+        kernel.set_probe_bus(bus);
+
+        // One partial-quantum client plus hogs, all funded 100 tickets,
+        // pinned so every shard carries the same base-ticket total.
+        let io = kernel.spawn(
+            "io",
+            Box::new(FractionalQuantum::new(SimDuration::from_ms(used_ms))),
+            FundingSpec::new(base, 100),
+        );
+        kernel.policy_mut().migrate(io, 0);
+        monitor.with(|m| m.set_entitlement(io.index(), 100.0));
+        for i in 1..shards * per_shard {
+            let t = kernel.spawn(
+                format!("hog{i}"),
+                Box::new(ComputeBound),
+                FundingSpec::new(base, 100),
+            );
+            kernel.policy_mut().migrate(t, (i / per_shard) as u32);
+            monitor.with(|m| m.set_entitlement(t.index(), 100.0));
+        }
+        kernel
+            .run_until(SimTime::from_secs(60))
+            .expect("run/yield workloads only");
+
+        let report = monitor.with(|m| m.report());
+        let io_row = report
+            .rows
+            .iter()
+            .find(|r| r.thread == io.index())
+            .expect("io thread registered");
+        prop_assert!(
+            (io_row.comp_factor - 10.0 / used_ms as f64).abs() < 1e-9,
+            "io comp factor {} != quantum/used",
+            io_row.comp_factor
+        );
+        prop_assert!(
+            !report.any_alarm(),
+            "binomial drift alarm:\n{}",
+            report.to_text()
+        );
     }
 }

@@ -19,9 +19,29 @@ head -1 target/obs/flight.jsonl | grep -q '"kind"' \
 test -s target/obs/trace.json || { echo "verify: trace.json missing or empty" >&2; exit 1; }
 
 # Distributed-lottery smoke: per-CPU shards on a 4-CPU machine must hold
-# a Figure 2 style 2:1 ticket ratio machine-wide (within 5%).
-cargo run -q --release -p lottery-experiments --bin experiments -- smp-dist \
-  | grep -q "within 5%: OK" \
+# a Figure 2 style 2:1 ticket ratio machine-wide (within 5%), and the
+# I/O-heavy variant must hold it under compensated rebalancing while the
+# raw-weight ablation demonstrably drifts.
+smp_dist_out=$(cargo run -q --release -p lottery-experiments --bin experiments -- smp-dist)
+echo "$smp_dist_out" | grep -q "within 5%: OK" \
   || { echo "verify: distributed lottery missed the 2:1 machine-wide ratio" >&2; exit 1; }
+echo "$smp_dist_out" | grep -q "io-heavy 2:1 held within 5% under compensated rebalancing: OK" \
+  || { echo "verify: compensated rebalancing missed the io-heavy 2:1 ratio" >&2; exit 1; }
+echo "$smp_dist_out" | grep -q "raw-weight rebalancing drifts without compensated totals: CONFIRMED" \
+  || { echo "verify: raw-weight rebalancing failed to show the drift" >&2; exit 1; }
+
+# ctl smoke: the shards report must expose per-shard compensation share,
+# machine-readably under --json.
+ctl_out=$(printf '%s\n' \
+  "fundx 300 base io" \
+  "fundx 300 base hog" \
+  "shards 2" \
+  "compensate io 5000 20000" \
+  "shards --json" \
+  | cargo run -q --release -p lottery-ctl --bin lotteryctl)
+echo "$ctl_out" | grep -q '"compensation_share":' \
+  || { echo "verify: ctl shards --json lacks compensation_share" >&2; exit 1; }
+echo "$ctl_out" | grep -q "compensated 4.00x" \
+  || { echo "verify: ctl compensate did not grant the 4x factor" >&2; exit 1; }
 
 echo "verify: OK"

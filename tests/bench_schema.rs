@@ -111,6 +111,40 @@ fn smp_scaling_summary_covers_both_variants_at_every_width() {
 }
 
 #[test]
+fn comp_rebalance_summary_shows_raw_drift_and_compensated_hold() {
+    // Committed by `cargo bench --bench comp_rebalance`: each result's
+    // `elements` field carries the measured io:hog CPU ratio × 1000
+    // under the I/O-heavy four-shard mix (2:1 ticket edge → 2000 when
+    // entitlement is delivered). Compensated-weight rebalancing must
+    // hold the ratio within the experiment's 5% bound; the raw-weight
+    // ablation must demonstrably drift outside it.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_comp_rebalance.json");
+    let text = fs::read_to_string(&path).expect("BENCH_comp_rebalance.json committed");
+    let v = json::parse(&text).unwrap();
+    let results = v.get("results").and_then(Value::as_array).unwrap();
+    let elements = |variant: &str| -> f64 {
+        let id = format!("comp-rebalance/{variant}/4");
+        results
+            .iter()
+            .find(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str()))
+            .unwrap_or_else(|| panic!("missing result {id}"))
+            .get("elements")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("{id}: elements must be the ratio × 1000"))
+    };
+    let compensated = elements("compensated");
+    assert!(
+        (1900.0..=2100.0).contains(&compensated),
+        "compensated rebalancing must hold io:hog within 5% of 2:1, got {compensated}"
+    );
+    let raw = elements("raw");
+    assert!(
+        !(1900.0..=2100.0).contains(&raw),
+        "raw-weight rebalancing should drift outside the 5% bound, got {raw}"
+    );
+}
+
+#[test]
 fn obs_overhead_summary_proves_disabled_path_is_free() {
     // Committed by `cargo bench --bench obs_overhead`: with the recorder
     // off, dispatch must cost the same as it did before the probe bus
