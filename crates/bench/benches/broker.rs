@@ -1,0 +1,70 @@
+//! Broker funding costs over growing tenant populations (DESIGN.md §7).
+//!
+//! The broker sits on the control path, not the dispatch path: schedulers
+//! consume plain ticket counts and only the periodic control step touches
+//! the ledger. These benchmarks price that control step — a full
+//! demand-refund `rebalance` cycle (every tenant goes net-idle, then
+//! demands everything again, so each iteration unfunds and refunds one
+//! backing ticket per tenant) and a full `weight` sweep (4·n cached
+//! currency valuations, the numbers exported to the four schedulers) —
+//! at 4, 16, and 64 tenants. Throughput elements carry the tenant count
+//! so the summary JSON yields per-tenant costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lottery_broker::{Resource, ResourceBroker, SplitPolicy, TenantId};
+
+fn build(tenants: u32) -> (ResourceBroker, Vec<TenantId>) {
+    let mut broker = ResourceBroker::new();
+    let ids = (0..tenants)
+        .map(|i| {
+            broker
+                .register_tenant(
+                    format!("tenant{i}"),
+                    100 + u64::from(i),
+                    SplitPolicy::even(),
+                )
+                .expect("fresh tenant names")
+        })
+        .collect();
+    (broker, ids)
+}
+
+fn bench_broker_funding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker-funding");
+    for tenants in [4u32, 16, 64] {
+        let (mut broker, ids) = build(tenants);
+        group.throughput(Throughput::Elements(u64::from(tenants)));
+        group.bench_with_input(BenchmarkId::new("rebalance", tenants), &tenants, |b, _| {
+            b.iter(|| {
+                for &t in &ids {
+                    for r in [Resource::Cpu, Resource::Disk, Resource::Mem] {
+                        broker.record_demand(t, r, 1);
+                    }
+                }
+                broker.rebalance().unwrap();
+                for &t in &ids {
+                    for r in Resource::ALL {
+                        broker.record_demand(t, r, 1);
+                    }
+                }
+                broker.rebalance().unwrap();
+            })
+        });
+        let (broker, ids) = build(tenants);
+        group.bench_with_input(BenchmarkId::new("weights", tenants), &tenants, |b, _| {
+            b.iter(|| {
+                let mut total = 0.0f64;
+                for &t in &ids {
+                    for r in Resource::ALL {
+                        total += broker.weight(t, r);
+                    }
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broker_funding);
+criterion_main!(benches);

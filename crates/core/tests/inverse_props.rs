@@ -1,0 +1,61 @@
+//! Property test: inverse-lottery victims follow the paper's formula.
+//!
+//! Section 6.2 specifies that an inverse lottery revokes a unit from
+//! client `i` with probability `P[i] = 1/(n-1) · (1 - t_i/T)`. For random
+//! ticket pools this checks both halves of the claim: the closed-form
+//! [`loss_probability`] matches the formula exactly, and the empirical
+//! victim histogram of [`draw_loser`] matches [`loss_probability`] within
+//! a binomial confidence bound (counts are binomial with standard
+//! deviation `sqrt(n·p·(1-p))`; five sigma over these case counts makes a
+//! false trip vanishingly unlikely).
+
+use lottery_core::inverse::{draw_loser, loss_probability};
+use lottery_core::rng::ParkMiller;
+use proptest::prelude::*;
+
+fn pools() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..=500u64, 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn loss_probability_matches_closed_form(tickets in pools()) {
+        let total: u64 = tickets.iter().sum();
+        prop_assume!(total > 0);
+        let n = tickets.len() as f64;
+        let mut sum = 0.0;
+        for (i, &t) in tickets.iter().enumerate() {
+            let expected = (1.0 - t as f64 / total as f64) / (n - 1.0);
+            let p = loss_probability(&tickets, i);
+            prop_assert!((p - expected).abs() < 1e-12, "i={i}: {p} vs {expected}");
+            sum += p;
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-9, "probabilities sum to {sum}");
+    }
+
+    #[test]
+    fn victim_distribution_matches_formula(tickets in pools(), seed in 1u32..1_000_000) {
+        let total: u64 = tickets.iter().sum();
+        prop_assume!(total > 0);
+        let entries: Vec<(usize, u64)> = tickets.iter().copied().enumerate().collect();
+        let mut rng = ParkMiller::new(seed);
+        let draws = 4_000u64;
+        let mut counts = vec![0u64; tickets.len()];
+        for _ in 0..draws {
+            counts[draw_loser(&entries, &mut rng).unwrap()] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let p = loss_probability(&tickets, i);
+            let mean = draws as f64 * p;
+            let sd = (draws as f64 * p * (1.0 - p)).sqrt();
+            let diff = (count as f64 - mean).abs();
+            prop_assert!(
+                diff <= 5.0 * sd + 1.0,
+                "entry {i} (t={}): observed {count}, expected {mean:.1} ± {sd:.1} (5σ)",
+                tickets[i]
+            );
+        }
+    }
+}

@@ -129,6 +129,54 @@ pub enum Command {
         /// Emit machine-readable JSON instead of a table.
         json: bool,
     },
+    /// `broker …` — drive the session's multi-resource broker.
+    Broker {
+        /// The broker sub-verb.
+        action: BrokerAction,
+    },
+}
+
+/// Sub-verbs of [`Command::Broker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerAction {
+    /// `broker tenant <name> <grant> [static]` — register a tenant with a
+    /// base-currency grant split across cpu/disk/mem/net (demand-refund
+    /// split unless `static`).
+    Tenant {
+        /// Tenant name.
+        name: String,
+        /// Base-currency grant.
+        grant: u64,
+        /// Refund idle resources back to the grant on `rebalance`.
+        refund: bool,
+    },
+    /// `broker demand <tenant> <resource> <units>` — record demand ahead
+    /// of the next rebalance.
+    Demand {
+        /// Tenant name.
+        tenant: String,
+        /// Resource tag (`cpu`, `disk`, `mem`, `net`).
+        resource: String,
+        /// Demand units.
+        units: u64,
+    },
+    /// `broker use <tenant> <resource> <units>` — record observed usage.
+    Use {
+        /// Tenant name.
+        tenant: String,
+        /// Resource tag (`cpu`, `disk`, `mem`, `net`).
+        resource: String,
+        /// Usage units.
+        units: u64,
+    },
+    /// `broker rebalance` — refund idle resources, restore demanded ones.
+    Rebalance,
+    /// `broker [--json]` — per-tenant per-resource funding and
+    /// observed-share report.
+    Report {
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
+    },
 }
 
 /// Parse failures.
@@ -177,6 +225,11 @@ commands (Section 4.7 of the paper):
   trace on|off                     toggle the session flight recorder
   dump                             flight-recorder events as JSONL
   shards [<n>|--json]              partition processes across n dirty shards / report
+  broker tenant <name> <grant> [static]  register a tenant grant split over cpu/disk/mem/net
+  broker demand <tenant> <resource> <units>  record demand before a rebalance
+  broker use <tenant> <resource> <units>     record observed usage
+  broker rebalance                 refund idle resources, restore demanded ones
+  broker [--json]                  per-tenant funding and observed-share report
   help                             this text";
 
     /// Parses one line. Blank lines and `#` comments are [`Command::Nop`].
@@ -292,6 +345,47 @@ commands (Section 4.7 of the paper):
                 json: false,
             }),
             ["shards", ..] => Err(ParseError::Usage("shards [<n>|--json]")),
+            ["broker"] => Ok(Command::Broker {
+                action: BrokerAction::Report { json: false },
+            }),
+            ["broker", "--json"] => Ok(Command::Broker {
+                action: BrokerAction::Report { json: true },
+            }),
+            ["broker", "tenant", name, grant] => Ok(Command::Broker {
+                action: BrokerAction::Tenant {
+                    name: name.to_string(),
+                    grant: amount(grant)?,
+                    refund: true,
+                },
+            }),
+            ["broker", "tenant", name, grant, "static"] => Ok(Command::Broker {
+                action: BrokerAction::Tenant {
+                    name: name.to_string(),
+                    grant: amount(grant)?,
+                    refund: false,
+                },
+            }),
+            ["broker", "demand", tenant, resource, units] => Ok(Command::Broker {
+                action: BrokerAction::Demand {
+                    tenant: tenant.to_string(),
+                    resource: resource.to_string(),
+                    units: amount(units)?,
+                },
+            }),
+            ["broker", "use", tenant, resource, units] => Ok(Command::Broker {
+                action: BrokerAction::Use {
+                    tenant: tenant.to_string(),
+                    resource: resource.to_string(),
+                    units: amount(units)?,
+                },
+            }),
+            ["broker", "rebalance"] => Ok(Command::Broker {
+                action: BrokerAction::Rebalance,
+            }),
+            ["broker", ..] => Err(ParseError::Usage(
+                "broker [--json] | broker tenant <name> <grant> [static] | \
+                 broker demand|use <tenant> <resource> <units> | broker rebalance",
+            )),
             ["value", name] => Ok(Command::Value {
                 name: name.to_string(),
             }),
@@ -361,6 +455,72 @@ mod tests {
             Err(ParseError::Usage(_))
         ));
         assert_eq!(Command::parse("dump"), Ok(Command::Dump));
+    }
+
+    #[test]
+    fn parses_broker() {
+        assert_eq!(
+            Command::parse("broker"),
+            Ok(Command::Broker {
+                action: BrokerAction::Report { json: false }
+            })
+        );
+        assert_eq!(
+            Command::parse("broker --json"),
+            Ok(Command::Broker {
+                action: BrokerAction::Report { json: true }
+            })
+        );
+        assert_eq!(
+            Command::parse("broker tenant gold 2000"),
+            Ok(Command::Broker {
+                action: BrokerAction::Tenant {
+                    name: "gold".into(),
+                    grant: 2000,
+                    refund: true
+                }
+            })
+        );
+        assert_eq!(
+            Command::parse("broker tenant gold 2000 static"),
+            Ok(Command::Broker {
+                action: BrokerAction::Tenant {
+                    name: "gold".into(),
+                    grant: 2000,
+                    refund: false
+                }
+            })
+        );
+        assert_eq!(
+            Command::parse("broker use gold disk 800"),
+            Ok(Command::Broker {
+                action: BrokerAction::Use {
+                    tenant: "gold".into(),
+                    resource: "disk".into(),
+                    units: 800
+                }
+            })
+        );
+        assert_eq!(
+            Command::parse("broker demand gold cpu 1"),
+            Ok(Command::Broker {
+                action: BrokerAction::Demand {
+                    tenant: "gold".into(),
+                    resource: "cpu".into(),
+                    units: 1
+                }
+            })
+        );
+        assert_eq!(
+            Command::parse("broker rebalance"),
+            Ok(Command::Broker {
+                action: BrokerAction::Rebalance
+            })
+        );
+        assert!(matches!(
+            Command::parse("broker tenant gold"),
+            Err(ParseError::Usage(_))
+        ));
     }
 
     #[test]

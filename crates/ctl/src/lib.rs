@@ -23,5 +23,5 @@
 pub mod command;
 pub mod session;
 
-pub use command::{Command, ParseError};
+pub use command::{BrokerAction, Command, ParseError};
 pub use session::{CtlError, ObjectRef, Session};

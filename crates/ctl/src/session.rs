@@ -10,13 +10,14 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use lottery_broker::{Resource, ResourceBroker, SplitPolicy, TenantId};
 use lottery_core::client::ClientId;
 use lottery_core::currency::{CurrencyId, IssuePolicy, Principal};
 use lottery_core::ledger::{Ledger, Valuator};
 use lottery_core::ticket::{FundingTarget, TicketId};
 use lottery_obs::{json, Aggregator, FlightRecorder, ProbeBus, Shared};
 
-use crate::command::{Command, ParseError};
+use crate::command::{BrokerAction, Command, ParseError};
 
 /// Events the session flight recorder retains (`trace on` … `dump`).
 const FLIGHT_CAPACITY: usize = 4096;
@@ -90,6 +91,10 @@ pub struct Session {
     /// Bounded event ring backing `dump`; only fed while tracing.
     flight: Shared<FlightRecorder>,
     tracing: bool,
+    /// Multi-resource broker, created on the first `broker` verb. It owns
+    /// its own ledger: tenant grants live in the broker's funding graph,
+    /// not the session's object environment.
+    broker: Option<ResourceBroker>,
 }
 
 impl Default for Session {
@@ -117,6 +122,7 @@ impl Session {
             stats: Shared::new(Aggregator::new()),
             flight: Shared::new(FlightRecorder::new(FLIGHT_CAPACITY)),
             tracing: false,
+            broker: None,
         };
         session.rewire_bus();
         session
@@ -441,6 +447,7 @@ impl Session {
                 }
                 self.report_shards(json)
             }
+            Command::Broker { action } => self.exec_broker(action),
             Command::Compensate {
                 name,
                 used,
@@ -571,6 +578,159 @@ impl Session {
             );
         }
         let _ = writeln!(out, "migrations: {migrations}");
+        Ok(out)
+    }
+
+    /// Resolves a tenant name against the session broker.
+    fn broker_tenant(broker: &ResourceBroker, name: &str) -> Result<TenantId, CtlError> {
+        broker
+            .find_tenant(name)
+            .ok_or_else(|| CtlError::UnknownName(name.to_string()))
+    }
+
+    /// Parses a resource tag, surfacing bad tags as unknown names.
+    fn broker_resource(tag: &str) -> Result<Resource, CtlError> {
+        Resource::parse(tag).ok_or_else(|| CtlError::UnknownName(tag.to_string()))
+    }
+
+    /// `broker …`: register tenants, record demand/usage, rebalance, and
+    /// report per-tenant per-resource funding and observed shares.
+    fn exec_broker(&mut self, action: BrokerAction) -> Result<String, CtlError> {
+        match action {
+            BrokerAction::Tenant {
+                name,
+                grant,
+                refund,
+            } => {
+                let broker = self.broker.get_or_insert_with(ResourceBroker::new);
+                if broker.find_tenant(&name).is_some() {
+                    return Err(CtlError::NameTaken(name));
+                }
+                let policy = if refund {
+                    SplitPolicy::even()
+                } else {
+                    SplitPolicy::Static([1; 4])
+                };
+                broker.register_tenant(name.clone(), grant, policy)?;
+                Ok(format!(
+                    "registered tenant {name}: {grant} base tickets split over \
+                     cpu/disk/mem/net ({} split)",
+                    if refund { "demand-refund" } else { "static" }
+                ))
+            }
+            BrokerAction::Demand {
+                tenant,
+                resource,
+                units,
+            } => {
+                let resource = Self::broker_resource(&resource)?;
+                let broker = self.broker.get_or_insert_with(ResourceBroker::new);
+                let id = Self::broker_tenant(broker, &tenant)?;
+                broker.record_demand(id, resource, units);
+                Ok(format!(
+                    "recorded {units} demand for {tenant} on {}",
+                    resource.name()
+                ))
+            }
+            BrokerAction::Use {
+                tenant,
+                resource,
+                units,
+            } => {
+                let resource = Self::broker_resource(&resource)?;
+                let broker = self.broker.get_or_insert_with(ResourceBroker::new);
+                let id = Self::broker_tenant(broker, &tenant)?;
+                broker.record_usage(id, resource, units);
+                Ok(format!(
+                    "recorded {units} usage for {tenant} on {}",
+                    resource.name()
+                ))
+            }
+            BrokerAction::Rebalance => {
+                let broker = self.broker.get_or_insert_with(ResourceBroker::new);
+                broker.rebalance()?;
+                Ok(format!("rebalanced ({} refunds so far)", broker.refunds()))
+            }
+            BrokerAction::Report { json } => self.report_broker(json),
+        }
+    }
+
+    /// `broker [--json]`: per-tenant per-resource funding weights and
+    /// observed usage shares, with each tenant's dominant share.
+    fn report_broker(&mut self, json: bool) -> Result<String, CtlError> {
+        let broker = self.broker.get_or_insert_with(ResourceBroker::new);
+        let report = broker.report();
+        if json {
+            let tenants: Vec<String> = report
+                .tenants
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{{\"tenant\":{},\"name\":\"{}\",\"grant\":{},\"entitled_share\":{},\
+                         \"dominant_share\":{},\"dominant_resource\":\"{}\"}}",
+                        t.tenant,
+                        json::escape(&t.name),
+                        t.grant,
+                        json::number(t.entitled_share),
+                        json::number(t.dominant_share),
+                        json::escape(t.dominant_resource),
+                    )
+                })
+                .collect();
+            let rows: Vec<String> = report
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"tenant\":{},\"resource\":\"{}\",\"funded\":{},\"weight\":{},\
+                         \"weight_share\":{},\"usage\":{},\"observed_share\":{}}}",
+                        r.tenant,
+                        json::escape(r.resource),
+                        r.funded,
+                        json::number(r.weight),
+                        json::number(r.weight_share),
+                        r.usage,
+                        json::number(r.observed_share),
+                    )
+                })
+                .collect();
+            return Ok(format!(
+                "{{\"raw\":{},\"tenants\":[{}],\"resources\":[{}]}}",
+                report.raw,
+                tenants.join(","),
+                rows.join(",")
+            ));
+        }
+        let mut out = format!(
+            "{:<12} {:<8} {:>6} {:>10} {:>8} {:>10} {:>9}\n",
+            "tenant", "resource", "funded", "weight", "share", "usage", "observed"
+        );
+        for r in &report.rows {
+            let name = report
+                .tenants
+                .iter()
+                .find(|t| t.tenant == r.tenant)
+                .map(|t| t.name.as_str())
+                .unwrap_or("?");
+            let _ = writeln!(
+                out,
+                "{:<12} {:<8} {:>6} {:>10.1} {:>8.3} {:>10} {:>9.3}",
+                name,
+                r.resource,
+                if r.funded { "yes" } else { "no" },
+                r.weight,
+                r.weight_share,
+                r.usage,
+                r.observed_share,
+            );
+        }
+        for t in &report.tenants {
+            let _ = writeln!(
+                out,
+                "tenant {} grant={} entitled={:.3} dominant={:.3} ({})",
+                t.name, t.grant, t.entitled_share, t.dominant_share, t.dominant_resource
+            );
+        }
         Ok(out)
     }
 
@@ -892,6 +1052,106 @@ mod tests {
         );
         let out = eval(&mut s, "shards --json");
         assert!(!out.contains("900"), "{out}");
+    }
+
+    #[test]
+    fn broker_verbs_report_funding_and_dominant_share() {
+        let mut s = Session::new();
+        eval(&mut s, "broker tenant gold 2000");
+        eval(&mut s, "broker tenant silver 1000");
+        eval(&mut s, "broker use gold disk 800");
+        eval(&mut s, "broker use silver disk 400");
+        eval(&mut s, "broker use gold cpu 100");
+        let text = eval(&mut s, "broker");
+        assert!(text.contains("gold"), "{text}");
+        assert!(text.contains("dominant"), "{text}");
+
+        let out = eval(&mut s, "broker --json");
+        assert!(out.contains("\"dominant_share\":"), "{out}");
+        let v = lottery_obs::json::parse(&out).expect("broker --json parses");
+        let tenants = v.get("tenants").and_then(|t| t.as_array()).unwrap();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(
+            tenants[0].get("name").and_then(|n| n.as_str()),
+            Some("gold")
+        );
+        // Gold's dominant share: 800 of 1200 disk units and 100 of 100
+        // cpu units -> cpu at 1.0 dominates.
+        assert_eq!(
+            tenants[0].get("dominant_resource").and_then(|r| r.as_str()),
+            Some("cpu")
+        );
+        let rows = v.get("resources").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rows.len(), 8);
+        let gold_disk = rows
+            .iter()
+            .find(|r| {
+                r.get("resource").and_then(|x| x.as_str()) == Some("disk")
+                    && r.get("tenant").and_then(|t| t.as_f64()) == Some(0.0)
+            })
+            .unwrap();
+        let share = gold_disk
+            .get("observed_share")
+            .and_then(|x| x.as_f64())
+            .unwrap();
+        assert!((share - 800.0 / 1200.0).abs() < 1e-9, "{share}");
+    }
+
+    #[test]
+    fn broker_rebalance_refunds_idle_resources() {
+        let mut s = Session::new();
+        eval(&mut s, "broker tenant gold 2000");
+        eval(&mut s, "broker tenant silver 1000");
+        // Silver demands everything but net; rebalance refunds its net
+        // share back to the grant, re-pricing the active resources.
+        for r in ["cpu", "disk", "mem"] {
+            eval(&mut s, &format!("broker demand silver {r} 1"));
+        }
+        for r in ["cpu", "disk", "mem", "net"] {
+            eval(&mut s, &format!("broker demand gold {r} 1"));
+        }
+        let out = eval(&mut s, "broker rebalance");
+        assert!(out.contains("1 refunds"), "{out}");
+        let v = lottery_obs::json::parse(&eval(&mut s, "broker --json")).unwrap();
+        let rows = v.get("resources").and_then(|r| r.as_array()).unwrap();
+        let silver_net = rows
+            .iter()
+            .find(|r| {
+                r.get("resource").and_then(|x| x.as_str()) == Some("net")
+                    && r.get("tenant").and_then(|t| t.as_f64()) == Some(1.0)
+            })
+            .unwrap();
+        assert_eq!(
+            silver_net.get("funded"),
+            Some(&lottery_obs::json::Value::Bool(false))
+        );
+        let silver_cpu = rows
+            .iter()
+            .find(|r| {
+                r.get("resource").and_then(|x| x.as_str()) == Some("cpu")
+                    && r.get("tenant").and_then(|t| t.as_f64()) == Some(1.0)
+            })
+            .unwrap();
+        let w = silver_cpu.get("weight").and_then(|x| x.as_f64()).unwrap();
+        assert!((w - 1000.0 / 3.0).abs() < 1e-6, "{w}");
+    }
+
+    #[test]
+    fn broker_rejects_bad_names() {
+        let mut s = Session::new();
+        eval(&mut s, "broker tenant gold 2000");
+        assert!(matches!(
+            s.eval("broker tenant gold 500"),
+            Err(CtlError::NameTaken(_))
+        ));
+        assert!(matches!(
+            s.eval("broker use nobody cpu 1"),
+            Err(CtlError::UnknownName(_))
+        ));
+        assert!(matches!(
+            s.eval("broker use gold tape 1"),
+            Err(CtlError::UnknownName(_))
+        ));
     }
 
     #[test]

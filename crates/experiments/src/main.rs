@@ -6,6 +6,7 @@
 //! records a reference transcript.
 
 mod ablations;
+mod broker;
 mod diverse;
 mod fig_apps;
 mod fig_basics;
@@ -149,6 +150,11 @@ const EXPERIMENTS: &[(&str, &str, Entry)] = &[
         "fairshare",
         "lottery vs classical fair-share responsiveness (Section 7)",
         ablations::fairshare,
+    ),
+    (
+        "broker",
+        "multi-resource broker: one grant, 2:1 on cpu/disk/mem/net (Section 6)",
+        broker::run,
     ),
 ];
 

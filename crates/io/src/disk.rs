@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use lottery_core::errors::{LotteryError, Result};
 use lottery_core::lottery::{list::ListLottery, TicketPool};
 use lottery_core::rng::SchedRng;
+use lottery_obs::{EventKind, ProbeBus};
 use lottery_stats::Summary;
 
 /// Identifies a disk client within a scheduler.
@@ -88,6 +89,7 @@ pub struct DiskScheduler {
     /// is always the head, so a global FIFO of client ids suffices).
     arrivals: VecDeque<DiskClientId>,
     seek_distance: u64,
+    bus: ProbeBus,
 }
 
 impl DiskScheduler {
@@ -109,7 +111,15 @@ impl DiskScheduler {
             transfer_us_per_sector: transfer,
             arrivals: VecDeque::new(),
             seek_distance: 0,
+            bus: ProbeBus::disabled(),
         }
+    }
+
+    /// Attaches the probe bus. Grant, draw, and completion events carry
+    /// the `"disk"` resource tag; the bus clock stays owned by whoever
+    /// drives the simulation (this scheduler never calls `set_time_us`).
+    pub fn set_probe_bus(&mut self, bus: ProbeBus) {
+        self.bus = bus;
     }
 
     /// Registers a client holding `tickets` bandwidth tickets.
@@ -122,6 +132,11 @@ impl DiskScheduler {
             sectors_served: 0,
             requests_served: 0,
             response_us: Summary::new(),
+        });
+        self.bus.emit(|| EventKind::ResourceGrant {
+            resource: "disk",
+            client: id.0,
+            tickets,
         });
         id
     }
@@ -165,6 +180,11 @@ impl DiskScheduler {
     /// Adjusts a client's tickets.
     pub fn set_tickets(&mut self, client: DiskClientId, tickets: u64) {
         self.clients[client.0 as usize].tickets = tickets;
+        self.bus.emit(|| EventKind::ResourceGrant {
+            resource: "disk",
+            client: client.0,
+            tickets,
+        });
     }
 
     /// Total simulated disk time elapsed, in microseconds.
@@ -194,7 +214,16 @@ impl DiskScheduler {
                         pool.insert(i, c.tickets);
                     }
                 }
-                *pool.draw(rng)?
+                let entries = pool.len() as u32;
+                let total = pool.total();
+                let winner = *pool.draw(rng)?;
+                self.bus.emit(|| EventKind::ResourceDraw {
+                    resource: "disk",
+                    client: winner as u32,
+                    entries,
+                    total,
+                });
+                winner
             }
             DiskPolicy::Fcfs => loop {
                 let Some(front) = self.arrivals.pop_front() else {
@@ -236,8 +265,14 @@ impl DiskScheduler {
         let c = &mut self.clients[chosen];
         c.sectors_served += request.length;
         c.requests_served += 1;
-        c.response_us
-            .record((self.clock_us - request.submitted_us) as f64);
+        let response = self.clock_us - request.submitted_us;
+        c.response_us.record(response as f64);
+        self.bus.emit(|| EventKind::ResourceComplete {
+            resource: "disk",
+            client: chosen as u32,
+            units: request.length,
+            wait: response,
+        });
         Ok(DiskClientId(chosen as u32))
     }
 }
@@ -373,6 +408,31 @@ mod tests {
         }
         let ratio = disk.sectors_served(a) as f64 / disk.sectors_served(b) as f64;
         assert!((ratio - 4.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn probe_bus_sees_grants_draws_and_completions() {
+        use lottery_obs::{Aggregator, ProbeBus, Shared};
+
+        let bus = ProbeBus::enabled();
+        let stats = Shared::new(Aggregator::new());
+        bus.attach(stats.clone());
+        let mut disk = DiskScheduler::new(DiskPolicy::Lottery);
+        disk.set_probe_bus(bus);
+        let a = disk.register("a", 300);
+        let b = disk.register("b", 100);
+        disk.set_tickets(b, 150);
+        let mut rng = ParkMiller::new(17);
+        for i in 0..32u64 {
+            keep_fed(&mut disk, &[a, b], i);
+            disk.service_next(&mut rng).unwrap();
+        }
+        stats.with(|s| {
+            assert_eq!(s.resource_draws.get("disk"), Some(&32));
+            let units = s.resource_units.get("disk").copied().unwrap_or(0);
+            assert_eq!(units, disk.sectors_served(a) + disk.sectors_served(b));
+            assert!(s.resource_wait.contains_key("disk"));
+        });
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use lottery_core::errors::Result;
 use lottery_core::lottery::{list::ListLottery, TicketPool};
 use lottery_core::rng::SchedRng;
+use lottery_obs::{EventKind, ProbeBus};
 use lottery_stats::Summary;
 
 /// Identifies a virtual circuit within a [`Switch`].
@@ -49,6 +50,7 @@ struct Circuit {
 pub struct Switch {
     circuits: Vec<Circuit>,
     slot: u64,
+    bus: ProbeBus,
 }
 
 impl Default for Switch {
@@ -63,7 +65,15 @@ impl Switch {
         Self {
             circuits: Vec::new(),
             slot: 0,
+            bus: ProbeBus::disabled(),
         }
+    }
+
+    /// Attaches the probe bus. Grant, draw, and completion events carry
+    /// the `"net"` resource tag; the bus clock stays owned by whoever
+    /// drives the simulation (this switch never calls `set_time_us`).
+    pub fn set_probe_bus(&mut self, bus: ProbeBus) {
+        self.bus = bus;
     }
 
     /// Opens a circuit holding `tickets` bandwidth tickets.
@@ -76,12 +86,22 @@ impl Switch {
             forwarded: 0,
             delay_slots: Summary::new(),
         });
+        self.bus.emit(|| EventKind::ResourceGrant {
+            resource: "net",
+            client: id.0,
+            tickets,
+        });
         id
     }
 
     /// Adjusts a circuit's ticket allocation.
     pub fn set_tickets(&mut self, vc: CircuitId, tickets: u64) {
         self.circuits[vc.0 as usize].tickets = tickets;
+        self.bus.emit(|| EventKind::ResourceGrant {
+            resource: "net",
+            client: vc.0,
+            tickets,
+        });
     }
 
     /// Queues a cell on a circuit.
@@ -136,16 +156,29 @@ impl Switch {
                 pool.insert(i, c.tickets);
             }
         }
+        let entries = pool.len() as u32;
+        let total = pool.total();
         let index = *pool.draw(rng)?;
+        self.bus.emit(|| EventKind::ResourceDraw {
+            resource: "net",
+            client: index as u32,
+            entries,
+            total,
+        });
         let circuit = &mut self.circuits[index];
         let cell = circuit
             .queue
             .pop_front()
             .expect("backlogged circuit has a cell");
         circuit.forwarded += 1;
-        circuit
-            .delay_slots
-            .record((self.slot - 1 - cell.enqueued_at) as f64);
+        let delay = self.slot - 1 - cell.enqueued_at;
+        circuit.delay_slots.record(delay as f64);
+        self.bus.emit(|| EventKind::ResourceComplete {
+            resource: "net",
+            client: index as u32,
+            units: 1,
+            wait: delay,
+        });
         Ok((CircuitId(index as u32), cell))
     }
 }
@@ -258,6 +291,34 @@ mod tests {
             sw.delay_slots(slow).mean(),
             sw.delay_slots(fast).mean()
         );
+    }
+
+    #[test]
+    fn probe_bus_sees_grants_draws_and_completions() {
+        use lottery_obs::{Aggregator, ProbeBus, Shared};
+
+        let bus = ProbeBus::enabled();
+        let stats = Shared::new(Aggregator::new());
+        bus.attach(stats.clone());
+        let mut sw = Switch::new();
+        sw.set_probe_bus(bus);
+        let a = sw.open_circuit("a", 200);
+        let b = sw.open_circuit("b", 100);
+        sw.set_tickets(b, 150);
+        let mut rng = ParkMiller::new(21);
+        for i in 0..40u64 {
+            for vc in [a, b] {
+                if sw.backlog(vc) == 0 {
+                    sw.enqueue(vc, i);
+                }
+            }
+            sw.forward(&mut rng).unwrap();
+        }
+        stats.with(|s| {
+            assert_eq!(s.resource_draws.get("net"), Some(&40));
+            assert_eq!(s.resource_units.get("net"), Some(&40));
+            assert!(s.resource_wait.contains_key("net"));
+        });
     }
 
     #[test]

@@ -61,6 +61,19 @@ pub struct Aggregator {
     pub shard_imbalances: u64,
     /// Ledger mutations by operation tag.
     pub ledger_ops: BTreeMap<&'static str, u64>,
+    /// Resource-level lottery draws by resource tag.
+    pub resource_draws: BTreeMap<&'static str, u64>,
+    /// Work units completed by resource tag (sectors, cells).
+    pub resource_units: BTreeMap<&'static str, u64>,
+    /// Queueing delay per completed resource request, by resource tag, in
+    /// the resource's native unit (us for disk, slots for net).
+    pub resource_wait: BTreeMap<&'static str, Summary>,
+    /// Broker funding updates observed.
+    pub broker_fundings: u64,
+    /// Broker rebalances that refunded an idle backing to the grant.
+    pub broker_refunds: u64,
+    /// Last broker-pushed weight per (tenant, resource), in base units.
+    pub broker_weight: BTreeMap<(u32, &'static str), f64>,
 }
 
 impl Default for Aggregator {
@@ -96,6 +109,12 @@ impl Aggregator {
             shard_migrations: 0,
             shard_imbalances: 0,
             ledger_ops: BTreeMap::new(),
+            resource_draws: BTreeMap::new(),
+            resource_units: BTreeMap::new(),
+            resource_wait: BTreeMap::new(),
+            broker_fundings: 0,
+            broker_refunds: 0,
+            broker_weight: BTreeMap::new(),
         }
     }
 
@@ -169,6 +188,16 @@ impl Aggregator {
             "Imbalance-bound violations observed.",
             self.shard_imbalances as f64,
         );
+        counter(
+            "lottery_broker_fundings_total",
+            "Broker funding updates observed.",
+            self.broker_fundings as f64,
+        );
+        counter(
+            "lottery_broker_refunds_total",
+            "Broker rebalances that refunded an idle backing.",
+            self.broker_refunds as f64,
+        );
         let _ = writeln!(
             out,
             "# HELP lottery_ledger_ops_total Ledger mutations by operation."
@@ -176,6 +205,28 @@ impl Aggregator {
         let _ = writeln!(out, "# TYPE lottery_ledger_ops_total counter");
         for (op, count) in &self.ledger_ops {
             let _ = writeln!(out, "lottery_ledger_ops_total{{op=\"{op}\"}} {count}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP lottery_resource_draws_total Resource-level lottery draws by resource."
+        );
+        let _ = writeln!(out, "# TYPE lottery_resource_draws_total counter");
+        for (resource, count) in &self.resource_draws {
+            let _ = writeln!(
+                out,
+                "lottery_resource_draws_total{{resource=\"{resource}\"}} {count}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP lottery_resource_units_total Work units completed by resource."
+        );
+        let _ = writeln!(out, "# TYPE lottery_resource_units_total counter");
+        for (resource, count) in &self.resource_units {
+            let _ = writeln!(
+                out,
+                "lottery_resource_units_total{{resource=\"{resource}\"}} {count}"
+            );
         }
         let mut gauge = |name: &str, help: &str, value: f64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -234,6 +285,29 @@ impl Aggregator {
             let _ = writeln!(
                 out,
                 "lottery_compensation_weight{{shard=\"{shard}\"}} {weight}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP lottery_resource_wait_mean Mean queueing delay per resource (native unit)."
+        );
+        let _ = writeln!(out, "# TYPE lottery_resource_wait_mean gauge");
+        for (resource, wait) in &self.resource_wait {
+            let _ = writeln!(
+                out,
+                "lottery_resource_wait_mean{{resource=\"{resource}\"}} {}",
+                wait.mean()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP lottery_broker_weight Last broker-pushed weight per tenant and resource."
+        );
+        let _ = writeln!(out, "# TYPE lottery_broker_weight gauge");
+        for ((tenant, resource), weight) in &self.broker_weight {
+            let _ = writeln!(
+                out,
+                "lottery_broker_weight{{tenant=\"{tenant}\",resource=\"{resource}\"}} {weight}"
             );
         }
         out
@@ -302,6 +376,32 @@ impl Recorder for Aggregator {
                 let max = self.cpu_queue_depth_max.entry(cpu).or_insert(0);
                 *max = (*max).max(depth);
             }
+            EventKind::ResourceGrant { .. } => {}
+            EventKind::ResourceDraw { resource, .. } => {
+                *self.resource_draws.entry(resource).or_insert(0) += 1;
+            }
+            EventKind::ResourceComplete {
+                resource,
+                units,
+                wait,
+                ..
+            } => {
+                *self.resource_units.entry(resource).or_insert(0) += units;
+                self.resource_wait
+                    .entry(resource)
+                    .or_default()
+                    .record(wait as f64);
+            }
+            EventKind::BrokerFunding {
+                tenant,
+                resource,
+                weight,
+                refunded,
+            } => {
+                self.broker_fundings += 1;
+                self.broker_refunds += u64::from(refunded);
+                self.broker_weight.insert((tenant, resource), weight);
+            }
             EventKind::ThreadSpawn { .. }
             | EventKind::QuantumEnd { .. }
             | EventKind::Wake { .. }
@@ -362,6 +462,30 @@ mod tests {
                 weight: 250.0,
                 total: 1250.0,
             },
+            EventKind::ResourceDraw {
+                resource: "disk",
+                client: 0,
+                entries: 2,
+                total: 750,
+            },
+            EventKind::ResourceComplete {
+                resource: "disk",
+                client: 0,
+                units: 16,
+                wait: 900,
+            },
+            EventKind::BrokerFunding {
+                tenant: 0,
+                resource: "disk",
+                weight: 500.0,
+                refunded: false,
+            },
+            EventKind::BrokerFunding {
+                tenant: 1,
+                resource: "net",
+                weight: 0.0,
+                refunded: true,
+            },
         ];
         for kind in feed {
             a.record(&Event { time_us: 0, kind });
@@ -379,5 +503,14 @@ mod tests {
         assert_eq!(a.compensation_revocations, 1);
         assert!(text.contains("lottery_compensation_revocations_total 1"));
         assert!(text.contains("lottery_compensation_weight{shard=\"1\"} 250"));
+        assert_eq!(a.resource_draws.get("disk"), Some(&1));
+        assert_eq!(a.resource_units.get("disk"), Some(&16));
+        assert_eq!(a.broker_fundings, 2);
+        assert_eq!(a.broker_refunds, 1);
+        assert!(text.contains("lottery_resource_draws_total{resource=\"disk\"} 1"));
+        assert!(text.contains("lottery_resource_units_total{resource=\"disk\"} 16"));
+        assert!(text.contains("lottery_resource_wait_mean{resource=\"disk\"} 900"));
+        assert!(text.contains("lottery_broker_weight{tenant=\"0\",resource=\"disk\"} 500"));
+        assert!(text.contains("lottery_broker_refunds_total 1"));
     }
 }

@@ -183,6 +183,52 @@ pub enum EventKind {
         /// Mean per-shard total ticket value, in base units.
         mean_total: f64,
     },
+    /// A non-CPU resource scheduler granted (or re-priced) a client's
+    /// ticket allocation — disk clients, switch circuits, memory clients,
+    /// or broker-pushed weights.
+    ResourceGrant {
+        /// `"cpu"`, `"disk"`, `"mem"`, or `"net"`.
+        resource: &'static str,
+        /// Scheduler-local client index (disk client, circuit, frame
+        /// client — each resource numbers its own clients from zero).
+        client: u32,
+        /// The granted ticket count.
+        tickets: u64,
+    },
+    /// A resource-level lottery picked a client for one service slot.
+    ResourceDraw {
+        /// `"disk"` or `"net"` (CPU draws keep [`EventKind::LotteryDraw`]).
+        resource: &'static str,
+        /// The winning scheduler-local client index.
+        client: u32,
+        /// Contending entries in this draw's pool.
+        entries: u32,
+        /// Total tickets in the pool.
+        total: u64,
+    },
+    /// A resource request finished service.
+    ResourceComplete {
+        /// `"disk"` or `"net"`.
+        resource: &'static str,
+        /// The served scheduler-local client index.
+        client: u32,
+        /// Work completed, in the resource's unit (sectors, cells).
+        units: u64,
+        /// Queueing delay in the resource's native unit: microseconds for
+        /// disk requests, slots for switch cells.
+        wait: u64,
+    },
+    /// The broker (re)priced one tenant's backing for one resource.
+    BrokerFunding {
+        /// Broker tenant index.
+        tenant: u32,
+        /// `"cpu"`, `"disk"`, `"mem"`, or `"net"`.
+        resource: &'static str,
+        /// The effective weight now funding the resource, in base units.
+        weight: f64,
+        /// Whether this rebalance refunded the (idle) backing to the grant.
+        refunded: bool,
+    },
 }
 
 impl EventKind {
@@ -208,6 +254,10 @@ impl EventKind {
             EventKind::ShardSteal { .. } => "shard-steal",
             EventKind::ShardMigrate { .. } => "shard-migrate",
             EventKind::ShardImbalance { .. } => "shard-imbalance",
+            EventKind::ResourceGrant { .. } => "resource-grant",
+            EventKind::ResourceDraw { .. } => "resource-draw",
+            EventKind::ResourceComplete { .. } => "resource-complete",
+            EventKind::BrokerFunding { .. } => "broker-funding",
         }
     }
 }
@@ -345,6 +395,50 @@ impl Event {
                     json::number(mean_total)
                 );
             }
+            EventKind::ResourceGrant {
+                resource,
+                client,
+                tickets,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"resource\":\"{resource}\",\"client\":{client},\"tickets\":{tickets}"
+                );
+            }
+            EventKind::ResourceDraw {
+                resource,
+                client,
+                entries,
+                total,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"resource\":\"{resource}\",\"client\":{client},\"entries\":{entries},\"total\":{total}"
+                );
+            }
+            EventKind::ResourceComplete {
+                resource,
+                client,
+                units,
+                wait,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"resource\":\"{resource}\",\"client\":{client},\"units\":{units},\"wait\":{wait}"
+                );
+            }
+            EventKind::BrokerFunding {
+                tenant,
+                resource,
+                weight,
+                refunded,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"tenant\":{tenant},\"resource\":\"{resource}\",\"weight\":{},\"refunded\":{refunded}",
+                    json::number(weight)
+                );
+            }
         }
         s.push('}');
         s
@@ -406,6 +500,41 @@ mod tests {
                     shard: 2,
                     weight: 300.0,
                     total: 1100.0,
+                },
+            },
+            Event {
+                time_us: 700,
+                kind: EventKind::ResourceGrant {
+                    resource: "disk",
+                    client: 1,
+                    tickets: 500,
+                },
+            },
+            Event {
+                time_us: 800,
+                kind: EventKind::ResourceDraw {
+                    resource: "net",
+                    client: 0,
+                    entries: 3,
+                    total: 750,
+                },
+            },
+            Event {
+                time_us: 900,
+                kind: EventKind::ResourceComplete {
+                    resource: "disk",
+                    client: 1,
+                    units: 16,
+                    wait: 4200,
+                },
+            },
+            Event {
+                time_us: 1000,
+                kind: EventKind::BrokerFunding {
+                    tenant: 0,
+                    resource: "mem",
+                    weight: 333.25,
+                    refunded: false,
                 },
             },
         ];

@@ -15,7 +15,9 @@
 //!   of recent events, [`Aggregator`] folds events into counters and
 //!   histograms, and [`FairnessMonitor`] derives per-client
 //!   observed-vs-entitled share drift with a binomial z-score alarm
-//!   (Figure 4's error statistics, continuously).
+//!   (Figure 4's error statistics, continuously). [`DominantShareMonitor`]
+//!   extends the same idea across resources: it folds disk/net completion
+//!   and broker funding events into per-tenant dominant-share drift.
 //! * Exporters — JSONL flight records ([`FlightRecorder::to_jsonl`]),
 //!   Chrome `trace_event` timeline JSON ([`FlightRecorder::to_chrome_trace`]),
 //!   and a Prometheus-style text snapshot ([`Aggregator::prometheus_text`]).
@@ -28,6 +30,7 @@
 
 pub mod aggregate;
 pub mod bus;
+pub mod dominant;
 pub mod event;
 pub mod fairness;
 pub mod flight;
@@ -36,6 +39,7 @@ pub mod recorder;
 
 pub use aggregate::Aggregator;
 pub use bus::ProbeBus;
+pub use dominant::{DominantShareMonitor, DominantShareReport, ResourceShareRow, TenantShareRow};
 pub use event::{Event, EventKind};
 pub use fairness::{DriftRow, FairnessMonitor, FairnessReport};
 pub use flight::FlightRecorder;

@@ -39,7 +39,8 @@ pub mod workload;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use lottery_obs::{
-        Aggregator, FairnessMonitor, FlightRecorder, ProbeBus, Recorder, Shared,
+        Aggregator, DominantShareMonitor, FairnessMonitor, FlightRecorder, ProbeBus, Recorder,
+        Shared,
     };
 
     pub use crate::ipc::PortId;

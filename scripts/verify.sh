@@ -30,6 +30,27 @@ echo "$smp_dist_out" | grep -q "io-heavy 2:1 held within 5% under compensated re
 echo "$smp_dist_out" | grep -q "raw-weight rebalancing drifts without compensated totals: CONFIRMED" \
   || { echo "verify: raw-weight rebalancing failed to show the drift" >&2; exit 1; }
 
+# Broker smoke: one grant per tenant funding cpu/disk/mem/net currencies
+# must hold the 2:1 tenant ratio on every resource at once, and the raw
+# face-amount ablation must show intra-tenant inflation leaking out.
+broker_out=$(cargo run -q --release -p lottery-experiments --bin experiments -- broker)
+echo "$broker_out" | grep -q "broker 2:1 isolation held within 5% on cpu, disk, mem, net: OK" \
+  || { echo "verify: broker missed the 2:1 ratio on some resource" >&2; exit 1; }
+echo "$broker_out" | grep -q "raw funding drifts under intra-tenant inflation: CONFIRMED" \
+  || { echo "verify: raw funding ablation failed to show the leak" >&2; exit 1; }
+
+# ctl broker smoke: per-tenant funding and observed shares, with the
+# dominant share machine-readable under --json.
+ctl_broker_out=$(printf '%s\n' \
+  "broker tenant gold 2000" \
+  "broker tenant silver 1000" \
+  "broker use gold disk 800" \
+  "broker use silver disk 400" \
+  "broker --json" \
+  | cargo run -q --release -p lottery-ctl --bin lotteryctl)
+echo "$ctl_broker_out" | grep -q '"dominant_share":' \
+  || { echo "verify: ctl broker --json lacks dominant_share" >&2; exit 1; }
+
 # ctl smoke: the shards report must expose per-shard compensation share,
 # machine-readably under --json.
 ctl_out=$(printf '%s\n' \

@@ -39,6 +39,10 @@ pub use lottery_io as io;
 /// The Section 4.7 command interface (re-export of `lottery-ctl`).
 pub use lottery_ctl as ctl;
 
+/// Multi-resource broker: one tenant grant funding cpu/disk/mem/net
+/// sub-currencies (re-export of `lottery-broker`).
+pub use lottery_broker as broker;
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -166,3 +166,29 @@ fn obs_overhead_summary_proves_disabled_path_is_free() {
         }
     }
 }
+
+#[test]
+fn broker_summary_covers_both_control_paths_at_every_population() {
+    // Committed by `cargo bench --bench broker`: a full demand-refund
+    // rebalance cycle and a full per-scheduler weight sweep at each
+    // tenant population, with `elements` carrying the tenant count so
+    // downstream tooling can compute per-tenant control-step costs.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_broker.json");
+    let text = fs::read_to_string(&path).expect("BENCH_broker.json committed");
+    let v = json::parse(&text).unwrap();
+    let results = v.get("results").and_then(Value::as_array).unwrap();
+    for variant in ["rebalance", "weights"] {
+        for tenants in [4u64, 16, 64] {
+            let id = format!("broker-funding/{variant}/{tenants}");
+            let r = results
+                .iter()
+                .find(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str()))
+                .unwrap_or_else(|| panic!("missing result {id}"));
+            assert_eq!(
+                r.get("elements").and_then(Value::as_f64),
+                Some(tenants as f64),
+                "{id}: elements must be the tenant count"
+            );
+        }
+    }
+}
