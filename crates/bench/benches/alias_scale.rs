@@ -1,0 +1,92 @@
+//! Million-client dispatch: alias sampler vs partial-sum tree.
+//!
+//! Each configuration spawns a flat population of uniformly funded
+//! threads, switches the policy's winner-search structure, and measures
+//! one full scheduling decision per iteration — pick (which refreshes
+//! dirty weights, draws, and dequeues), charge, and re-enqueue. The
+//! dispatch churn patches the structure incrementally: for the alias
+//! sampler the overlay self-cleans (the requeued thread returns at its
+//! snapshot weight), so the decision cost stays flat from 10^4 to 10^6
+//! clients, while the tree pays a descent that grows with lg n.
+//!
+//! `elements` records the population so BENCH_alias_scale.json carries
+//! the scale of each configuration alongside its per-decision cost.
+//!
+//! The `draw-*` rows isolate the selection structures themselves — one
+//! `draw` on a clean pool per iteration, no dequeue/charge/enqueue — so
+//! the JSON separates the structure's winner-search cost (alias: one
+//! guide-cell probe, flat in n up to cache effects) from the policy's
+//! per-decision bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lottery_core::lottery::alias::AliasLottery;
+use lottery_core::lottery::tree::TreeLottery;
+use lottery_core::lottery::TicketPool;
+use lottery_core::rng::ParkMiller;
+use lottery_sim::prelude::*;
+
+const POPULATIONS: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias-scale");
+    for &(label, structure) in &[
+        ("tree", SelectStructure::Tree),
+        ("alias", SelectStructure::Alias),
+    ] {
+        for &n in &POPULATIONS {
+            let mut policy = LotteryPolicy::new(1);
+            let base = policy.base_currency();
+            for i in 0..n {
+                let tid = ThreadId::from_index(i as u32);
+                policy.on_spawn(tid, FundingSpec::new(base, 100));
+                policy.enqueue(tid, SimTime::ZERO);
+            }
+            // Switching after the spawn loop does one bulk rebuild, so
+            // the measured iterations start from a clean snapshot.
+            policy.set_structure(structure);
+            let quantum = SimDuration::from_ms(100);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let w = policy.pick(SimTime::ZERO).unwrap();
+                    policy.charge(w, quantum, quantum, EndReason::QuantumExpired);
+                    policy.enqueue(w, SimTime::ZERO);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// One structure-level draw per iteration on a clean, uniformly weighted
+/// pool: the cost of the winner search alone. The alias rows stay within
+/// memory-latency noise of each other while the tree's partial-sum
+/// descent deepens with lg n.
+fn bench_draw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias-scale");
+    for &n in &POPULATIONS {
+        let mut tree: TreeLottery<usize, f64> = TreeLottery::with_capacity(n);
+        for i in 0..n {
+            tree.insert(i, 100.0);
+        }
+        let mut rng = ParkMiller::new(1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("draw-tree", n), &n, |b, _| {
+            b.iter(|| *tree.draw(&mut rng).unwrap())
+        });
+
+        let mut alias: AliasLottery<usize> = AliasLottery::with_capacity(n);
+        for i in 0..n {
+            alias.insert(i, 100.0);
+        }
+        alias.rebuild();
+        let mut rng = ParkMiller::new(1);
+        group.bench_with_input(BenchmarkId::new("draw-alias", n), &n, |b, _| {
+            b.iter(|| *alias.draw(&mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale, bench_draw);
+criterion_main!(benches);

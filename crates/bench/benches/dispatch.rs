@@ -18,6 +18,7 @@ fn bench_lottery_flat(c: &mut Criterion) {
     for &(label, structure) in &[
         ("list", SelectStructure::List),
         ("tree", SelectStructure::Tree),
+        ("alias", SelectStructure::Alias),
     ] {
         for &n in &[2usize, 8, 32, 128] {
             let mut policy = LotteryPolicy::new(1);
@@ -31,7 +32,7 @@ fn bench_lottery_flat(c: &mut Criterion) {
                     FundingSpec::new(base, 100),
                 );
             }
-            group.throughput(Throughput::Elements(1));
+            group.throughput(Throughput::Elements(n as u64));
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| run_quanta(&mut kernel, 1))
             });
@@ -45,6 +46,7 @@ fn bench_lottery_deep(c: &mut Criterion) {
     for &(label, structure) in &[
         ("list", SelectStructure::List),
         ("tree", SelectStructure::Tree),
+        ("alias", SelectStructure::Alias),
     ] {
         for &depth in &[0usize, 2, 4, 8] {
             let mut policy = LotteryPolicy::new(1);

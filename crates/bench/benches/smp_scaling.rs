@@ -78,5 +78,37 @@ fn bench_distributed(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shared, bench_distributed);
+fn bench_distributed_alias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smp-scaling");
+    for &cpus in &CPUS {
+        let mut policy = DistributedLottery::new(1, cpus);
+        policy.set_structure(SelectStructure::Alias);
+        let shared = policy
+            .create_currency("load", 100 * THREADS as u64)
+            .unwrap();
+        let mut kernel = SmpKernel::new(policy, cpus);
+        for i in 0..THREADS {
+            kernel.spawn(format!("t{i}"), workload(), FundingSpec::new(shared, 100));
+        }
+        group.throughput(Throughput::Elements(20 * cpus as u64));
+        group.bench_with_input(
+            BenchmarkId::new("distributed-alias", cpus),
+            &cpus,
+            |b, _| {
+                b.iter(|| {
+                    let next = kernel.now() + SimDuration::from_secs(1);
+                    kernel.run_until(next).unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shared,
+    bench_distributed,
+    bench_distributed_alias
+);
 criterion_main!(benches);

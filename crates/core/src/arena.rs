@@ -114,6 +114,24 @@ impl<T> Default for Arena<T> {
 }
 
 impl<T> Arena<T> {
+    /// Creates an empty arena with room for `capacity` objects, so bulk
+    /// population (e.g. a million scheduler clients) does not reallocate
+    /// slot storage along the way.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more objects beyond the
+    /// currently available free slots.
+    pub fn reserve(&mut self, additional: usize) {
+        let fresh = additional.saturating_sub(self.free.len());
+        self.slots.reserve(fresh);
+    }
+
     /// Creates an empty arena.
     pub fn new() -> Self {
         Self {

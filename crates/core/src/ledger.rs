@@ -372,19 +372,34 @@ impl ShardedDirtyQueue {
 
     /// Drains one shard's pending notifications (order unspecified).
     pub fn drain_shard(&mut self, shard: u32) -> Vec<ClientId> {
-        self.queues
-            .get_mut(shard as usize)
-            .map(|q| q.drain().collect())
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.drain_shard_into(shard, &mut out);
+        out
+    }
+
+    /// Drains one shard into a caller-owned buffer (cleared first), so
+    /// per-draw refresh paths reuse storage instead of allocating.
+    pub fn drain_shard_into(&mut self, shard: u32, out: &mut Vec<ClientId>) {
+        out.clear();
+        if let Some(q) = self.queues.get_mut(shard as usize) {
+            out.extend(q.drain());
+        }
     }
 
     /// Drains every shard (order unspecified).
     pub fn drain_all(&mut self) -> Vec<ClientId> {
         let mut out = Vec::with_capacity(self.len());
+        self.drain_all_into(&mut out);
+        out
+    }
+
+    /// Drains every shard into a caller-owned buffer (cleared first).
+    pub fn drain_all_into(&mut self, out: &mut Vec<ClientId>) {
+        out.clear();
+        out.reserve(self.len());
         for q in &mut self.queues {
             out.extend(q.drain());
         }
-        out
     }
 }
 
@@ -454,12 +469,19 @@ impl Default for Ledger {
 impl Ledger {
     /// Creates a ledger containing only the base currency.
     pub fn new() -> Self {
+        Self::with_client_capacity(0)
+    }
+
+    /// Creates a ledger pre-sized for `clients` clients (and one funding
+    /// ticket each), so bulk population at scale never reallocates the
+    /// object arenas mid-build.
+    pub fn with_client_capacity(clients: usize) -> Self {
         let mut currencies = Arena::new();
         let base = currencies.insert(Currency::new("base", IssuePolicy::Restricted(Vec::new())));
         Self {
-            tickets: Arena::new(),
+            tickets: Arena::with_capacity(clients),
             currencies,
-            clients: Arena::new(),
+            clients: Arena::with_capacity(clients),
             base,
             epoch: 0,
             cache: RefCell::new(ValuationCache::default()),
@@ -1205,12 +1227,20 @@ impl Ledger {
     /// exactly the returned clients. Order is unspecified; destroyed
     /// clients never appear.
     pub fn drain_dirty_clients(&mut self) -> Vec<ClientId> {
-        let drained = self.cache.get_mut().dirty.drain_all();
-        if !drained.is_empty() {
-            let count = drained.len() as u32;
+        let mut drained = Vec::new();
+        self.drain_dirty_clients_into(&mut drained);
+        drained
+    }
+
+    /// [`Ledger::drain_dirty_clients`] into a caller-owned buffer
+    /// (cleared first) — the draw-path variant: a scheduler holding its
+    /// scratch `Vec` pays no allocation per dispatch.
+    pub fn drain_dirty_clients_into(&mut self, out: &mut Vec<ClientId>) {
+        self.cache.get_mut().dirty.drain_all_into(out);
+        if !out.is_empty() {
+            let count = out.len() as u32;
             self.bus.emit(|| EventKind::DirtyDrain { drained: count });
         }
-        drained
     }
 
     // ------------------------------------------------------------------
@@ -1263,12 +1293,19 @@ impl Ledger {
     /// Drains the invalidation notifications owned by one shard, leaving
     /// every other shard's queue untouched.
     pub fn drain_dirty_shard(&mut self, shard: u32) -> Vec<ClientId> {
-        let drained = self.cache.get_mut().dirty.drain_shard(shard);
-        if !drained.is_empty() {
-            let count = drained.len() as u32;
+        let mut drained = Vec::new();
+        self.drain_dirty_shard_into(shard, &mut drained);
+        drained
+    }
+
+    /// [`Ledger::drain_dirty_shard`] into a caller-owned buffer (cleared
+    /// first), allocation-free on the per-CPU draw path.
+    pub fn drain_dirty_shard_into(&mut self, shard: u32, out: &mut Vec<ClientId>) {
+        self.cache.get_mut().dirty.drain_shard_into(shard, out);
+        if !out.is_empty() {
+            let count = out.len() as u32;
             self.bus.emit(|| EventKind::DirtyDrain { drained: count });
         }
-        drained
     }
 
     /// Number of currently valid cached currency entries (for tests and

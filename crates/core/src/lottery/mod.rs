@@ -12,11 +12,17 @@
 //! * [`tree::TreeLottery`] — the paper's suggested optimization for large
 //!   client counts: a tree of partial ticket sums with `O(log n)` draws and
 //!   updates, suitable as the basis of a distributed lottery scheduler.
+//! * [`alias::AliasLottery`] — beyond the paper: an order-preserving
+//!   alias-cell table with O(1) expected draws, patched incrementally
+//!   through an exact stale overlay so steady-state weight churn never
+//!   pays a full O(n) rebuild.
 //!
-//! Both are generic over the weight type: `u64` for exact ticket counts and
-//! `f64` for currency-valued pools (base-unit values are rationals, held as
-//! floats as in Section 4.4's prototype).
+//! The list and tree are generic over the weight type: `u64` for exact
+//! ticket counts and `f64` for currency-valued pools (base-unit values are
+//! rationals, held as floats as in Section 4.4's prototype). The alias
+//! table is `f64`-only — its cell geometry divides the value axis.
 
+pub mod alias;
 pub mod list;
 pub mod tree;
 

@@ -134,6 +134,47 @@ pub enum Command {
         /// The broker sub-verb.
         action: BrokerAction,
     },
+    /// `structure [list|tree|alias] [--json]` — switch the winner-search
+    /// structure the session rebuilds over its active processes (Section
+    /// 4.2: list scan, partial-sum tree, or the O(1) alias sampler) and
+    /// report the rebuild statistics; with no kind, just report.
+    Structure {
+        /// Switch to this structure (`None`: just report).
+        kind: Option<StructureKind>,
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
+    },
+}
+
+/// A Section 4.2 winner-search structure, as named on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureKind {
+    /// O(n) list scan.
+    List,
+    /// O(log n) partial-sum tree.
+    Tree,
+    /// O(1) alias sampler.
+    Alias,
+}
+
+impl StructureKind {
+    /// The command-line (and probe-event) tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::List => "list",
+            Self::Tree => "tree",
+            Self::Alias => "alias",
+        }
+    }
+
+    fn parse(tag: &str) -> Option<Self> {
+        match tag {
+            "list" => Some(Self::List),
+            "tree" => Some(Self::Tree),
+            "alias" => Some(Self::Alias),
+            _ => None,
+        }
+    }
 }
 
 /// Sub-verbs of [`Command::Broker`].
@@ -225,6 +266,7 @@ commands (Section 4.7 of the paper):
   trace on|off                     toggle the session flight recorder
   dump                             flight-recorder events as JSONL
   shards [<n>|--json]              partition processes across n dirty shards / report
+  structure [list|tree|alias] [--json]  switch the winner-search structure / report rebuild stats
   broker tenant <name> <grant> [static]  register a tenant grant split over cpu/disk/mem/net
   broker demand <tenant> <resource> <units>  record demand before a rebalance
   broker use <tenant> <resource> <units>     record observed usage
@@ -345,6 +387,25 @@ commands (Section 4.7 of the paper):
                 json: false,
             }),
             ["shards", ..] => Err(ParseError::Usage("shards [<n>|--json]")),
+            ["structure"] => Ok(Command::Structure {
+                kind: None,
+                json: false,
+            }),
+            ["structure", "--json"] => Ok(Command::Structure {
+                kind: None,
+                json: true,
+            }),
+            ["structure", k] if StructureKind::parse(k).is_some() => Ok(Command::Structure {
+                kind: StructureKind::parse(k),
+                json: false,
+            }),
+            ["structure", k, "--json"] if StructureKind::parse(k).is_some() => {
+                Ok(Command::Structure {
+                    kind: StructureKind::parse(k),
+                    json: true,
+                })
+            }
+            ["structure", ..] => Err(ParseError::Usage("structure [list|tree|alias] [--json]")),
             ["broker"] => Ok(Command::Broker {
                 action: BrokerAction::Report { json: false },
             }),
@@ -552,6 +613,46 @@ mod tests {
         ));
         assert!(matches!(
             Command::parse("shards 2 --json"),
+            Err(ParseError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_structure() {
+        assert_eq!(
+            Command::parse("structure"),
+            Ok(Command::Structure {
+                kind: None,
+                json: false
+            })
+        );
+        assert_eq!(
+            Command::parse("structure --json"),
+            Ok(Command::Structure {
+                kind: None,
+                json: true
+            })
+        );
+        assert_eq!(
+            Command::parse("structure alias"),
+            Ok(Command::Structure {
+                kind: Some(StructureKind::Alias),
+                json: false
+            })
+        );
+        assert_eq!(
+            Command::parse("structure tree --json"),
+            Ok(Command::Structure {
+                kind: Some(StructureKind::Tree),
+                json: true
+            })
+        );
+        assert!(matches!(
+            Command::parse("structure heap"),
+            Err(ParseError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse("structure list tree"),
             Err(ParseError::Usage(_))
         ));
     }

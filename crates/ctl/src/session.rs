@@ -9,15 +9,20 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use lottery_broker::{Resource, ResourceBroker, SplitPolicy, TenantId};
 use lottery_core::client::ClientId;
 use lottery_core::currency::{CurrencyId, IssuePolicy, Principal};
 use lottery_core::ledger::{Ledger, Valuator};
+use lottery_core::lottery::alias::AliasLottery;
+use lottery_core::lottery::list::ListLottery;
+use lottery_core::lottery::tree::TreeLottery;
+use lottery_core::lottery::TicketPool;
 use lottery_core::ticket::{FundingTarget, TicketId};
-use lottery_obs::{json, Aggregator, FlightRecorder, ProbeBus, Shared};
+use lottery_obs::{json, Aggregator, EventKind, FlightRecorder, ProbeBus, Shared};
 
-use crate::command::{BrokerAction, Command, ParseError};
+use crate::command::{BrokerAction, Command, ParseError, StructureKind};
 
 /// Events the session flight recorder retains (`trace on` … `dump`).
 const FLIGHT_CAPACITY: usize = 4096;
@@ -95,6 +100,20 @@ pub struct Session {
     /// its own ledger: tenant grants live in the broker's funding graph,
     /// not the session's object environment.
     broker: Option<ResourceBroker>,
+    /// The winner-search structure last selected with the `structure`
+    /// verb (Section 4.2); a scheduler embedding this session would draw
+    /// from the corresponding pool.
+    structure: StructureKind,
+    /// Statistics from the most recent `structure <kind>` rebuild.
+    last_rebuild: Option<RebuildReport>,
+}
+
+/// What the last `structure` switch cost.
+struct RebuildReport {
+    clients: u32,
+    stale: u32,
+    rebuild_ns: u64,
+    tickets: f64,
 }
 
 impl Default for Session {
@@ -123,6 +142,8 @@ impl Session {
             flight: Shared::new(FlightRecorder::new(FLIGHT_CAPACITY)),
             tracing: false,
             broker: None,
+            structure: StructureKind::List,
+            last_rebuild: None,
         };
         session.rewire_bus();
         session
@@ -448,6 +469,12 @@ impl Session {
                 self.report_shards(json)
             }
             Command::Broker { action } => self.exec_broker(action),
+            Command::Structure { kind, json } => {
+                if let Some(k) = kind {
+                    self.switch_structure(k)?;
+                }
+                Ok(self.report_structure(json))
+            }
             Command::Compensate {
                 name,
                 used,
@@ -579,6 +606,105 @@ impl Session {
         }
         let _ = writeln!(out, "migrations: {migrations}");
         Ok(out)
+    }
+
+    /// `structure <kind>`: rebuild the chosen Section 4.2 winner-search
+    /// structure over the session's active processes, draining the
+    /// ledger's dirty queue (those clients are the stale set a scheduler
+    /// would have to patch) and emitting a `StructureRebuild` probe event
+    /// so the `stat` aggregator tracks rebuild counts and costs.
+    fn switch_structure(&mut self, kind: StructureKind) -> Result<(), CtlError> {
+        let start = Instant::now();
+        let stale = self.ledger.drain_dirty_clients().len() as u32;
+        // Read through the ledger's incremental cache (not a one-shot
+        // `Valuator`): that is the scheduler read path, and warming the
+        // cache is what arms dirty notifications for the next switch.
+        let weighted: Vec<(ClientId, f64)> = {
+            let mut rows = Vec::new();
+            for (_, id) in self.procs() {
+                if self.ledger.client(id)?.is_active() {
+                    rows.push((id, self.ledger.cached_client_value(id)?));
+                }
+            }
+            rows
+        };
+        let clients = weighted.len() as u32;
+        let tickets = match kind {
+            StructureKind::List => {
+                let mut pool: ListLottery<ClientId, f64> = ListLottery::without_move_to_front();
+                for &(id, w) in &weighted {
+                    pool.insert(id, w);
+                }
+                pool.total()
+            }
+            StructureKind::Tree => {
+                let mut pool: TreeLottery<ClientId, f64> =
+                    TreeLottery::with_capacity(weighted.len());
+                for &(id, w) in &weighted {
+                    pool.insert(id, w);
+                }
+                pool.total()
+            }
+            StructureKind::Alias => {
+                let mut pool: AliasLottery<ClientId> = AliasLottery::with_capacity(weighted.len());
+                for &(id, w) in &weighted {
+                    pool.insert(id, w);
+                }
+                pool.rebuild();
+                let _ = pool.take_rebuild_events();
+                pool.total()
+            }
+        };
+        let rebuild_ns = start.elapsed().as_nanos() as u64;
+        self.structure = kind;
+        self.last_rebuild = Some(RebuildReport {
+            clients,
+            stale,
+            rebuild_ns,
+            tickets,
+        });
+        self.ledger
+            .probe_bus()
+            .emit(|| EventKind::StructureRebuild {
+                structure: kind.name(),
+                clients,
+                stale,
+                rebuild_ns,
+            });
+        Ok(())
+    }
+
+    /// `structure [--json]`: the active structure and what the last
+    /// switch cost.
+    fn report_structure(&self, json: bool) -> String {
+        let name = self.structure.name();
+        match &self.last_rebuild {
+            Some(r) => {
+                if json {
+                    format!(
+                        "{{\"structure\":\"{name}\",\"clients\":{},\"stale\":{},\
+                         \"rebuild_ns\":{},\"tickets\":{}}}",
+                        r.clients,
+                        r.stale,
+                        r.rebuild_ns,
+                        json::number(r.tickets),
+                    )
+                } else {
+                    format!(
+                        "structure {name}: rebuilt over {} processes \
+                         ({} stale drained, {:.1} base tickets) in {} ns",
+                        r.clients, r.stale, r.tickets, r.rebuild_ns
+                    )
+                }
+            }
+            None => {
+                if json {
+                    format!("{{\"structure\":\"{name}\"}}")
+                } else {
+                    format!("structure {name}: no rebuild yet")
+                }
+            }
+        }
     }
 
     /// Resolves a tenant name against the session broker.
@@ -1152,6 +1278,47 @@ mod tests {
             s.eval("broker use gold tape 1"),
             Err(CtlError::UnknownName(_))
         ));
+    }
+
+    #[test]
+    fn structure_verb_switches_and_reports() {
+        let mut s = Session::new();
+        assert_eq!(eval(&mut s, "structure"), "structure list: no rebuild yet");
+        eval(&mut s, "fundx 300 base a");
+        eval(&mut s, "fundx 100 base b");
+        let out = eval(&mut s, "structure alias");
+        assert!(out.contains("structure alias"), "{out}");
+        assert!(out.contains("2 processes"), "{out}");
+        assert!(out.contains("400.0 base tickets"), "{out}");
+        // Funding churn between switches lands in the dirty queue; the
+        // next rebuild drains it as the stale set.
+        eval(&mut s, "mktkt extra 100 base");
+        eval(&mut s, "fund extra a");
+        let out = eval(&mut s, "structure tree --json");
+        let v = lottery_obs::json::parse(&out).expect("structure --json parses");
+        assert_eq!(
+            v.get("structure").and_then(|x| x.as_str()),
+            Some("tree"),
+            "{out}"
+        );
+        assert_eq!(v.get("clients").and_then(|x| x.as_f64()), Some(2.0));
+        assert!(
+            v.get("stale").and_then(|x| x.as_f64()).unwrap() >= 1.0,
+            "{out}"
+        );
+        assert!(
+            v.get("rebuild_ns").and_then(|x| x.as_f64()).unwrap() > 0.0,
+            "{out}"
+        );
+        // A bare report repeats the last rebuild without redoing it.
+        assert_eq!(eval(&mut s, "structure --json"), out);
+        // Both switches were counted by the session aggregator.
+        let stat = eval(&mut s, "stat");
+        assert!(
+            stat.contains("lottery_structure_rebuilds_total 2"),
+            "{stat}"
+        );
+        assert!(stat.contains("lottery_structure_rebuild_ns_mean"), "{stat}");
     }
 
     #[test]

@@ -422,3 +422,119 @@ pub fn fairshare(seed: u32) {
     println!("\nthe lottery reflects the new allocation at the very next draws; the fair-share");
     println!("scheduler must first decay away the usage history its priorities encode");
 }
+
+/// Section 4.2 at scale: the alias sampler answers draws in O(1)
+/// expected probes while the partial-sum tree pays lg n comparisons —
+/// and both remain *exact*: the same RNG stream yields bit-identical
+/// winner sequences across list, tree, and alias, through compensation
+/// churn and mid-run structure switches.
+pub fn alias_sampler(seed: u32) {
+    // Part 1: exactness. Drive the same scripted workload — alternating
+    // full quanta and half-quantum blocks (which grant and later revoke
+    // compensation tickets) — through all three structures and compare
+    // winner streams.
+    let draws = 400usize;
+    let run = |structure: SelectStructure| -> Vec<ThreadId> {
+        let mut p = LotteryPolicy::new(seed.wrapping_add(7));
+        p.set_structure(structure);
+        let shared = p.create_currency("shared", 252_000).unwrap();
+        for (i, &amount) in [100u64, 200, 300, 400].iter().enumerate() {
+            let tid = ThreadId::from_index(i as u32);
+            p.on_spawn(tid, FundingSpec::new(shared, amount));
+            p.enqueue(tid, SimTime::ZERO);
+        }
+        let quantum = SimDuration::from_ms(100);
+        let mut winners = Vec::with_capacity(draws);
+        let mut blocked: Option<ThreadId> = None;
+        for step in 0..draws {
+            let Some(w) = p.pick(SimTime::ZERO) else {
+                break;
+            };
+            winners.push(w);
+            if step % 2 == 0 {
+                p.charge(w, quantum, quantum, EndReason::QuantumExpired);
+                p.enqueue(w, SimTime::ZERO);
+            } else {
+                p.charge(w, quantum / 2, quantum, EndReason::Blocked);
+                if let Some(b) = blocked.replace(w) {
+                    p.enqueue(b, SimTime::ZERO);
+                }
+            }
+        }
+        winners
+    };
+    let list = run(SelectStructure::List);
+    let tree = run(SelectStructure::Tree);
+    let alias = run(SelectStructure::Alias);
+    let identical = list == tree && list == alias;
+    println!(
+        "winner streams bit-identical across list/tree/alias ({draws} draws, \
+         compensation churn): {}",
+        if identical { "OK" } else { "FAILED" }
+    );
+
+    // Part 2: probe cost. Uniform-ticket populations under dispatch
+    // churn (remove the winner, requeue it at the same weight): the
+    // alias overlay self-cleans, so its probe count stays flat while
+    // the tree's depth grows with lg n.
+    let mut table = Table::new(&[
+        "clients",
+        "alias probes (mean)",
+        "tree depth (lg n)",
+        "alias rebuilds",
+    ]);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut alias: AliasLottery<usize> = AliasLottery::with_capacity(n);
+        let mut tree: TreeLottery<usize, f64> = TreeLottery::with_capacity(n);
+        for i in 0..n {
+            alias.insert(i, 10.0);
+            tree.insert(i, 10.0);
+        }
+        alias.rebuild();
+        let _ = alias.take_rebuild_events();
+        let built = alias.rebuilds();
+        let mut rng = ParkMiller::new(seed);
+        let rounds = 20_000usize;
+        let mut probes = 0u64;
+        for _ in 0..rounds {
+            let w = *alias.draw(&mut rng).unwrap();
+            probes += u64::from(alias.last_probes());
+            alias.remove(&w);
+            alias.insert(w, 10.0);
+        }
+        table.row(&[
+            n.to_string(),
+            format!("{:.2}", probes as f64 / rounds as f64),
+            tree.depth().to_string(),
+            (alias.rebuilds() - built).to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Part 3: proportional-share isolation with the alias structure
+    // driving dispatch.
+    let mut p = LotteryPolicy::new(seed);
+    p.set_structure(SelectStructure::Alias);
+    let base = p.base_currency();
+    let quantum = SimDuration::from_ms(100);
+    let a = ThreadId::from_index(0);
+    let b = ThreadId::from_index(1);
+    p.on_spawn(a, FundingSpec::new(base, 2000));
+    p.on_spawn(b, FundingSpec::new(base, 1000));
+    p.enqueue(a, SimTime::ZERO);
+    p.enqueue(b, SimTime::ZERO);
+    let mut wins = [0u64; 2];
+    for _ in 0..30_000 {
+        let w = p.pick(SimTime::ZERO).unwrap();
+        wins[w.index() as usize] += 1;
+        p.charge(w, quantum, quantum, EndReason::QuantumExpired);
+        p.enqueue(w, SimTime::ZERO);
+    }
+    let ratio = wins[0] as f64 / wins[1] as f64;
+    println!("\nalias dispatch ratio (2000-ticket : 1000-ticket) = {ratio:.3}:1 over 30000 draws");
+    let ok = (ratio - 2.0).abs() <= 0.1;
+    println!(
+        "alias 2:1 isolation held within 5%: {}",
+        if ok { "OK" } else { "FAILED" }
+    );
+}

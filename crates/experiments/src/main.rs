@@ -127,6 +127,11 @@ const EXPERIMENTS: &[(&str, &str, Entry)] = &[
         ablations::selection,
     ),
     (
+        "alias",
+        "O(1) alias sampler: exact draws, flat probe cost at scale (Section 4.2)",
+        ablations::alias_sampler,
+    ),
+    (
         "quantum-sweep",
         "accuracy vs quantum length (Section 2)",
         ablations::quantum_sweep,

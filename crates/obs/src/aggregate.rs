@@ -45,6 +45,10 @@ pub struct Aggregator {
     pub dirty_depth: Summary,
     /// Clients drained per dirty-queue drain.
     pub dirty_drained: Summary,
+    /// Winner-search structure rebuilds observed.
+    pub structure_rebuilds: u64,
+    /// Wall-clock cost per structure rebuild, in nanoseconds.
+    pub structure_rebuild_ns: Summary,
     /// Compensation tickets granted.
     pub compensations: u64,
     /// Compensation tickets revoked (cleared at the next dispatch).
@@ -101,6 +105,8 @@ impl Aggregator {
             invalidated_clients: 0,
             dirty_depth: Summary::new(),
             dirty_drained: Summary::new(),
+            structure_rebuilds: 0,
+            structure_rebuild_ns: Summary::new(),
             compensations: 0,
             compensation_revocations: 0,
             shard_comp_weight: BTreeMap::new(),
@@ -157,6 +163,11 @@ impl Aggregator {
             "lottery_cache_invalidated_clients_total",
             "Cached client values invalidated.",
             self.invalidated_clients as f64,
+        );
+        counter(
+            "lottery_structure_rebuilds_total",
+            "Winner-search structure rebuilds.",
+            self.structure_rebuilds as f64,
         );
         counter(
             "lottery_compensations_total",
@@ -264,6 +275,11 @@ impl Aggregator {
             self.dirty_depth.mean(),
         );
         gauge(
+            "lottery_structure_rebuild_ns_mean",
+            "Mean wall-clock cost per structure rebuild (ns).",
+            self.structure_rebuild_ns.mean(),
+        );
+        gauge(
             "lottery_cache_hit_rate",
             "Valuation-cache hit rate.",
             self.cache_hit_rate().unwrap_or(0.0),
@@ -364,6 +380,10 @@ impl Recorder for Aggregator {
                 self.dirty_depth.record(dirty_depth as f64);
             }
             EventKind::DirtyDrain { drained } => self.dirty_drained.record(drained as f64),
+            EventKind::StructureRebuild { rebuild_ns, .. } => {
+                self.structure_rebuilds += 1;
+                self.structure_rebuild_ns.record(rebuild_ns as f64);
+            }
             EventKind::ShardPick { stolen, .. } => {
                 self.shard_picks += 1;
                 self.shard_steals += u64::from(stolen);
@@ -486,6 +506,12 @@ mod tests {
                 weight: 0.0,
                 refunded: true,
             },
+            EventKind::StructureRebuild {
+                structure: "alias",
+                clients: 1000,
+                stale: 130,
+                rebuild_ns: 5000,
+            },
         ];
         for kind in feed {
             a.record(&Event { time_us: 0, kind });
@@ -512,5 +538,8 @@ mod tests {
         assert!(text.contains("lottery_resource_wait_mean{resource=\"disk\"} 900"));
         assert!(text.contains("lottery_broker_weight{tenant=\"0\",resource=\"disk\"} 500"));
         assert!(text.contains("lottery_broker_refunds_total 1"));
+        assert_eq!(a.structure_rebuilds, 1);
+        assert!(text.contains("lottery_structure_rebuilds_total 1"));
+        assert!(text.contains("lottery_structure_rebuild_ns_mean 5000"));
     }
 }

@@ -142,6 +142,19 @@ pub enum EventKind {
         /// Clients drained.
         drained: u32,
     },
+    /// A winner-search structure was (re)built wholesale — the alias
+    /// table snapshotting its prefix sums, or a tree/list repopulated by
+    /// a runtime structure switch.
+    StructureRebuild {
+        /// `"list"`, `"tree"`, or `"alias"`.
+        structure: &'static str,
+        /// Entries captured by the rebuild.
+        clients: u32,
+        /// Stale overlay entries folded in (0 for list/tree).
+        stale: u32,
+        /// Wall-clock rebuild cost in nanoseconds.
+        rebuild_ns: u64,
+    },
     /// A per-CPU ready-queue depth sample.
     QueueDepth {
         /// CPU index.
@@ -249,6 +262,7 @@ impl EventKind {
             EventKind::CacheLookup { .. } => "cache-lookup",
             EventKind::CacheInvalidate { .. } => "cache-invalidate",
             EventKind::DirtyDrain { .. } => "dirty-drain",
+            EventKind::StructureRebuild { .. } => "structure-rebuild",
             EventKind::QueueDepth { .. } => "queue-depth",
             EventKind::ShardPick { .. } => "shard-pick",
             EventKind::ShardSteal { .. } => "shard-steal",
@@ -360,6 +374,17 @@ impl Event {
             }
             EventKind::DirtyDrain { drained } => {
                 let _ = write!(s, ",\"drained\":{drained}");
+            }
+            EventKind::StructureRebuild {
+                structure,
+                clients,
+                stale,
+                rebuild_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"structure\":\"{structure}\",\"clients\":{clients},\"stale\":{stale},\"rebuild_ns\":{rebuild_ns}"
+                );
             }
             EventKind::QueueDepth { cpu, depth } => {
                 let _ = write!(s, ",\"cpu\":{cpu},\"depth\":{depth}");
@@ -535,6 +560,15 @@ mod tests {
                     resource: "mem",
                     weight: 333.25,
                     refunded: false,
+                },
+            },
+            Event {
+                time_us: 1100,
+                kind: EventKind::StructureRebuild {
+                    structure: "alias",
+                    clients: 1_000_000,
+                    stale: 125_000,
+                    rebuild_ns: 4_200_000,
                 },
             },
         ];

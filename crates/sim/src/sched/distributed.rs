@@ -37,12 +37,11 @@
 //! discipline (one `next_f64` per non-degenerate draw, none when the pool
 //! is worthless).
 
-use std::collections::HashMap;
-
 use lottery_core::client::ClientId;
 use lottery_core::currency::CurrencyId;
 use lottery_core::errors::Result;
 use lottery_core::ledger::Ledger;
+use lottery_core::lottery::alias::AliasLottery;
 use lottery_core::lottery::tree::TreeLottery;
 use lottery_core::lottery::TicketPool;
 use lottery_core::rng::{ParkMiller, SchedRng};
@@ -50,7 +49,7 @@ use lottery_core::ticket::TicketId;
 use lottery_obs::{EventKind, ProbeBus};
 
 use super::comp::CompensationHook;
-use super::lottery::FundingSpec;
+use super::lottery::{FundingSpec, SelectStructure};
 use super::{EndReason, Policy};
 use crate::thread::ThreadId;
 use crate::time::{SimDuration, SimTime};
@@ -61,16 +60,19 @@ struct ThreadFunding {
     ticket: TicketId,
 }
 
-/// One CPU's slice of the machine: a ready queue mirrored by a
-/// partial-sum tree over the cached client values of its threads.
+/// One CPU's slice of the machine: a ready queue mirrored by a winner
+/// structure (partial-sum tree or alias table) over the cached client
+/// values of its threads.
 #[derive(Debug)]
 struct Shard {
     /// Ready threads homed here, in scan order; removal swap-removes so
-    /// the order always mirrors the tree's leaf-slot order.
+    /// the order always mirrors the mirror structure's slot order.
     ready: Vec<ThreadId>,
-    /// Cached-weight mirror of `ready`.
+    /// Cached-weight mirror of `ready` (tree mode — the default).
     tree: TreeLottery<ThreadId, f64>,
-    /// Lotteries resolved from this shard's tree.
+    /// Cached-weight mirror of `ready` (alias mode).
+    alias: AliasLottery<ThreadId>,
+    /// Lotteries resolved from this shard.
     picks: u64,
 }
 
@@ -79,7 +81,17 @@ impl Shard {
         Self {
             ready: Vec::new(),
             tree: TreeLottery::new(),
+            alias: AliasLottery::new(),
             picks: 0,
+        }
+    }
+
+    /// The active mirror's total under `structure`.
+    fn total(&self, structure: SelectStructure) -> f64 {
+        if structure == SelectStructure::Alias {
+            self.alias.total()
+        } else {
+            self.tree.total()
         }
     }
 }
@@ -120,9 +132,15 @@ pub struct DistributedLottery {
     /// Membership index: thread id -> position in its home shard's
     /// `ready`, `None` when not queued.
     ready_pos: Vec<Option<u32>>,
-    /// Reverse map from ledger clients to threads, for routing sharded
-    /// dirty notifications back to tree leaves.
-    client_threads: HashMap<ClientId, ThreadId>,
+    /// Reverse map from ledger clients to threads (flat, indexed by the
+    /// client's arena slot), for routing sharded dirty notifications back
+    /// to mirror slots without hashing.
+    client_threads: Vec<Option<ThreadId>>,
+    /// Reusable drain buffer: no allocation per pick.
+    dirty_buf: Vec<ClientId>,
+    /// The per-shard winner-search structure ([`SelectStructure::List`]
+    /// has no distributed analogue and behaves like `Tree`).
+    structure: SelectStructure,
     /// Shared compensation grant/revoke policy (Section 4.5).
     comp: CompensationHook,
     /// Whether homing, stealing, and rebalancing compare *effective*
@@ -175,7 +193,9 @@ impl DistributedLottery {
             shards: (0..shards).map(|_| Shard::new()).collect(),
             home: Vec::new(),
             ready_pos: Vec::new(),
-            client_threads: HashMap::new(),
+            client_threads: Vec::new(),
+            dirty_buf: Vec::new(),
+            structure: SelectStructure::Tree,
             comp: CompensationHook::new(),
             comp_aware: true,
             lotteries: 0,
@@ -226,15 +246,73 @@ impl DistributedLottery {
         self.comp_aware
     }
 
-    /// A shard's weight as the load balancer sees it: the ready tree
+    /// Selects the per-shard winner-search structure, rebuilding every
+    /// shard's mirror from its ready queue (in queue order) with exact
+    /// values from the valuation cache. [`SelectStructure::List`] has no
+    /// distributed analogue and behaves like `Tree`. Emits one
+    /// [`EventKind::StructureRebuild`] per shard.
+    pub fn set_structure(&mut self, structure: SelectStructure) {
+        let structure = if structure == SelectStructure::Alias {
+            SelectStructure::Alias
+        } else {
+            SelectStructure::Tree
+        };
+        self.structure = structure;
+        for s in 0..self.shards.len() as u32 {
+            let start = std::time::Instant::now();
+            // Every ready weight is computed fresh below; notifications
+            // pending on this shard are obsolete.
+            let mut dirty = std::mem::take(&mut self.dirty_buf);
+            self.ledger.drain_dirty_shard_into(s, &mut dirty);
+            self.dirty_buf = dirty;
+            let sh = &mut self.shards[s as usize];
+            sh.tree = TreeLottery::with_capacity(sh.ready.len());
+            sh.alias = AliasLottery::with_capacity(sh.ready.len());
+            for i in 0..self.shards[s as usize].ready.len() {
+                let tid = self.shards[s as usize].ready[i];
+                let client = self.funding_info(tid).client;
+                let value = self.ledger.cached_client_value(client).unwrap_or(0.0);
+                let sh = &mut self.shards[s as usize];
+                if structure == SelectStructure::Alias {
+                    sh.alias.insert(tid, value);
+                } else {
+                    sh.tree.insert(tid, value);
+                }
+            }
+            let sh = &mut self.shards[s as usize];
+            if structure == SelectStructure::Alias {
+                sh.alias.rebuild();
+                sh.alias.take_rebuild_events();
+            }
+            let clients = sh.ready.len() as u32;
+            let rebuild_ns = start.elapsed().as_nanos() as u64;
+            self.bus.emit(|| EventKind::StructureRebuild {
+                structure: if structure == SelectStructure::Alias {
+                    "alias"
+                } else {
+                    "tree"
+                },
+                clients,
+                stale: 0,
+                rebuild_ns,
+            });
+        }
+    }
+
+    /// The active per-shard winner-search structure.
+    pub fn structure(&self) -> SelectStructure {
+        self.structure
+    }
+
+    /// A shard's weight as the load balancer sees it: the ready mirror
     /// total, plus (in compensated mode) the `factor × funded` weight of
     /// its resting compensated threads.
     fn effective_total(&self, shard: u32) -> f64 {
-        let tree = self.shards[shard as usize].tree.total();
+        let ready = self.shards[shard as usize].total(self.structure);
         if self.comp_aware {
-            tree + self.ledger.compensation_resting_weight(shard)
+            ready + self.ledger.compensation_resting_weight(shard)
         } else {
-            tree
+            ready
         }
     }
 
@@ -327,7 +405,7 @@ impl DistributedLottery {
         ShardStats {
             threads,
             queue_depth: sh.ready.len() as u32,
-            ticket_total: sh.tree.total(),
+            ticket_total: sh.total(self.structure),
             comp_weight: self.ledger.compensation_shard_weight(shard),
             resting_weight: self.ledger.compensation_resting_weight(shard),
             picks: sh.picks,
@@ -335,13 +413,13 @@ impl DistributedLottery {
         }
     }
 
-    /// Sum of every shard's tree total, in base units — the machine-wide
-    /// ready ticket value the conservation proptests check.
+    /// Sum of every shard's mirror total, in base units — the
+    /// machine-wide ready ticket value the conservation proptests check.
     pub fn ready_ticket_total(&mut self) -> f64 {
         for s in 0..self.shards.len() as u32 {
             self.refresh_shard(s);
         }
-        self.shards.iter().map(|s| s.tree.total()).sum()
+        self.shards.iter().map(|s| s.total(self.structure)).sum()
     }
 
     /// Re-homes a thread to `shard`, moving its ready entry, tree leaf,
@@ -359,7 +437,9 @@ impl DistributedLottery {
         }
         let was_ready = self.remove_ready(tid);
         if was_ready {
-            self.shards[from as usize].tree.remove(&tid);
+            let sh = &mut self.shards[from as usize];
+            sh.tree.remove(&tid);
+            sh.alias.remove(&tid);
         }
         self.home[tid.index() as usize] = shard;
         self.ledger.assign_dirty_shard(funding.client, shard);
@@ -369,7 +449,12 @@ impl DistributedLottery {
                 .ledger
                 .cached_client_value(funding.client)
                 .unwrap_or(0.0);
-            self.shards[shard as usize].tree.insert(tid, value);
+            let sh = &mut self.shards[shard as usize];
+            if self.structure == SelectStructure::Alias {
+                sh.alias.insert(tid, value);
+            } else {
+                sh.tree.insert(tid, value);
+            }
         }
         self.migrations += 1;
         let thread = tid.index();
@@ -445,21 +530,35 @@ impl DistributedLottery {
         true
     }
 
-    /// Settles a shard's pending valuation invalidations into its tree.
+    /// Settles a shard's pending valuation invalidations into its mirror
+    /// structure (tree leaves or alias slots).
     ///
     /// Only this shard's dirty queue is drained — invalidations homed
     /// elsewhere wait for their own shard's next pick.
     fn refresh_shard(&mut self, shard: u32) {
-        for client in self.ledger.drain_dirty_shard(shard) {
-            let Some(&tid) = self.client_threads.get(&client) else {
+        let mut dirty = std::mem::take(&mut self.dirty_buf);
+        self.ledger.drain_dirty_shard_into(shard, &mut dirty);
+        for &client in &dirty {
+            let Some(tid) = self
+                .client_threads
+                .get(client.index() as usize)
+                .copied()
+                .flatten()
+            else {
                 continue;
             };
             if !self.is_ready(tid) {
                 continue;
             }
             let value = self.ledger.cached_client_value(client).unwrap_or(0.0);
-            self.shards[shard as usize].tree.set_weight(&tid, value);
+            let sh = &mut self.shards[shard as usize];
+            if self.structure == SelectStructure::Alias {
+                sh.alias.set_weight(&tid, value);
+            } else {
+                sh.tree.set_weight(&tid, value);
+            }
         }
+        self.dirty_buf = dirty;
     }
 
     /// The heaviest foreign shard with ready work, for stealing.
@@ -487,23 +586,37 @@ impl DistributedLottery {
     fn draw_from(&mut self, cpu: u32, shard: u32, stolen: bool) -> ThreadId {
         self.lotteries += 1;
         self.shards[shard as usize].picks += 1;
+        let alias_mode = self.structure == SelectStructure::Alias;
         let sh = &self.shards[shard as usize];
         let entries = sh.ready.len() as u32;
-        let total = sh.tree.total();
-        let (tid, winning) = if sh.tree.is_empty() || total <= 0.0 {
+        let total = sh.total(self.structure);
+        let empty = if alias_mode {
+            sh.alias.is_empty()
+        } else {
+            sh.tree.is_empty()
+        };
+        let (tid, winning) = if empty || total <= 0.0 {
             (sh.ready[0], -1.0)
         } else {
             let winning = self.rng.next_f64() * total;
-            let tid = match self.shards[shard as usize].tree.select(winning) {
-                Some(&tid) => tid,
-                None => self.shards[shard as usize].ready[0],
+            let sh = &mut self.shards[shard as usize];
+            let selected = if alias_mode {
+                sh.alias.select(winning).copied()
+            } else {
+                sh.tree.select(winning).copied()
             };
+            let tid = selected.unwrap_or(self.shards[shard as usize].ready[0]);
             (tid, winning)
         };
-        let levels = self.shards[shard as usize].tree.depth();
+        let sh = &self.shards[shard as usize];
+        let levels = if alias_mode {
+            sh.alias.last_probes()
+        } else {
+            sh.tree.depth()
+        };
         let winner = tid.index();
         self.bus.emit(|| EventKind::LotteryDraw {
-            structure: "shard",
+            structure: if alias_mode { "shard-alias" } else { "shard" },
             entries,
             levels,
             total,
@@ -520,8 +633,22 @@ impl DistributedLottery {
                 thread: winner,
             });
         }
-        self.shards[shard as usize].tree.remove(&tid);
+        {
+            let sh = &mut self.shards[shard as usize];
+            sh.tree.remove(&tid);
+            sh.alias.remove(&tid);
+        }
         self.remove_ready(tid);
+        if alias_mode {
+            for ev in self.shards[shard as usize].alias.take_rebuild_events() {
+                self.bus.emit(|| EventKind::StructureRebuild {
+                    structure: "alias",
+                    clients: ev.clients,
+                    stale: ev.stale,
+                    rebuild_ns: ev.rebuild_ns,
+                });
+            }
+        }
         let client = self.funding_info(tid).client;
         // The winner starts its quantum: revoke any compensation ticket
         // through the shared hook (which emits the revocation event).
@@ -641,16 +768,22 @@ impl Policy for DistributedLottery {
         let home = self.least_loaded_shard();
         self.home[idx] = home;
         self.ledger.assign_dirty_shard(client, home);
-        self.client_threads.insert(client, tid);
+        let slot = client.index() as usize;
+        if self.client_threads.len() <= slot {
+            self.client_threads.resize(slot + 1, None);
+        }
+        self.client_threads[slot] = Some(tid);
     }
 
     fn on_exit(&mut self, tid: ThreadId) {
         let funding = self.funding_info(tid);
         let home = self.home[tid.index() as usize];
         if self.remove_ready(tid) {
-            self.shards[home as usize].tree.remove(&tid);
+            let sh = &mut self.shards[home as usize];
+            sh.tree.remove(&tid);
+            sh.alias.remove(&tid);
         }
-        self.client_threads.remove(&funding.client);
+        self.client_threads[funding.client.index() as usize] = None;
         self.ledger
             .deactivate_client(funding.client)
             .expect("client liveness");
@@ -674,7 +807,12 @@ impl Policy for DistributedLottery {
             .cached_client_value(funding.client)
             .unwrap_or(0.0);
         let home = self.home[tid.index() as usize];
-        self.shards[home as usize].tree.insert(tid, value);
+        let sh = &mut self.shards[home as usize];
+        if self.structure == SelectStructure::Alias {
+            sh.alias.insert(tid, value);
+        } else {
+            sh.tree.insert(tid, value);
+        }
     }
 
     /// A shard-0 lottery — the uniprocessor entry point.
@@ -899,5 +1037,106 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = DistributedLottery::new(1, 0);
+    }
+
+    /// Per-shard alias tables must reproduce the per-shard trees' winner
+    /// sequence draw for draw: same ledger operations, same slot order,
+    /// same RNG discipline — just an O(1) search instead of a descent.
+    #[test]
+    fn alias_shards_match_tree_shards_exactly() {
+        let run = |structure: SelectStructure| -> Vec<ThreadId> {
+            let mut p = DistributedLottery::new(20_260_807, 4);
+            let shared = p.create_currency("shared", 252_000).unwrap();
+            let amounts = [100u64, 200, 300, 400, 500, 600, 700, 800];
+            for (i, &amount) in amounts.iter().enumerate() {
+                let tid = ThreadId::from_index(i as u32);
+                p.on_spawn(tid, FundingSpec::new(shared, amount));
+                p.enqueue(tid, SimTime::ZERO);
+            }
+            p.set_structure(structure);
+            let mut winners = Vec::new();
+            let mut blocked: Option<ThreadId> = None;
+            for step in 0..400u32 {
+                let cpu = step % 4;
+                let Some(w) = p.pick_on(cpu, SimTime::ZERO) else {
+                    continue;
+                };
+                winners.push(w);
+                if step % 2 == 0 {
+                    p.charge(
+                        w,
+                        SimDuration::from_ms(100),
+                        SimDuration::from_ms(100),
+                        EndReason::QuantumExpired,
+                    );
+                    p.enqueue(w, SimTime::ZERO);
+                } else {
+                    p.charge(
+                        w,
+                        SimDuration::from_ms(50),
+                        SimDuration::from_ms(100),
+                        EndReason::Blocked,
+                    );
+                    if let Some(b) = blocked.replace(w) {
+                        p.enqueue(b, SimTime::ZERO);
+                    }
+                }
+            }
+            winners
+        };
+        let tree = run(SelectStructure::Tree);
+        let alias = run(SelectStructure::Alias);
+        assert_eq!(tree, alias);
+        assert!(tree.iter().any(|&t| t != tree[0]));
+    }
+
+    #[test]
+    fn alias_shards_pick_proportionally() {
+        let mut p = DistributedLottery::new(42, 1);
+        p.set_structure(SelectStructure::Alias);
+        assert_eq!(p.structure(), SelectStructure::Alias);
+        let s0 = base_spec(&p, 300);
+        let s1 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        let mut wins = [0u32; 2];
+        let n = 20_000;
+        for _ in 0..n {
+            p.enqueue(T0, SimTime::ZERO);
+            p.enqueue(T1, SimTime::ZERO);
+            let w = p.pick(SimTime::ZERO).unwrap();
+            wins[w.index() as usize] += 1;
+            let other = p.pick(SimTime::ZERO).unwrap();
+            assert_ne!(w, other);
+        }
+        let share = f64::from(wins[0]) / f64::from(n);
+        assert!((share - 0.75).abs() < 0.01, "share {share}");
+    }
+
+    #[test]
+    fn alias_shards_survive_migration_and_exit() {
+        let mut p = DistributedLottery::new(3, 2);
+        p.set_structure(SelectStructure::Alias);
+        let spec = base_spec(&p, 100);
+        for i in 0..4 {
+            let tid = ThreadId::from_index(i);
+            p.on_spawn(tid, spec);
+            p.enqueue(tid, SimTime::ZERO);
+        }
+        let from = p.home_of(T0);
+        let to = 1 - from;
+        p.migrate(T0, to);
+        assert_eq!(p.home_of(T0), to);
+        // The migrated thread is drawable from its new home's alias table.
+        let mut seen = false;
+        for _ in 0..16 {
+            if let Some(w) = p.pick_on(to, SimTime::ZERO) {
+                seen |= w == T0;
+                p.enqueue(w, SimTime::ZERO);
+            }
+        }
+        assert!(seen, "migrated thread never won on its new shard");
+        p.on_exit(T1);
+        assert_eq!(p.ready_len(), 3);
     }
 }

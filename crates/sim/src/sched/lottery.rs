@@ -20,11 +20,13 @@
 //!   thread's ticket in place (Section 5.2's Monte-Carlo control).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use lottery_core::client::ClientId;
 use lottery_core::currency::CurrencyId;
 use lottery_core::errors::Result;
 use lottery_core::ledger::Ledger;
+use lottery_core::lottery::alias::AliasLottery;
 use lottery_core::lottery::tree::TreeLottery;
 use lottery_core::lottery::TicketPool;
 use lottery_core::mutex::{TicketMutex, WaiterFunding};
@@ -73,6 +75,19 @@ pub enum SelectStructure {
     /// list walk's winner sequence whenever client values are exactly
     /// representable.
     Tree,
+    /// An order-preserving alias-cell table: O(1) expected picks at any
+    /// population, patched incrementally from the same dirty-client queue
+    /// the tree drains.
+    ///
+    /// Exact on the same terms as the tree: the table snapshots the ready
+    /// queue's prefix sums and overlays slots whose compensated value
+    /// drifted from the snapshot, comparing exactly the running sums the
+    /// list walk compares — so for a fixed seed, alias picks reproduce
+    /// the list walk's winner sequence whenever client values are exactly
+    /// representable. A slot re-bucketed past a power-of-two weight
+    /// boundary counts toward a stale fraction that triggers a full
+    /// (amortized O(1)) rebuild.
+    Alias,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -95,9 +110,14 @@ pub struct LotteryPolicy {
     /// Membership index: thread id -> position in `ready`, `None` when not
     /// queued. Replaces `O(n)` ready-queue scans.
     ready_pos: Vec<Option<u32>>,
-    /// Reverse map from ledger clients to threads, for routing the
-    /// ledger's dirty-client notifications back to tree leaves.
-    client_threads: HashMap<ClientId, ThreadId>,
+    /// Reverse map from ledger clients to threads (flat, indexed by the
+    /// client's arena slot), for routing the ledger's dirty-client
+    /// notifications back to structure slots without hashing.
+    client_threads: Vec<Option<ThreadId>>,
+    /// Reusable drain buffer: no allocation per pick.
+    dirty_buf: Vec<ClientId>,
+    /// Reusable list-walk valuation buffer: no allocation per pick.
+    list_values: Vec<f64>,
     /// Outstanding RPC transfers, keyed by (client, server).
     transfers: HashMap<(ThreadId, ThreadId), Transfer>,
     /// Shared compensation grant/revoke policy (Section 4.5).
@@ -107,6 +127,8 @@ pub struct LotteryPolicy {
     structure: SelectStructure,
     /// Cached-weight mirror of the ready queue, used in tree mode.
     tree: TreeLottery<ThreadId, f64>,
+    /// Cached-weight mirror of the ready queue, used in alias mode.
+    alias: AliasLottery<ThreadId>,
     /// Kernel mutexes (Section 6.1), scheduled by handoff lotteries.
     locks: Vec<TicketMutex>,
     /// Probe bus for per-draw observability (disabled by default).
@@ -133,12 +155,15 @@ impl LotteryPolicy {
             threads: Vec::new(),
             ready: Vec::new(),
             ready_pos: Vec::new(),
-            client_threads: HashMap::new(),
+            client_threads: Vec::new(),
+            dirty_buf: Vec::new(),
+            list_values: Vec::new(),
             transfers: HashMap::new(),
             comp: CompensationHook::new(),
             lotteries: 0,
             structure: SelectStructure::List,
             tree: TreeLottery::new(),
+            alias: AliasLottery::new(),
             locks: Vec::new(),
             bus: ProbeBus::disabled(),
         }
@@ -147,22 +172,66 @@ impl LotteryPolicy {
     /// Selects the winner-search structure (Section 4.2).
     ///
     /// May be called at any point, even mid-run with threads queued: the
-    /// partial-sum tree is rebuilt from the ready queue (in queue order,
-    /// so slot order and scan order stay mirrored) with exact values from
-    /// the ledger's valuation cache.
+    /// mirror structure (partial-sum tree or alias table) is rebuilt from
+    /// the ready queue (in queue order, so slot order and scan order stay
+    /// mirrored) with exact values from the ledger's valuation cache.
+    /// Emits a [`EventKind::StructureRebuild`] describing the rebuild.
     pub fn set_structure(&mut self, structure: SelectStructure) {
+        let start = Instant::now();
         self.structure = structure;
         self.tree = TreeLottery::with_capacity(self.ready.len());
-        if structure == SelectStructure::Tree {
+        self.alias = AliasLottery::with_capacity(self.ready.len());
+        if structure != SelectStructure::List {
             // Every ready weight is computed fresh below; notifications
-            // accumulated while the tree was dormant are obsolete.
-            let _ = self.ledger.drain_dirty_clients();
+            // accumulated while the mirror was dormant are obsolete.
+            let mut dirty = std::mem::take(&mut self.dirty_buf);
+            self.ledger.drain_dirty_clients_into(&mut dirty);
+            self.dirty_buf = dirty;
             for i in 0..self.ready.len() {
                 let tid = self.ready[i];
                 let client = self.funding_info(tid).client;
                 let value = self.ledger.cached_client_value(client).unwrap_or(0.0);
-                self.tree.insert(tid, value);
+                match structure {
+                    SelectStructure::Tree => self.tree.insert(tid, value),
+                    SelectStructure::Alias => self.alias.insert(tid, value),
+                    SelectStructure::List => unreachable!(),
+                }
             }
+        }
+        if structure == SelectStructure::Alias {
+            // Snapshot once at the end: bulk-load rebuild churn collapses
+            // into one definitive table over the final ready order.
+            self.alias.rebuild();
+            self.alias.take_rebuild_events();
+        }
+        let clients = self.ready.len() as u32;
+        let rebuild_ns = start.elapsed().as_nanos() as u64;
+        self.bus.emit(|| EventKind::StructureRebuild {
+            structure: Self::structure_tag(structure),
+            clients,
+            stale: 0,
+            rebuild_ns,
+        });
+    }
+
+    fn structure_tag(structure: SelectStructure) -> &'static str {
+        match structure {
+            SelectStructure::List => "list",
+            SelectStructure::Tree => "tree",
+            SelectStructure::Alias => "alias",
+        }
+    }
+
+    /// Forwards the alias table's accumulated rebuild reports to the
+    /// probe bus (no-ops — and never allocates — when none are pending).
+    fn emit_alias_rebuilds(&mut self) {
+        for ev in self.alias.take_rebuild_events() {
+            self.bus.emit(|| EventKind::StructureRebuild {
+                structure: "alias",
+                clients: ev.clients,
+                stale: ev.stale,
+                rebuild_ns: ev.rebuild_ns,
+            });
         }
     }
 
@@ -211,24 +280,42 @@ impl LotteryPolicy {
         true
     }
 
-    /// Refreshes tree leaf weights for every client the ledger reports as
-    /// invalidated since the last draw.
+    /// Refreshes mirror-structure weights (tree leaves or alias slots)
+    /// for every client the ledger reports as invalidated since the last
+    /// draw.
     ///
-    /// This is what makes tree mode *exact*: any mutation anywhere in the
-    /// currency graph — a sibling blocking, a compensation grant, an RPC
-    /// transfer — queues precisely the affected clients, and their leaves
-    /// are revalued (incrementally, through the cache) before the draw.
+    /// This is what makes tree and alias modes *exact*: any mutation
+    /// anywhere in the currency graph — a sibling blocking, a
+    /// compensation grant, an RPC transfer — queues precisely the
+    /// affected clients, and their slots are revalued (incrementally,
+    /// through the cache) before the draw.
     fn refresh_dirty_weights(&mut self) {
-        for client in self.ledger.drain_dirty_clients() {
-            let Some(&tid) = self.client_threads.get(&client) else {
+        let mut dirty = std::mem::take(&mut self.dirty_buf);
+        self.ledger.drain_dirty_clients_into(&mut dirty);
+        for &client in &dirty {
+            let Some(tid) = self
+                .client_threads
+                .get(client.index() as usize)
+                .copied()
+                .flatten()
+            else {
                 continue;
             };
             if !self.is_ready(tid) {
                 continue;
             }
             let value = self.ledger.cached_client_value(client).unwrap_or(0.0);
-            self.tree.set_weight(&tid, value);
+            match self.structure {
+                SelectStructure::Tree => {
+                    self.tree.set_weight(&tid, value);
+                }
+                SelectStructure::Alias => {
+                    self.alias.set_weight(&tid, value);
+                }
+                SelectStructure::List => {}
+            }
         }
+        self.dirty_buf = dirty;
     }
 
     /// Disables compensation tickets — the Section 4.5 ablation, which
@@ -348,14 +435,19 @@ impl Policy for LotteryPolicy {
             ticket,
             currency: spec.currency,
         });
-        self.client_threads.insert(client, tid);
+        let slot = client.index() as usize;
+        if self.client_threads.len() <= slot {
+            self.client_threads.resize(slot + 1, None);
+        }
+        self.client_threads[slot] = Some(tid);
     }
 
     fn on_exit(&mut self, tid: ThreadId) {
         let funding = self.funding_info(tid);
         self.remove_ready(tid);
         self.tree.remove(&tid);
-        self.client_threads.remove(&funding.client);
+        self.alias.remove(&tid);
+        self.client_threads[funding.client.index() as usize] = None;
         self.ledger
             .deactivate_client(funding.client)
             .expect("client liveness");
@@ -371,7 +463,7 @@ impl Policy for LotteryPolicy {
             .activate_client(funding.client)
             .expect("client liveness");
         self.push_ready(tid);
-        if self.structure == SelectStructure::Tree {
+        if self.structure != SelectStructure::List {
             // Exact: activation just invalidated the client (and any
             // shared-currency siblings, refreshed at the next pick), so
             // this read revalues precisely the changed subgraph.
@@ -379,7 +471,11 @@ impl Policy for LotteryPolicy {
                 .ledger
                 .cached_client_value(funding.client)
                 .unwrap_or(0.0);
-            self.tree.insert(tid, value);
+            match self.structure {
+                SelectStructure::Tree => self.tree.insert(tid, value),
+                SelectStructure::Alias => self.alias.insert(tid, value),
+                SelectStructure::List => unreachable!(),
+            }
         }
     }
 
@@ -389,90 +485,126 @@ impl Policy for LotteryPolicy {
         }
         self.lotteries += 1;
         let entries = self.ready.len() as u32;
-        let tid = if self.structure == SelectStructure::Tree {
-            // Settle pending invalidations, then an O(log n) descent over
-            // the partial-sum tree; degenerate to FIFO when every weight
-            // is zero. Spelled out (rather than `tree.draw`) so the draw
-            // can be observed; the RNG stream is bit-identical — a winning
-            // value is consumed exactly when `draw` would consume one.
-            self.refresh_dirty_weights();
-            let total = self.tree.total();
-            let (tid, winning) = if self.tree.is_empty() || total <= 0.0 {
-                (self.ready[0], -1.0)
-            } else {
-                let winning = self.rng.next_f64() * total;
-                let tid = match self.tree.select(winning) {
-                    Some(&tid) => tid,
-                    None => self.ready[0],
+        let tid = match self.structure {
+            SelectStructure::Tree => {
+                // Settle pending invalidations, then an O(log n) descent
+                // over the partial-sum tree; degenerate to FIFO when every
+                // weight is zero. Spelled out (rather than `tree.draw`) so
+                // the draw can be observed; the RNG stream is
+                // bit-identical — a winning value is consumed exactly when
+                // `draw` would consume one.
+                self.refresh_dirty_weights();
+                let total = self.tree.total();
+                let (tid, winning) = if self.tree.is_empty() || total <= 0.0 {
+                    (self.ready[0], -1.0)
+                } else {
+                    let winning = self.rng.next_f64() * total;
+                    let tid = match self.tree.select(winning) {
+                        Some(&tid) => tid,
+                        None => self.ready[0],
+                    };
+                    (tid, winning)
                 };
-                (tid, winning)
-            };
-            let levels = self.tree.depth();
-            let winner = tid.index();
-            self.bus.emit(|| EventKind::LotteryDraw {
-                structure: "tree",
-                entries,
-                levels,
-                total,
-                winning,
-                winner,
-            });
-            self.tree.remove(&tid);
-            self.remove_ready(tid);
-            tid
-        } else {
-            // Value every ready client via the incremental cache: a warm
-            // read per client, plus revalidation of whatever the ledger
-            // invalidated since the last pick.
-            let values: Vec<f64> = self
-                .ready
-                .iter()
-                .map(|&t| {
+                let levels = self.tree.depth();
+                let winner = tid.index();
+                self.bus.emit(|| EventKind::LotteryDraw {
+                    structure: "tree",
+                    entries,
+                    levels,
+                    total,
+                    winning,
+                    winner,
+                });
+                self.tree.remove(&tid);
+                self.remove_ready(tid);
+                tid
+            }
+            SelectStructure::Alias => {
+                // Same RNG discipline as the tree branch, with an O(1)
+                // expected cell lookup in place of the log-depth descent.
+                self.refresh_dirty_weights();
+                let total = self.alias.total();
+                let (tid, winning) = if self.alias.is_empty() || total <= 0.0 {
+                    (self.ready[0], -1.0)
+                } else {
+                    let winning = self.rng.next_f64() * total;
+                    let tid = match self.alias.select(winning) {
+                        Some(&tid) => tid,
+                        None => self.ready[0],
+                    };
+                    (tid, winning)
+                };
+                // For the alias table, "levels" is the search effort of
+                // this draw: overlay probes plus guide-cell scan steps.
+                let levels = self.alias.last_probes();
+                let winner = tid.index();
+                self.bus.emit(|| EventKind::LotteryDraw {
+                    structure: "alias",
+                    entries,
+                    levels,
+                    total,
+                    winning,
+                    winner,
+                });
+                self.alias.remove(&tid);
+                self.remove_ready(tid);
+                self.emit_alias_rebuilds();
+                tid
+            }
+            SelectStructure::List => {
+                // Value every ready client via the incremental cache: a
+                // warm read per client, plus revalidation of whatever the
+                // ledger invalidated since the last pick. The valuation
+                // buffer is policy-owned scratch — no per-pick allocation.
+                let mut values = std::mem::take(&mut self.list_values);
+                values.clear();
+                values.extend(self.ready.iter().map(|&t| {
                     let client = self.threads[t.index() as usize]
                         .expect("ready thread is registered")
                         .client;
                     self.ledger.cached_client_value(client).unwrap_or(0.0)
-                })
-                .collect();
-            let total: f64 = values.iter().sum();
+                }));
+                let total: f64 = values.iter().sum();
 
-            let (index, winning) = if total <= 0.0 {
-                // Every ready client is worthless (e.g. an unfunded
-                // currency). Degenerate to FIFO so the machine still
-                // makes progress.
-                (0, -1.0)
-            } else {
-                // Figure 1: draw a winning value, walk the run queue
-                // summing client values in base units until the sum
-                // exceeds it.
-                let winning = self.rng.next_f64() * total;
-                let mut sum = 0.0;
-                let mut chosen = self.ready.len() - 1;
-                for (i, &v) in values.iter().enumerate() {
-                    sum += v;
-                    if winning < sum {
-                        chosen = i;
-                        break;
+                let (index, winning) = if total <= 0.0 {
+                    // Every ready client is worthless (e.g. an unfunded
+                    // currency). Degenerate to FIFO so the machine still
+                    // makes progress.
+                    (0, -1.0)
+                } else {
+                    // Figure 1: draw a winning value, walk the run queue
+                    // summing client values in base units until the sum
+                    // exceeds it.
+                    let winning = self.rng.next_f64() * total;
+                    let mut sum = 0.0;
+                    let mut chosen = self.ready.len() - 1;
+                    for (i, &v) in values.iter().enumerate() {
+                        sum += v;
+                        if winning < sum {
+                            chosen = i;
+                            break;
+                        }
                     }
-                }
-                (chosen, winning)
-            };
+                    (chosen, winning)
+                };
+                self.list_values = values;
 
-            let tid = self.ready[index];
-            let winner = tid.index();
-            // For the list walk, "levels" is the entries scanned before
-            // the winner was found.
-            let levels = index as u32 + 1;
-            self.bus.emit(|| EventKind::LotteryDraw {
-                structure: "list",
-                entries,
-                levels,
-                total,
-                winning,
-                winner,
-            });
-            self.remove_ready(tid);
-            tid
+                let tid = self.ready[index];
+                let winner = tid.index();
+                // For the list walk, "levels" is the entries scanned
+                // before the winner was found.
+                let levels = index as u32 + 1;
+                self.bus.emit(|| EventKind::LotteryDraw {
+                    structure: "list",
+                    entries,
+                    levels,
+                    total,
+                    winning,
+                    winner,
+                });
+                self.remove_ready(tid);
+                tid
+            }
         };
         let funding = self.funding_info(tid);
         // The winner starts its quantum: revoke any compensation ticket
@@ -904,9 +1036,89 @@ mod tests {
         };
         let list = run(SelectStructure::List);
         let tree = run(SelectStructure::Tree);
+        let alias = run(SelectStructure::Alias);
         assert_eq!(list, tree);
+        assert_eq!(list, alias);
         // Sanity: the workload actually rotates winners.
         assert!(list.iter().any(|&t| t != list[0]));
+    }
+
+    #[test]
+    fn alias_structure_picks_proportionally() {
+        let mut p = LotteryPolicy::new(42);
+        p.set_structure(SelectStructure::Alias);
+        assert_eq!(p.structure(), SelectStructure::Alias);
+        let s0 = base_spec(&p, 300);
+        let s1 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        let mut wins = [0u32; 2];
+        let n = 20_000;
+        for _ in 0..n {
+            p.enqueue(T0, SimTime::ZERO);
+            p.enqueue(T1, SimTime::ZERO);
+            let w = p.pick(SimTime::ZERO).unwrap();
+            wins[w.index() as usize] += 1;
+            let other = p.pick(SimTime::ZERO).unwrap();
+            assert_ne!(w, other);
+        }
+        let share = f64::from(wins[0]) / f64::from(n);
+        assert!((share - 0.75).abs() < 0.01, "share {share}");
+    }
+
+    #[test]
+    fn alias_structure_tracks_dynamic_funding() {
+        let mut p = LotteryPolicy::new(11);
+        p.set_structure(SelectStructure::Alias);
+        let s0 = base_spec(&p, 100);
+        let s1 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        p.set_funding(T0, 900).unwrap();
+        let mut wins0 = 0u32;
+        let n = 10_000;
+        for _ in 0..n {
+            let w = p.pick(SimTime::ZERO).unwrap();
+            let other = p.pick(SimTime::ZERO).unwrap();
+            if w == T0 {
+                wins0 += 1;
+            }
+            p.enqueue(w, SimTime::ZERO);
+            p.enqueue(other, SimTime::ZERO);
+        }
+        let share = f64::from(wins0) / f64::from(n);
+        assert!((share - 0.9).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn alias_zero_value_degenerates_to_fifo() {
+        let mut p = LotteryPolicy::new(5);
+        p.set_structure(SelectStructure::Alias);
+        let empty = p.ledger_mut().create_currency("empty").unwrap();
+        p.on_spawn(T0, FundingSpec::new(empty, 10));
+        p.on_spawn(T1, FundingSpec::new(empty, 10));
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T0));
+        assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+    }
+
+    #[test]
+    fn alias_structure_exit_cleans_mirror() {
+        let mut p = LotteryPolicy::new(11);
+        p.set_structure(SelectStructure::Alias);
+        let s0 = base_spec(&p, 100);
+        let s1 = base_spec(&p, 100);
+        p.on_spawn(T0, s0);
+        p.on_spawn(T1, s1);
+        p.enqueue(T0, SimTime::ZERO);
+        p.enqueue(T1, SimTime::ZERO);
+        p.on_exit(T0);
+        assert_eq!(p.ready_len(), 1);
+        assert_eq!(p.pick(SimTime::ZERO), Some(T1));
+        assert_eq!(p.pick(SimTime::ZERO), None);
     }
 
     #[test]

@@ -39,6 +39,28 @@ echo "$broker_out" | grep -q "broker 2:1 isolation held within 5% on cpu, disk, 
 echo "$broker_out" | grep -q "raw funding drifts under intra-tenant inflation: CONFIRMED" \
   || { echo "verify: raw funding ablation failed to show the leak" >&2; exit 1; }
 
+# Alias-sampler smoke: winner streams must stay bit-identical across
+# list/tree/alias under compensation churn, and the alias policy must
+# hold a 2:1 ticket ratio; the scale bench itself is compiled by the
+# `cargo bench --no-run --workspace` above (alias_scale target).
+alias_out=$(cargo run -q --release -p lottery-experiments --bin experiments -- alias)
+echo "$alias_out" | grep -q "winner streams bit-identical across list/tree/alias (400 draws, compensation churn): OK" \
+  || { echo "verify: alias sampler diverged from the list/tree winner stream" >&2; exit 1; }
+echo "$alias_out" | grep -q "alias 2:1 isolation held within 5%: OK" \
+  || { echo "verify: alias policy missed the 2:1 ratio" >&2; exit 1; }
+
+# ctl structure smoke: the structure verb must switch the winner-search
+# structure and report rebuild stats machine-readably under --json.
+ctl_structure_out=$(printf '%s\n' \
+  "fundx 300 base a" \
+  "fundx 100 base b" \
+  "structure alias --json" \
+  | cargo run -q --release -p lottery-ctl --bin lotteryctl)
+echo "$ctl_structure_out" | grep -q '"structure":"alias"' \
+  || { echo "verify: ctl structure --json lacks the structure name" >&2; exit 1; }
+echo "$ctl_structure_out" | grep -q '"rebuild_ns":' \
+  || { echo "verify: ctl structure --json lacks rebuild_ns" >&2; exit 1; }
+
 # ctl broker smoke: per-tenant funding and observed shares, with the
 # dominant share machine-readable under --json.
 ctl_broker_out=$(printf '%s\n' \

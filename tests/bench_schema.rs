@@ -94,7 +94,7 @@ fn smp_scaling_summary_covers_both_variants_at_every_width() {
     let text = fs::read_to_string(&path).expect("BENCH_smp_scaling.json committed");
     let v = json::parse(&text).unwrap();
     let results = v.get("results").and_then(Value::as_array).unwrap();
-    for variant in ["shared", "distributed"] {
+    for variant in ["shared", "distributed", "distributed-alias"] {
         for cpus in [1u64, 2, 4, 8] {
             let id = format!("smp-scaling/{variant}/{cpus}");
             let r = results
@@ -105,6 +105,73 @@ fn smp_scaling_summary_covers_both_variants_at_every_width() {
                 r.get("elements").and_then(Value::as_f64),
                 Some((20 * cpus) as f64),
                 "{id}: elements must be the decision count"
+            );
+        }
+    }
+}
+
+#[test]
+fn alias_scale_summary_covers_structures_up_to_a_million_clients() {
+    // Committed by `cargo bench --bench alias_scale`: full scheduling
+    // decisions (tree/alias) and bare structure draws (draw-tree /
+    // draw-alias) at 10^4, 10^5, and 10^6 clients, with `elements`
+    // recording the population. The alias draw must stay flat — within
+    // ~2x of its 10^4 cost at a hundred times the population — while
+    // the tree's descent grows with lg n.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_alias_scale.json");
+    let text = fs::read_to_string(&path).expect("BENCH_alias_scale.json committed");
+    let v = json::parse(&text).unwrap();
+    let results = v.get("results").and_then(Value::as_array).unwrap();
+    let median = |variant: &str, n: u64| -> f64 {
+        let id = format!("alias-scale/{variant}/{n}");
+        let r = results
+            .iter()
+            .find(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str()))
+            .unwrap_or_else(|| panic!("missing result {id}"));
+        assert_eq!(
+            r.get("elements").and_then(Value::as_f64),
+            Some(n as f64),
+            "{id}: elements must record the population"
+        );
+        r.get("median_ns").and_then(Value::as_f64).unwrap()
+    };
+    for variant in ["tree", "alias", "draw-tree", "draw-alias"] {
+        for n in [10_000u64, 100_000, 1_000_000] {
+            median(variant, n);
+        }
+    }
+    let alias_growth = median("draw-alias", 1_000_000) / median("draw-alias", 10_000);
+    assert!(
+        alias_growth < 3.0,
+        "alias draw cost must stay roughly flat from 10^4 to 10^6 clients, grew {alias_growth:.2}x"
+    );
+    assert!(
+        median("draw-tree", 1_000_000) > 2.0 * median("draw-alias", 1_000_000),
+        "at 10^6 clients the tree descent should cost well over twice an alias draw"
+    );
+}
+
+#[test]
+fn dispatch_lottery_flat_elements_record_population() {
+    // Committed by `cargo bench --bench dispatch`: the lottery-flat group
+    // runs every winner-search structure over each thread population and
+    // `elements` must carry that population (one kernel quantum serves
+    // one of n threads), not a constant 1.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_dispatch.json");
+    let text = fs::read_to_string(&path).expect("BENCH_dispatch.json committed");
+    let v = json::parse(&text).unwrap();
+    let results = v.get("results").and_then(Value::as_array).unwrap();
+    for structure in ["list", "tree", "alias"] {
+        for n in [2u64, 8, 32, 128] {
+            let id = format!("dispatch/lottery-flat/{structure}/{n}");
+            let r = results
+                .iter()
+                .find(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str()))
+                .unwrap_or_else(|| panic!("missing result {id}"));
+            assert_eq!(
+                r.get("elements").and_then(Value::as_f64),
+                Some(n as f64),
+                "{id}: elements must be the thread population"
             );
         }
     }
