@@ -370,7 +370,7 @@ impl ShardedDirtyQueue {
         }
     }
 
-    /// Drains one shard's pending notifications (order unspecified).
+    /// Drains one shard's pending notifications, in ascending client id.
     pub fn drain_shard(&mut self, shard: u32) -> Vec<ClientId> {
         let mut out = Vec::new();
         self.drain_shard_into(shard, &mut out);
@@ -379,11 +379,16 @@ impl ShardedDirtyQueue {
 
     /// Drains one shard into a caller-owned buffer (cleared first), so
     /// per-draw refresh paths reuse storage instead of allocating.
+    ///
+    /// Drain order is ascending client id, never hash order: downstream
+    /// structures patch weights (and decide when to rebuild) in this
+    /// order, and record/replay requires it to be identical across runs.
     pub fn drain_shard_into(&mut self, shard: u32, out: &mut Vec<ClientId>) {
         out.clear();
         if let Some(q) = self.queues.get_mut(shard as usize) {
             out.extend(q.drain());
         }
+        out.sort_unstable();
     }
 
     /// Drains every shard (order unspecified).
@@ -394,11 +399,17 @@ impl ShardedDirtyQueue {
     }
 
     /// Drains every shard into a caller-owned buffer (cleared first).
+    ///
+    /// Within each shard the order is ascending client id (see
+    /// [`ShardedDirtyQueue::drain_shard_into`]); shards drain in index
+    /// order. Deterministic order is a replay invariant.
     pub fn drain_all_into(&mut self, out: &mut Vec<ClientId>) {
         out.clear();
         out.reserve(self.len());
         for q in &mut self.queues {
+            let start = out.len();
             out.extend(q.drain());
+            out[start..].sort_unstable();
         }
     }
 }

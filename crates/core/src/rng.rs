@@ -104,8 +104,31 @@ impl ParkMiller {
     }
 
     /// Returns the current internal state.
+    ///
+    /// Together with [`ParkMiller::from_state`] this makes the generator
+    /// checkpointable: record/replay stamps audit logs with the state at
+    /// capture start and restores the exact draw stream from it.
     pub fn state(&self) -> u32 {
         self.state
+    }
+
+    /// Restores a generator from a previously observed [`ParkMiller::state`].
+    ///
+    /// Unlike [`ParkMiller::new`], which treats its argument as an
+    /// arbitrary seed (remapping the recurrence's fixed points), this is
+    /// an exact checkpoint restore: the next draw continues the original
+    /// stream bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is outside `[1, 2^31 - 2]` — such a value was
+    /// never produced by a live generator, so the checkpoint is corrupt.
+    pub fn from_state(state: u32) -> Self {
+        assert!(
+            (1..PM_MODULUS).contains(&state),
+            "invalid Park-Miller checkpoint state {state}"
+        );
+        Self { state }
     }
 
     /// Advances the recurrence once, using Carta's decomposition.
@@ -211,6 +234,25 @@ mod tests {
             direct = direct * u64::from(PM_MULTIPLIER) % u64::from(PM_MODULUS);
             assert_eq!(u64::from(rng.step()), direct);
         }
+    }
+
+    #[test]
+    fn from_state_resumes_the_stream_exactly() {
+        let mut live = ParkMiller::new(777);
+        for _ in 0..1000 {
+            live.next_u31();
+        }
+        let checkpoint = live.state();
+        let mut restored = ParkMiller::from_state(checkpoint);
+        for _ in 0..1000 {
+            assert_eq!(restored.next_u31(), live.next_u31());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Park-Miller checkpoint")]
+    fn from_state_rejects_fixed_points() {
+        let _ = ParkMiller::from_state(0);
     }
 
     #[test]

@@ -134,6 +134,16 @@ pub enum Command {
         /// The broker sub-verb.
         action: BrokerAction,
     },
+    /// `replay <file> [--json]` — re-execute a recorded capture
+    /// (`ReplayLog` JSONL, as written by the `replay` experiment or
+    /// `FlightRecorder::to_replay_log`) and report the first divergence,
+    /// if any.
+    Replay {
+        /// Path to the capture file.
+        path: String,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
     /// `structure [list|tree|alias] [--json]` — switch the winner-search
     /// structure the session rebuilds over its active processes (Section
     /// 4.2: list scan, partial-sum tree, or the O(1) alias sampler) and
@@ -265,6 +275,7 @@ commands (Section 4.7 of the paper):
   stat                             probe-counter snapshot (Prometheus text)
   trace on|off                     toggle the session flight recorder
   dump                             flight-recorder events as JSONL
+  replay <file> [--json]           re-run a recorded capture, diff the streams
   shards [<n>|--json]              partition processes across n dirty shards / report
   structure [list|tree|alias] [--json]  switch the winner-search structure / report rebuild stats
   broker tenant <name> <grant> [static]  register a tenant grant split over cpu/disk/mem/net
@@ -368,6 +379,15 @@ commands (Section 4.7 of the paper):
             ["trace", "off"] => Ok(Command::Trace { on: false }),
             ["trace", ..] => Err(ParseError::Usage("trace on|off")),
             ["dump"] => Ok(Command::Dump),
+            ["replay", path] => Ok(Command::Replay {
+                path: path.to_string(),
+                json: false,
+            }),
+            ["replay", path, "--json"] | ["replay", "--json", path] => Ok(Command::Replay {
+                path: path.to_string(),
+                json: true,
+            }),
+            ["replay", ..] => Err(ParseError::Usage("replay <file> [--json]")),
             ["compensate", name, used, quantum] => Ok(Command::Compensate {
                 name: name.to_string(),
                 used: amount(used)?,
@@ -516,6 +536,39 @@ mod tests {
             Err(ParseError::Usage(_))
         ));
         assert_eq!(Command::parse("dump"), Ok(Command::Dump));
+    }
+
+    #[test]
+    fn parses_replay() {
+        assert_eq!(
+            Command::parse("replay capture.jsonl"),
+            Ok(Command::Replay {
+                path: "capture.jsonl".into(),
+                json: false
+            })
+        );
+        assert_eq!(
+            Command::parse("replay capture.jsonl --json"),
+            Ok(Command::Replay {
+                path: "capture.jsonl".into(),
+                json: true
+            })
+        );
+        assert_eq!(
+            Command::parse("replay --json capture.jsonl"),
+            Ok(Command::Replay {
+                path: "capture.jsonl".into(),
+                json: true
+            })
+        );
+        assert!(matches!(
+            Command::parse("replay"),
+            Err(ParseError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse("replay a b"),
+            Err(ParseError::UnknownVerb(_)) | Err(ParseError::Usage(_))
+        ));
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub enum CtlError {
     NameTaken(String),
     /// The underlying ledger rejected the operation.
     Ledger(lottery_core::errors::LotteryError),
+    /// A replay capture could not be read, parsed, or re-executed.
+    Replay(String),
 }
 
 impl std::fmt::Display for CtlError {
@@ -68,6 +70,7 @@ impl std::fmt::Display for CtlError {
             }
             Self::NameTaken(n) => write!(f, "name already in use: {n}"),
             Self::Ledger(e) => write!(f, "{e}"),
+            Self::Replay(e) => write!(f, "replay: {e}"),
         }
     }
 }
@@ -462,6 +465,7 @@ impl Session {
                 }
             }
             Command::Dump => Ok(self.flight.with(|f| f.to_jsonl())),
+            Command::Replay { path, json } => Self::exec_replay(&path, json),
             Command::Shards { count, json } => {
                 if let Some(n) = count {
                     return self.partition_shards(n);
@@ -705,6 +709,74 @@ impl Session {
                 }
             }
         }
+    }
+
+    /// `replay <file>`: load a recorded capture, re-execute it from its
+    /// header, and diff the replayed stream against the recording.
+    fn exec_replay(path: &str, json_out: bool) -> Result<String, CtlError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CtlError::Replay(format!("{path}: {e}")))?;
+        let log = lottery_obs::ReplayLog::from_jsonl(&text).map_err(CtlError::Replay)?;
+        let header = log.header.clone();
+        let recorded = log.events.len();
+        let report = lottery_sim::replay::Replayer::new(log)
+            .run()
+            .map_err(CtlError::Replay)?;
+        if json_out {
+            let divergence = match &report.divergence {
+                None => "null".to_string(),
+                Some(d) => {
+                    let side = |e: &Option<lottery_obs::Event>| {
+                        e.as_ref().map_or("null".to_string(), |e| e.to_json())
+                    };
+                    format!(
+                        "{{\"index\":{},\"recorded\":{},\"replayed\":{}}}",
+                        d.index,
+                        side(&d.recorded),
+                        side(&d.replayed),
+                    )
+                }
+            };
+            return Ok(format!(
+                "{{\"file\":\"{}\",\"seed\":{},\"structure\":\"{}\",\"shards\":{},\
+                 \"recorded\":{},\"replayed\":{},\"bit_exact\":{},\"divergence\":{}}}",
+                json::escape(path),
+                header.seed,
+                json::escape(&header.structure),
+                header.shards,
+                recorded,
+                report.replayed.len(),
+                report.bit_exact(),
+                divergence,
+            ));
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "capture {path}: seed={} structure={} shards={} compensation={} \
+             quantum_us={} until_us={} events={recorded}",
+            header.seed,
+            header.structure,
+            header.shards,
+            header.compensation,
+            header.quantum_us,
+            header.until_us,
+        );
+        match &report.divergence {
+            None => {
+                let _ = write!(out, "replay: bit-exact ({} events)", report.replayed.len());
+            }
+            Some(d) => {
+                let side = |e: &Option<lottery_obs::Event>| {
+                    e.as_ref()
+                        .map_or("<stream ended>".to_string(), |e| e.to_json())
+                };
+                let _ = writeln!(out, "replay: DIVERGED at event {}", d.index);
+                let _ = writeln!(out, "  recorded: {}", side(&d.recorded));
+                let _ = write!(out, "  replayed: {}", side(&d.replayed));
+            }
+        }
+        Ok(out)
     }
 
     /// Resolves a tenant name against the session broker.
@@ -1334,5 +1406,101 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("ticket").and_then(|t| t.as_str()), Some("t1"));
         assert_eq!(rows[0].get("funds").and_then(|f| f.as_str()), Some("-"));
+    }
+
+    /// Records a tiny two-tenant capture and writes it next to `target/`.
+    fn capture_file(name: &str, tamper: bool) -> std::path::PathBuf {
+        use lottery_obs::{CurrencySnapshot, TraceJob, TraceSpec};
+        use lottery_sim::replay::{record, CaptureConfig};
+        let spec = TraceSpec {
+            currencies: vec![CurrencySnapshot {
+                name: "web".to_string(),
+                amount: 300,
+            }],
+            jobs: vec![
+                TraceJob {
+                    arrival_us: 0,
+                    service_us: 4_000,
+                    sleep_us: 0,
+                    tenant: "web".to_string(),
+                    tickets: 200,
+                },
+                TraceJob {
+                    arrival_us: 1_500,
+                    service_us: 3_000,
+                    sleep_us: 1_000,
+                    tenant: "base".to_string(),
+                    tickets: 100,
+                },
+            ],
+        };
+        let config = CaptureConfig {
+            quantum_us: 1_000,
+            until_us: 50_000,
+            ..CaptureConfig::default()
+        };
+        let mut log = record(spec, &config).expect("capture records");
+        if tamper {
+            let at = log.events.len() / 2;
+            log.events[at].time_us += 3;
+        }
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, log.to_jsonl()).expect("capture writes");
+        path
+    }
+
+    #[test]
+    fn replay_verb_confirms_bit_exact_capture() {
+        let path = capture_file("lotteryctl-replay-exact.jsonl", false);
+        let mut s = Session::new();
+        let out = eval(&mut s, &format!("replay {}", path.display()));
+        assert!(out.contains("replay: bit-exact"), "{out}");
+        assert!(out.contains("structure=list shards=0"), "{out}");
+        let out = eval(&mut s, &format!("replay {} --json", path.display()));
+        let v = lottery_obs::json::parse(&out).expect("replay --json parses");
+        assert_eq!(v.get("bit_exact").and_then(|b| b.as_bool()), Some(true));
+        assert!(
+            matches!(v.get("divergence"), Some(json::Value::Null)),
+            "{out}"
+        );
+        assert_eq!(
+            v.get("recorded").and_then(|n| n.as_f64()),
+            v.get("replayed").and_then(|n| n.as_f64()),
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn replay_verb_reports_divergence_with_both_sides() {
+        let path = capture_file("lotteryctl-replay-diverged.jsonl", true);
+        let mut s = Session::new();
+        let out = eval(&mut s, &format!("replay {}", path.display()));
+        assert!(out.contains("replay: DIVERGED at event"), "{out}");
+        assert!(out.contains("recorded:"), "{out}");
+        assert!(out.contains("replayed:"), "{out}");
+        let out = eval(&mut s, &format!("replay {} --json", path.display()));
+        let v = lottery_obs::json::parse(&out).expect("replay --json parses");
+        assert_eq!(v.get("bit_exact").and_then(|b| b.as_bool()), Some(false));
+        let d = v.get("divergence").expect("divergence present");
+        assert!(d.get("index").and_then(|i| i.as_f64()).is_some(), "{out}");
+        assert!(d.get("recorded").unwrap().get("kind").is_some(), "{out}");
+        assert!(d.get("replayed").unwrap().get("kind").is_some(), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn replay_verb_surfaces_read_and_parse_errors() {
+        let mut s = Session::new();
+        assert!(matches!(
+            s.eval("replay /nonexistent/capture.jsonl"),
+            Err(CtlError::Replay(_))
+        ));
+        let path = std::env::temp_dir().join("lotteryctl-replay-garbage.jsonl");
+        std::fs::write(&path, "not a capture\n").unwrap();
+        assert!(matches!(
+            s.eval(&format!("replay {}", path.display())),
+            Err(CtlError::Replay(_))
+        ));
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -16,6 +16,8 @@ mod fig_rates;
 mod math;
 mod obs;
 mod overhead;
+mod replay;
+mod traces;
 
 use std::env;
 use std::process::ExitCode;
@@ -85,6 +87,16 @@ const EXPERIMENTS: &[(&str, &str, Entry)] = &[
         "obs",
         "probe-bus pipeline: drift monitor, counters, trace exports",
         obs::obs,
+    ),
+    (
+        "traces",
+        "workload traces: heavy-tailed & diurnal, lottery vs FCFS admission",
+        traces::traces,
+    ),
+    (
+        "replay",
+        "deterministic record/replay: bit-exact round-trips & divergence diffing",
+        replay::replay,
     ),
     (
         "binomial",

@@ -423,6 +423,8 @@ impl Recorder for Aggregator {
                 self.broker_weight.insert((tenant, resource), weight);
             }
             EventKind::ThreadSpawn { .. }
+            | EventKind::ThreadExit { .. }
+            | EventKind::WeightChange { .. }
             | EventKind::QuantumEnd { .. }
             | EventKind::Wake { .. }
             | EventKind::RpcDeliver { .. }

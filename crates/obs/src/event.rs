@@ -30,6 +30,15 @@ pub enum EventKind {
         /// Thread index.
         thread: u32,
     },
+    /// A thread left the system for good: its workload issued an exit
+    /// burst, or it was killed from outside. Together with
+    /// [`EventKind::ThreadSpawn`] this brackets a thread's lifetime, so a
+    /// captured window carries enough to recompute per-job response
+    /// times (and to replay the window without consulting the kernel).
+    ThreadExit {
+        /// Thread index.
+        thread: u32,
+    },
     /// A thread was dispatched onto a CPU.
     Dispatch {
         /// Thread index.
@@ -120,6 +129,21 @@ pub enum EventKind {
     LedgerOp {
         /// Operation tag, e.g. `"fund-client"`.
         op: &'static str,
+    },
+    /// A scheduler client's direct funding changed, with the mutation's
+    /// origin. [`EventKind::LedgerOp`] records *that* the ledger moved;
+    /// this records *who asked*, which is what an audit needs when a
+    /// tenant disputes their share — and what a replay needs to tell
+    /// scripted inflation apart from spawn-time funding.
+    WeightChange {
+        /// Client index (the scheduler's arena slot).
+        client: u32,
+        /// The new direct funding amount, in tickets of the funding
+        /// currency.
+        tickets: u64,
+        /// Mutation origin: `"spawn"` (initial funding) or
+        /// `"set-funding"` (a runtime inflation/deflation request).
+        origin: &'static str,
     },
     /// A valuation-cache read.
     CacheLookup {
@@ -249,6 +273,7 @@ impl EventKind {
     pub fn name(&self) -> &'static str {
         match self {
             EventKind::ThreadSpawn { .. } => "spawn",
+            EventKind::ThreadExit { .. } => "thread-exit",
             EventKind::Dispatch { .. } => "dispatch",
             EventKind::QuantumEnd { .. } => "quantum-end",
             EventKind::Wake { .. } => "wake",
@@ -259,6 +284,7 @@ impl EventKind {
             EventKind::CompensationRevoked { .. } => "compensation-revoked",
             EventKind::ShardCompensation { .. } => "shard-compensation",
             EventKind::LedgerOp { .. } => "ledger-op",
+            EventKind::WeightChange { .. } => "weight-change",
             EventKind::CacheLookup { .. } => "cache-lookup",
             EventKind::CacheInvalidate { .. } => "cache-invalidate",
             EventKind::DirtyDrain { .. } => "dirty-drain",
@@ -287,7 +313,9 @@ impl Event {
             self.kind.name()
         );
         match self.kind {
-            EventKind::ThreadSpawn { thread } | EventKind::Wake { thread } => {
+            EventKind::ThreadSpawn { thread }
+            | EventKind::ThreadExit { thread }
+            | EventKind::Wake { thread } => {
                 let _ = write!(s, ",\"thread\":{thread}");
             }
             EventKind::Dispatch {
@@ -358,6 +386,16 @@ impl Event {
             }
             EventKind::LedgerOp { op } => {
                 let _ = write!(s, ",\"op\":\"{op}\"");
+            }
+            EventKind::WeightChange {
+                client,
+                tickets,
+                origin,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"client\":{client},\"tickets\":{tickets},\"origin\":\"{origin}\""
+                );
             }
             EventKind::CacheLookup { kind, hit } => {
                 let _ = write!(s, ",\"cache\":\"{kind}\",\"hit\":{hit}");
@@ -468,6 +506,218 @@ impl Event {
         s.push('}');
         s
     }
+
+    /// Parses one JSONL record back into a typed event — the inverse of
+    /// [`Event::to_json`], used to load replay logs.
+    ///
+    /// String tags are interned against the known wire vocabulary so the
+    /// parsed event carries the same `&'static str` values the emitters
+    /// use and compares equal to the original. An unknown kind, an
+    /// unknown tag, or a missing field is an error: the replay log is an
+    /// audit artifact, and a record we cannot faithfully reconstruct
+    /// must not silently round-trip.
+    pub fn from_json(v: &json::Value) -> Result<Event, String> {
+        let time_us = u64_field(v, "t_us")?;
+        let kind_name = str_field(v, "kind")?;
+        let kind = match kind_name {
+            "spawn" => EventKind::ThreadSpawn {
+                thread: u32_field(v, "thread")?,
+            },
+            "thread-exit" => EventKind::ThreadExit {
+                thread: u32_field(v, "thread")?,
+            },
+            "dispatch" => EventKind::Dispatch {
+                thread: u32_field(v, "thread")?,
+                cpu: u32_field(v, "cpu")?,
+                wait_us: u64_field(v, "wait_us")?,
+                queue_depth: u32_field(v, "queue_depth")?,
+            },
+            "quantum-end" => EventKind::QuantumEnd {
+                thread: u32_field(v, "thread")?,
+                cpu: u32_field(v, "cpu")?,
+                reason: intern(v, "reason", END_REASONS)?,
+                used_us: u64_field(v, "used_us")?,
+            },
+            "wake" => EventKind::Wake {
+                thread: u32_field(v, "thread")?,
+            },
+            "rpc-deliver" => EventKind::RpcDeliver {
+                client: u32_field(v, "client")?,
+                server: u32_field(v, "server")?,
+            },
+            "rpc-reply" => EventKind::RpcReply {
+                client: u32_field(v, "client")?,
+                server: u32_field(v, "server")?,
+            },
+            "lottery-draw" => EventKind::LotteryDraw {
+                structure: intern(v, "structure", STRUCTURES)?,
+                entries: u32_field(v, "entries")?,
+                levels: u32_field(v, "levels")?,
+                total: f64_field(v, "total")?,
+                winning: f64_field(v, "winning")?,
+                winner: u32_field(v, "winner")?,
+            },
+            "compensation" => EventKind::Compensation {
+                thread: u32_field(v, "thread")?,
+                factor: f64_field(v, "factor")?,
+                shard: u32_field(v, "shard")?,
+            },
+            "compensation-revoked" => EventKind::CompensationRevoked {
+                thread: u32_field(v, "thread")?,
+                shard: u32_field(v, "shard")?,
+            },
+            "shard-compensation" => EventKind::ShardCompensation {
+                shard: u32_field(v, "shard")?,
+                weight: f64_field(v, "weight")?,
+                total: f64_field(v, "total")?,
+            },
+            "ledger-op" => EventKind::LedgerOp {
+                op: intern(v, "op", LEDGER_OPS)?,
+            },
+            "weight-change" => EventKind::WeightChange {
+                client: u32_field(v, "client")?,
+                tickets: u64_field(v, "tickets")?,
+                origin: intern(v, "origin", WEIGHT_ORIGINS)?,
+            },
+            "cache-lookup" => EventKind::CacheLookup {
+                kind: intern(v, "cache", CACHE_KINDS)?,
+                hit: bool_field(v, "hit")?,
+            },
+            "cache-invalidate" => EventKind::CacheInvalidate {
+                currencies: u32_field(v, "currencies")?,
+                clients: u32_field(v, "clients")?,
+                dirty_depth: u32_field(v, "dirty_depth")?,
+            },
+            "dirty-drain" => EventKind::DirtyDrain {
+                drained: u32_field(v, "drained")?,
+            },
+            "structure-rebuild" => EventKind::StructureRebuild {
+                structure: intern(v, "structure", STRUCTURES)?,
+                clients: u32_field(v, "clients")?,
+                stale: u32_field(v, "stale")?,
+                rebuild_ns: u64_field(v, "rebuild_ns")?,
+            },
+            "queue-depth" => EventKind::QueueDepth {
+                cpu: u32_field(v, "cpu")?,
+                depth: u32_field(v, "depth")?,
+            },
+            "shard-pick" => EventKind::ShardPick {
+                cpu: u32_field(v, "cpu")?,
+                shard: u32_field(v, "shard")?,
+                stolen: bool_field(v, "stolen")?,
+            },
+            "shard-steal" => EventKind::ShardSteal {
+                cpu: u32_field(v, "cpu")?,
+                victim: u32_field(v, "victim")?,
+                thread: u32_field(v, "thread")?,
+            },
+            "shard-migrate" => EventKind::ShardMigrate {
+                thread: u32_field(v, "thread")?,
+                from_shard: u32_field(v, "from_shard")?,
+                to_shard: u32_field(v, "to_shard")?,
+            },
+            "shard-imbalance" => EventKind::ShardImbalance {
+                max_total: f64_field(v, "max_total")?,
+                mean_total: f64_field(v, "mean_total")?,
+            },
+            "resource-grant" => EventKind::ResourceGrant {
+                resource: intern(v, "resource", RESOURCES)?,
+                client: u32_field(v, "client")?,
+                tickets: u64_field(v, "tickets")?,
+            },
+            "resource-draw" => EventKind::ResourceDraw {
+                resource: intern(v, "resource", RESOURCES)?,
+                client: u32_field(v, "client")?,
+                entries: u32_field(v, "entries")?,
+                total: u64_field(v, "total")?,
+            },
+            "resource-complete" => EventKind::ResourceComplete {
+                resource: intern(v, "resource", RESOURCES)?,
+                client: u32_field(v, "client")?,
+                units: u64_field(v, "units")?,
+                wait: u64_field(v, "wait")?,
+            },
+            "broker-funding" => EventKind::BrokerFunding {
+                tenant: u32_field(v, "tenant")?,
+                resource: intern(v, "resource", RESOURCES)?,
+                weight: f64_field(v, "weight")?,
+                refunded: bool_field(v, "refunded")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(Event { time_us, kind })
+    }
+}
+
+/// Winner-search structure tags: the uniprocessor structures plus the
+/// distributed lottery's per-shard rebuild tags.
+const STRUCTURES: &[&str] = &["list", "tree", "alias", "shard", "shard-alias"];
+/// Quantum-end reasons (`EndReason::as_str` values).
+const END_REASONS: &[&str] = &["quantum-expired", "yielded", "blocked", "exited"];
+/// Ledger audit-log operation tags.
+const LEDGER_OPS: &[&str] = &[
+    "activate-client",
+    "create-client",
+    "create-currency",
+    "deactivate-client",
+    "destroy-client",
+    "destroy-currency",
+    "destroy-ticket",
+    "fund-client",
+    "fund-currency",
+    "issue",
+    "set-amount",
+    "set-compensation",
+    "unfund",
+];
+/// Valuation-cache entry kinds.
+const CACHE_KINDS: &[&str] = &["client", "currency"];
+/// Resource tags shared by grants, draws, completions, and the broker.
+const RESOURCES: &[&str] = &["cpu", "disk", "mem", "net"];
+/// Weight-mutation origins.
+const WEIGHT_ORIGINS: &[&str] = &["spawn", "set-funding"];
+
+fn field<'v>(v: &'v json::Value, name: &str) -> Result<&'v json::Value, String> {
+    v.get(name).ok_or_else(|| format!("missing field {name:?}"))
+}
+
+fn str_field<'v>(v: &'v json::Value, name: &str) -> Result<&'v str, String> {
+    field(v, name)?
+        .as_str()
+        .ok_or_else(|| format!("field {name:?} is not a string"))
+}
+
+fn f64_field(v: &json::Value, name: &str) -> Result<f64, String> {
+    field(v, name)?
+        .as_f64()
+        .ok_or_else(|| format!("field {name:?} is not a number"))
+}
+
+fn u64_field(v: &json::Value, name: &str) -> Result<u64, String> {
+    let n = f64_field(v, name)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("field {name:?} is not a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn u32_field(v: &json::Value, name: &str) -> Result<u32, String> {
+    u32::try_from(u64_field(v, name)?).map_err(|_| format!("field {name:?} overflows u32"))
+}
+
+fn bool_field(v: &json::Value, name: &str) -> Result<bool, String> {
+    field(v, name)?
+        .as_bool()
+        .ok_or_else(|| format!("field {name:?} is not a boolean"))
+}
+
+fn intern(v: &json::Value, name: &str, known: &[&'static str]) -> Result<&'static str, String> {
+    let s = str_field(v, name)?;
+    known
+        .iter()
+        .copied()
+        .find(|k| *k == s)
+        .ok_or_else(|| format!("unknown {name} tag {s:?}"))
 }
 
 #[cfg(test)]
@@ -583,6 +833,191 @@ mod tests {
                 Some(e.kind.name())
             );
         }
+    }
+
+    /// One exemplar per `EventKind` variant, with awkward field values
+    /// (non-integral floats, zero, large counters) so serialization slip
+    /// in any replay-critical field fails loudly.
+    fn one_of_each() -> Vec<Event> {
+        let kinds = vec![
+            EventKind::ThreadSpawn { thread: 7 },
+            EventKind::ThreadExit { thread: 7 },
+            EventKind::Dispatch {
+                thread: 2,
+                cpu: 1,
+                wait_us: 300,
+                queue_depth: 3,
+            },
+            EventKind::QuantumEnd {
+                thread: 2,
+                cpu: 1,
+                reason: "blocked",
+                used_us: 25_000,
+            },
+            EventKind::Wake { thread: 4 },
+            EventKind::RpcDeliver {
+                client: 1,
+                server: 2,
+            },
+            EventKind::RpcReply {
+                client: 1,
+                server: 2,
+            },
+            EventKind::LotteryDraw {
+                structure: "alias",
+                entries: 5,
+                levels: 3,
+                total: 700.0,
+                winning: 431.2578125,
+                winner: 4,
+            },
+            EventKind::Compensation {
+                thread: 3,
+                factor: 4.0,
+                shard: 1,
+            },
+            EventKind::CompensationRevoked {
+                thread: 3,
+                shard: 1,
+            },
+            EventKind::ShardCompensation {
+                shard: 2,
+                weight: 300.5,
+                total: 1100.25,
+            },
+            EventKind::LedgerOp { op: "fund-client" },
+            EventKind::WeightChange {
+                client: 9,
+                tickets: 400,
+                origin: "set-funding",
+            },
+            EventKind::CacheLookup {
+                kind: "currency",
+                hit: false,
+            },
+            EventKind::CacheInvalidate {
+                currencies: 2,
+                clients: 5,
+                dirty_depth: 7,
+            },
+            EventKind::DirtyDrain { drained: 12 },
+            EventKind::StructureRebuild {
+                structure: "alias",
+                clients: 1_000_000,
+                stale: 125_000,
+                rebuild_ns: 4_200_000,
+            },
+            EventKind::QueueDepth { cpu: 3, depth: 9 },
+            EventKind::ShardPick {
+                cpu: 0,
+                shard: 2,
+                stolen: true,
+            },
+            EventKind::ShardSteal {
+                cpu: 0,
+                victim: 2,
+                thread: 11,
+            },
+            EventKind::ShardMigrate {
+                thread: 11,
+                from_shard: 2,
+                to_shard: 0,
+            },
+            EventKind::ShardImbalance {
+                max_total: 900.125,
+                mean_total: 600.0,
+            },
+            EventKind::ResourceGrant {
+                resource: "disk",
+                client: 1,
+                tickets: 500,
+            },
+            EventKind::ResourceDraw {
+                resource: "net",
+                client: 0,
+                entries: 3,
+                total: 750,
+            },
+            EventKind::ResourceComplete {
+                resource: "disk",
+                client: 1,
+                units: 16,
+                wait: 4200,
+            },
+            EventKind::BrokerFunding {
+                tenant: 0,
+                resource: "mem",
+                weight: 333.25,
+                refunded: false,
+            },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Event {
+                time_us: 100 * (i as u64 + 1),
+                kind,
+            })
+            .collect()
+    }
+
+    /// Every variant survives serialize → `json::parse` → `from_json`
+    /// with every field bit-exact — the contract replay loading rests on.
+    #[test]
+    fn every_variant_round_trips_through_jsonl() {
+        let events = one_of_each();
+        // A compile-time nudge: adding a variant must extend `one_of_each`.
+        // (match is exhaustive over EventKind, so a new variant fails here)
+        for e in &events {
+            match e.kind {
+                EventKind::ThreadSpawn { .. }
+                | EventKind::ThreadExit { .. }
+                | EventKind::Dispatch { .. }
+                | EventKind::QuantumEnd { .. }
+                | EventKind::Wake { .. }
+                | EventKind::RpcDeliver { .. }
+                | EventKind::RpcReply { .. }
+                | EventKind::LotteryDraw { .. }
+                | EventKind::Compensation { .. }
+                | EventKind::CompensationRevoked { .. }
+                | EventKind::ShardCompensation { .. }
+                | EventKind::LedgerOp { .. }
+                | EventKind::WeightChange { .. }
+                | EventKind::CacheLookup { .. }
+                | EventKind::CacheInvalidate { .. }
+                | EventKind::DirtyDrain { .. }
+                | EventKind::StructureRebuild { .. }
+                | EventKind::QueueDepth { .. }
+                | EventKind::ShardPick { .. }
+                | EventKind::ShardSteal { .. }
+                | EventKind::ShardMigrate { .. }
+                | EventKind::ShardImbalance { .. }
+                | EventKind::ResourceGrant { .. }
+                | EventKind::ResourceDraw { .. }
+                | EventKind::ResourceComplete { .. }
+                | EventKind::BrokerFunding { .. } => {}
+            }
+        }
+        for e in events {
+            let line = e.to_json();
+            let v = json::parse(&line).expect("event JSON parses");
+            let back = Event::from_json(&v)
+                .unwrap_or_else(|err| panic!("{} does not parse back: {err}", e.kind.name()));
+            assert_eq!(back, e, "round-trip of {} altered a field", e.kind.name());
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_kind_and_tags() {
+        let bad_kind = json::parse(r#"{"t_us":1,"kind":"no-such-event"}"#).unwrap();
+        assert!(Event::from_json(&bad_kind).is_err());
+        let bad_tag = json::parse(
+            r#"{"t_us":1,"kind":"quantum-end","thread":0,"cpu":0,"reason":"meteor","used_us":1}"#,
+        )
+        .unwrap();
+        assert!(Event::from_json(&bad_tag).is_err());
+        let missing = json::parse(r#"{"t_us":1,"kind":"dispatch","thread":0,"cpu":0}"#).unwrap();
+        assert!(Event::from_json(&missing).is_err());
     }
 
     #[test]

@@ -6,6 +6,13 @@ use std::fmt::Write as _;
 
 use crate::event::{Event, EventKind};
 use crate::recorder::Recorder;
+use crate::replay::{ReplayHeader, ReplayLog};
+
+/// Chrome-trace process id carrying instant events (wakes, draws, RPC
+/// endpoints). Instants get their own track: putting them on `pid: 0`
+/// would merge them onto CPU 0's slice track in Perfetto and misread as
+/// CPU-0 activity on any multiprocessor capture.
+pub const INSTANT_TRACK: u32 = 1_000_000;
 
 /// A bounded ring buffer of probe events.
 ///
@@ -70,11 +77,27 @@ impl FlightRecorder {
         out
     }
 
+    /// Packages the retained events (oldest first) with a replay stamp
+    /// into a [`ReplayLog`], ready for [`ReplayLog::to_jsonl`].
+    ///
+    /// The header is the scheduler's business — RNG state, structure,
+    /// ledger snapshot — so the caller supplies it; the recorder
+    /// contributes the captured window.
+    pub fn to_replay_log(&self, header: ReplayHeader) -> ReplayLog {
+        ReplayLog {
+            header,
+            events: self.ring.iter().copied().collect(),
+        }
+    }
+
     /// Serializes the retained events as a Chrome `trace_event` document
     /// (load it at `chrome://tracing` or in Perfetto).
     ///
     /// Dispatch→quantum-end pairs become complete (`"X"`) slices on a
-    /// per-CPU track; wakes, draws, and RPC endpoints become instants.
+    /// per-CPU track; wakes, draws, and RPC endpoints become instants on
+    /// the dedicated [`INSTANT_TRACK`]; dispatches still in flight when
+    /// the ring is dumped become open (`"B"`) slices so the tail of a
+    /// capture stays visible.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
@@ -116,7 +139,7 @@ impl FlightRecorder {
                 EventKind::Wake { thread } => {
                     push(
                         format!(
-                            "{{\"name\":\"wake\",\"ph\":\"i\",\"ts\":{t},\"pid\":0,\"tid\":{thread},\"s\":\"t\"}}"
+                            "{{\"name\":\"wake\",\"ph\":\"i\",\"ts\":{t},\"pid\":{INSTANT_TRACK},\"tid\":{thread},\"s\":\"t\"}}"
                         ),
                         &mut first,
                     );
@@ -126,7 +149,7 @@ impl FlightRecorder {
                 } => {
                     push(
                         format!(
-                            "{{\"name\":\"draw:{structure}\",\"ph\":\"i\",\"ts\":{t},\"pid\":0,\"tid\":{winner},\"s\":\"t\"}}"
+                            "{{\"name\":\"draw:{structure}\",\"ph\":\"i\",\"ts\":{t},\"pid\":{INSTANT_TRACK},\"tid\":{winner},\"s\":\"t\"}}"
                         ),
                         &mut first,
                     );
@@ -134,7 +157,7 @@ impl FlightRecorder {
                 EventKind::RpcDeliver { client, server } => {
                     push(
                         format!(
-                            "{{\"name\":\"rpc-deliver:{client}\",\"ph\":\"i\",\"ts\":{t},\"pid\":0,\"tid\":{server},\"s\":\"t\"}}"
+                            "{{\"name\":\"rpc-deliver:{client}\",\"ph\":\"i\",\"ts\":{t},\"pid\":{INSTANT_TRACK},\"tid\":{server},\"s\":\"t\"}}"
                         ),
                         &mut first,
                     );
@@ -142,13 +165,27 @@ impl FlightRecorder {
                 EventKind::RpcReply { client, server } => {
                     push(
                         format!(
-                            "{{\"name\":\"rpc-reply:{client}\",\"ph\":\"i\",\"ts\":{t},\"pid\":0,\"tid\":{server},\"s\":\"t\"}}"
+                            "{{\"name\":\"rpc-reply:{client}\",\"ph\":\"i\",\"ts\":{t},\"pid\":{INSTANT_TRACK},\"tid\":{server},\"s\":\"t\"}}"
                         ),
                         &mut first,
                     );
                 }
                 _ => {}
             }
+        }
+        // Dispatches with no quantum-end in the ring are still on-CPU at
+        // dump time. Emit them as open ("B") slices at their start so
+        // the capture's tail is visible instead of silently dropped;
+        // sort for a deterministic document.
+        let mut open: Vec<(u32, (u64, u32, u32))> = running.into_iter().collect();
+        open.sort_unstable();
+        for (thread, (start, cpu, depth)) in open {
+            push(
+                format!(
+                    "{{\"name\":\"thread {thread}\",\"ph\":\"B\",\"ts\":{start},\"pid\":{cpu},\"tid\":{thread},\"args\":{{\"queue_depth\":{depth}}}}}"
+                ),
+                &mut first,
+            );
         }
         out.push_str("]}");
         out
@@ -240,5 +277,119 @@ mod tests {
         assert_eq!(slice.get("ts").and_then(json::Value::as_f64), Some(100.0));
         assert_eq!(slice.get("dur").and_then(json::Value::as_f64), Some(300.0));
         assert_eq!(slice.get("pid").and_then(json::Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn instants_live_on_their_own_track() {
+        let mut f = FlightRecorder::new(8);
+        f.record(&ev(10, EventKind::Wake { thread: 5 }));
+        f.record(&ev(
+            20,
+            EventKind::LotteryDraw {
+                structure: "tree",
+                entries: 2,
+                levels: 1,
+                total: 300.0,
+                winning: 10.0,
+                winner: 1,
+            },
+        ));
+        f.record(&ev(
+            30,
+            EventKind::RpcDeliver {
+                client: 1,
+                server: 2,
+            },
+        ));
+        f.record(&ev(
+            40,
+            EventKind::RpcReply {
+                client: 1,
+                server: 2,
+            },
+        ));
+        let v = json::parse(&f.to_chrome_trace()).unwrap();
+        let events = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .unwrap();
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(json::Value::as_str), Some("i"));
+            assert_eq!(
+                e.get("pid").and_then(json::Value::as_f64),
+                Some(f64::from(INSTANT_TRACK)),
+                "instants must not share a pid with CPU slice tracks"
+            );
+        }
+    }
+
+    #[test]
+    fn in_flight_dispatches_become_open_slices() {
+        let mut f = FlightRecorder::new(8);
+        f.record(&ev(
+            100,
+            EventKind::Dispatch {
+                thread: 3,
+                cpu: 1,
+                wait_us: 0,
+                queue_depth: 2,
+            },
+        ));
+        f.record(&ev(
+            150,
+            EventKind::Dispatch {
+                thread: 4,
+                cpu: 0,
+                wait_us: 0,
+                queue_depth: 1,
+            },
+        ));
+        f.record(&ev(
+            400,
+            EventKind::QuantumEnd {
+                thread: 3,
+                cpu: 1,
+                reason: "quantum-expired",
+                used_us: 300,
+            },
+        ));
+        // Thread 4 never ends its quantum inside the window.
+        let v = json::parse(&f.to_chrome_trace()).unwrap();
+        let events = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        let open = events
+            .iter()
+            .find(|e| e.get("ph").and_then(json::Value::as_str) == Some("B"))
+            .expect("open slice for the in-flight dispatch");
+        assert_eq!(open.get("ts").and_then(json::Value::as_f64), Some(150.0));
+        assert_eq!(open.get("tid").and_then(json::Value::as_f64), Some(4.0));
+        assert_eq!(open.get("pid").and_then(json::Value::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn to_replay_log_carries_ring_and_header() {
+        use crate::replay::{ReplayHeader, TraceSpec};
+        let mut f = FlightRecorder::new(4);
+        f.record(&ev(1, EventKind::ThreadSpawn { thread: 0 }));
+        f.record(&ev(2, EventKind::ThreadExit { thread: 0 }));
+        let header = ReplayHeader {
+            seed: 42,
+            draws: 0,
+            structure: "list".into(),
+            shards: 0,
+            compensation: true,
+            quantum_us: 100_000,
+            until_us: 1_000_000,
+            spec: TraceSpec::default(),
+        };
+        let log = f.to_replay_log(header.clone());
+        assert_eq!(log.header, header);
+        assert_eq!(log.events.len(), 2);
+        let back = crate::replay::ReplayLog::from_jsonl(&log.to_jsonl()).unwrap();
+        assert_eq!(back, log);
     }
 }

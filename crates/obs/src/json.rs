@@ -57,6 +57,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Escapes a string for embedding in a JSON document (without quotes).

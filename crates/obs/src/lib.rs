@@ -21,6 +21,12 @@
 //! * Exporters — JSONL flight records ([`FlightRecorder::to_jsonl`]),
 //!   Chrome `trace_event` timeline JSON ([`FlightRecorder::to_chrome_trace`]),
 //!   and a Prometheus-style text snapshot ([`Aggregator::prometheus_text`]).
+//! * [`replay`] — deterministic record/replay logs: [`ReplayHeader`]
+//!   stamps a capture with the RNG state, structure, shard count, and
+//!   ledger snapshot; [`ReplayLog`] round-trips header + events through
+//!   JSONL; [`first_divergence`] diffs a regenerated stream against the
+//!   recording event by event. The re-execution lives in the simulator;
+//!   this crate owns the artifact.
 //! * [`json`] — the dependency-free JSON writer/parser backing every
 //!   exporter (and `lotteryctl --json`).
 //!
@@ -36,6 +42,7 @@ pub mod fairness;
 pub mod flight;
 pub mod json;
 pub mod recorder;
+pub mod replay;
 
 pub use aggregate::Aggregator;
 pub use bus::ProbeBus;
@@ -44,3 +51,6 @@ pub use event::{Event, EventKind};
 pub use fairness::{DriftRow, FairnessMonitor, FairnessReport};
 pub use flight::FlightRecorder;
 pub use recorder::{NopRecorder, Recorder, Shared};
+pub use replay::{
+    first_divergence, CurrencySnapshot, Divergence, ReplayHeader, ReplayLog, TraceJob, TraceSpec,
+};

@@ -1,0 +1,452 @@
+//! Deterministic record/replay logs.
+//!
+//! A lottery draw is a pure function of the Park–Miller stream and the
+//! ticket ledger, so a scheduling window is *replayable*: stamp the
+//! audit log with everything the draw depends on, re-run, and the two
+//! event streams must match bit for bit. This module owns the artifact:
+//!
+//! * [`ReplayHeader`] — the stamp: RNG state and draw counter at capture
+//!   start, the winner-search structure, the shard count, the
+//!   compensation switch, the quantum, and a ledger snapshot (currencies
+//!   plus per-job tickets) together with the workload trace
+//!   ([`TraceSpec`]) that drove the window.
+//! * [`ReplayLog`] — header plus the captured event stream, serialized
+//!   as JSONL: the header on line one, one event per following line
+//!   (the [`crate::event::Event::to_json`] record format).
+//! * [`first_divergence`] — the event-by-event diff. Two streams are
+//!   compared under [`canonical`], which zeroes the one wall-clock
+//!   measurement field in the schema (`StructureRebuild::rebuild_ns`);
+//!   everything else — times, winners, draw values, compensation
+//!   factors — must be identical, and the first mismatch is reported
+//!   with both sides' context.
+//!
+//! The re-execution itself lives upstream (in the simulator, which owns
+//! kernels and policies); this module stays plain data so `lottery-obs`
+//! keeps its position at the bottom of the crate graph.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+use crate::json::{self, Value};
+
+/// Replay log format version, written as the header's `replay` field.
+pub const REPLAY_VERSION: u64 = 1;
+
+/// One currency in the captured ledger: a subcurrency of the base,
+/// backed by `amount` base tickets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CurrencySnapshot {
+    /// Currency name (unique within the capture).
+    pub name: String,
+    /// Base tickets backing the currency.
+    pub amount: u64,
+}
+
+/// One job of the workload trace: when it arrives, what it demands, and
+/// who pays for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceJob {
+    /// Arrival time, in microseconds of simulated time.
+    pub arrival_us: u64,
+    /// Total CPU demand, in microseconds.
+    pub service_us: u64,
+    /// I/O mix: a sleep of this length splits the service demand in two
+    /// (zero for a pure compute job).
+    pub sleep_us: u64,
+    /// Funding currency name (`"base"` or a [`CurrencySnapshot`] name).
+    pub tenant: String,
+    /// Tickets funding the job, denominated in the tenant currency.
+    pub tickets: u64,
+}
+
+/// A workload trace: the currencies to create and the jobs to run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSpec {
+    /// Subcurrencies of the base, created before any job arrives.
+    pub currencies: Vec<CurrencySnapshot>,
+    /// Jobs, spawned in `arrival_us` order (ties in listed order).
+    pub jobs: Vec<TraceJob>,
+}
+
+/// The replay stamp: scheduler configuration, RNG state, and the ledger
+/// snapshot a re-execution starts from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayHeader {
+    /// Park–Miller state at capture start. Re-seeding with this value
+    /// restores the draw stream exactly.
+    pub seed: u32,
+    /// Lotteries already held at capture start (audit context: position
+    /// of the capture within the scheduler's lifetime).
+    pub draws: u64,
+    /// Winner-search structure: `"list"`, `"tree"`, or `"alias"`.
+    pub structure: String,
+    /// Distributed shard count; `0` selects the uniprocessor kernel,
+    /// `n > 0` an n-CPU machine with per-CPU shard trees.
+    pub shards: u32,
+    /// Whether compensation tickets (Section 4.5) were enabled.
+    pub compensation: bool,
+    /// Scheduler quantum, in microseconds.
+    pub quantum_us: u64,
+    /// Simulated end of the captured window, in microseconds.
+    pub until_us: u64,
+    /// The workload trace and ledger snapshot that produced the window.
+    pub spec: TraceSpec,
+}
+
+impl ReplayHeader {
+    /// Serializes the header as the one-line JSON object heading a
+    /// replay log.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"replay\":{REPLAY_VERSION},\"seed\":{},\"draws\":{},\"structure\":\"{}\",\
+             \"shards\":{},\"compensation\":{},\"quantum_us\":{},\"until_us\":{},\"currencies\":[",
+            self.seed,
+            self.draws,
+            json::escape(&self.structure),
+            self.shards,
+            self.compensation,
+            self.quantum_us,
+            self.until_us,
+        );
+        for (i, c) in self.spec.currencies.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"amount\":{}}}",
+                json::escape(&c.name),
+                c.amount
+            );
+        }
+        s.push_str("],\"jobs\":[");
+        for (i, j) in self.spec.jobs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"arrival_us\":{},\"service_us\":{},\"sleep_us\":{},\"tenant\":\"{}\",\"tickets\":{}}}",
+                j.arrival_us,
+                j.service_us,
+                j.sleep_us,
+                json::escape(&j.tenant),
+                j.tickets
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses a header object (the inverse of [`ReplayHeader::to_json`]).
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let version = u64_field(v, "replay")?;
+        if version != REPLAY_VERSION {
+            return Err(format!(
+                "unsupported replay log version {version} (expected {REPLAY_VERSION})"
+            ));
+        }
+        let currencies = v
+            .get("currencies")
+            .and_then(Value::as_array)
+            .ok_or("header lacks a currencies array")?
+            .iter()
+            .map(|c| {
+                Ok(CurrencySnapshot {
+                    name: str_field(c, "name")?.to_string(),
+                    amount: u64_field(c, "amount")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let jobs = v
+            .get("jobs")
+            .and_then(Value::as_array)
+            .ok_or("header lacks a jobs array")?
+            .iter()
+            .map(|j| {
+                Ok(TraceJob {
+                    arrival_us: u64_field(j, "arrival_us")?,
+                    service_us: u64_field(j, "service_us")?,
+                    sleep_us: u64_field(j, "sleep_us")?,
+                    tenant: str_field(j, "tenant")?.to_string(),
+                    tickets: u64_field(j, "tickets")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ReplayHeader {
+            seed: u32::try_from(u64_field(v, "seed")?).map_err(|_| "seed overflows u32")?,
+            draws: u64_field(v, "draws")?,
+            structure: str_field(v, "structure")?.to_string(),
+            shards: u32::try_from(u64_field(v, "shards")?).map_err(|_| "shards overflows u32")?,
+            compensation: v
+                .get("compensation")
+                .and_then(Value::as_bool)
+                .ok_or("header lacks a compensation flag")?,
+            quantum_us: u64_field(v, "quantum_us")?,
+            until_us: u64_field(v, "until_us")?,
+            spec: TraceSpec { currencies, jobs },
+        })
+    }
+}
+
+/// A captured window: the replay stamp plus the event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayLog {
+    /// The replay stamp.
+    pub header: ReplayHeader,
+    /// The captured events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl ReplayLog {
+    /// Serializes the log as JSONL: the header line, then one event per
+    /// line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str(&self.header.to_json());
+        out.push('\n');
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Loads a log from its JSONL serialization.
+    ///
+    /// # Errors
+    ///
+    /// The first line must be a version-1 replay header and every
+    /// following non-empty line a parseable event record; anything else
+    /// is reported with its line number.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines
+            .by_ref()
+            .find(|(_, l)| !l.trim().is_empty())
+            .ok_or("empty replay log")?;
+        let hv = json::parse(first).map_err(|e| format!("line 1: {e}"))?;
+        let header = ReplayHeader::from_json(&hv).map_err(|e| format!("line 1: {e}"))?;
+        let mut events = Vec::new();
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            events.push(Event::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(ReplayLog { header, events })
+    }
+}
+
+/// The first point where a recorded and a regenerated stream disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index of the first divergent event (0-based position in the
+    /// stream).
+    pub index: usize,
+    /// The recorded side at that index (`None`: the recording ended
+    /// early).
+    pub recorded: Option<Event>,
+    /// The replayed side at that index (`None`: the replay ended early).
+    pub replayed: Option<Event>,
+}
+
+/// Canonicalizes an event for divergence comparison: the one wall-clock
+/// measurement field in the schema (`StructureRebuild::rebuild_ns`) is
+/// zeroed, because a rebuild's duration is a property of the recording
+/// machine, not of the schedule being audited. Every simulated-time and
+/// decision field is kept verbatim.
+pub fn canonical(mut e: Event) -> Event {
+    if let EventKind::StructureRebuild { rebuild_ns, .. } = &mut e.kind {
+        *rebuild_ns = 0;
+    }
+    e
+}
+
+/// Compares two event streams event by event (under [`canonical`]) and
+/// returns the first divergence, or `None` when they are bit-identical.
+///
+/// A stream ending early diverges at its end: the missing side is
+/// reported as `None`.
+pub fn first_divergence(recorded: &[Event], replayed: &[Event]) -> Option<Divergence> {
+    let n = recorded.len().max(replayed.len());
+    for i in 0..n {
+        let a = recorded.get(i).copied();
+        let b = replayed.get(i).copied();
+        if a.map(canonical) != b.map(canonical) {
+            return Some(Divergence {
+                index: i,
+                recorded: a,
+                replayed: b,
+            });
+        }
+    }
+    None
+}
+
+fn u64_field(v: &Value, name: &str) -> Result<u64, String> {
+    let n = v
+        .get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("header field {name:?} missing or not a number"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!(
+            "header field {name:?} is not a non-negative integer"
+        ));
+    }
+    Ok(n as u64)
+}
+
+fn str_field<'v>(v: &'v Value, name: &str) -> Result<&'v str, String> {
+    v.get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("header field {name:?} missing or not a string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> ReplayHeader {
+        ReplayHeader {
+            seed: 12345,
+            draws: 7,
+            structure: "tree".into(),
+            shards: 2,
+            compensation: true,
+            quantum_us: 100_000,
+            until_us: 30_000_000,
+            spec: TraceSpec {
+                currencies: vec![
+                    CurrencySnapshot {
+                        name: "gold".into(),
+                        amount: 200,
+                    },
+                    CurrencySnapshot {
+                        name: "silver".into(),
+                        amount: 100,
+                    },
+                ],
+                jobs: vec![
+                    TraceJob {
+                        arrival_us: 0,
+                        service_us: 5_000_000,
+                        sleep_us: 0,
+                        tenant: "gold".into(),
+                        tickets: 100,
+                    },
+                    TraceJob {
+                        arrival_us: 250_000,
+                        service_us: 1_000_000,
+                        sleep_us: 40_000,
+                        tenant: "base".into(),
+                        tickets: 300,
+                    },
+                ],
+            },
+        }
+    }
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event {
+                time_us: 0,
+                kind: EventKind::ThreadSpawn { thread: 0 },
+            },
+            Event {
+                time_us: 100_000,
+                kind: EventKind::LotteryDraw {
+                    structure: "tree",
+                    entries: 2,
+                    levels: 1,
+                    total: 400.0,
+                    winning: 123.456,
+                    winner: 0,
+                },
+            },
+            Event {
+                time_us: 200_000,
+                kind: EventKind::ThreadExit { thread: 0 },
+            },
+        ]
+    }
+
+    #[test]
+    fn log_round_trips_through_jsonl() {
+        let log = ReplayLog {
+            header: header(),
+            events: events(),
+        };
+        let text = log.to_jsonl();
+        let back = ReplayLog::from_jsonl(&text).expect("log parses");
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn header_rejects_wrong_version() {
+        let mut text = header().to_json();
+        text = text.replace("\"replay\":1", "\"replay\":99");
+        let v = json::parse(&text).unwrap();
+        assert!(ReplayHeader::from_json(&v)
+            .unwrap_err()
+            .contains("version 99"));
+    }
+
+    #[test]
+    fn from_jsonl_reports_bad_event_line_number() {
+        let mut text = header().to_json();
+        text.push('\n');
+        text.push_str("{\"t_us\":1,\"kind\":\"no-such-event\"}\n");
+        let err = ReplayLog::from_jsonl(&text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn identical_streams_have_no_divergence() {
+        assert_eq!(first_divergence(&events(), &events()), None);
+    }
+
+    #[test]
+    fn mutated_event_is_reported_at_its_index() {
+        let recorded = events();
+        let mut replayed = events();
+        if let EventKind::LotteryDraw { winner, .. } = &mut replayed[1].kind {
+            *winner = 1;
+        }
+        let d = first_divergence(&recorded, &replayed).expect("divergence found");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.recorded, Some(recorded[1]));
+        assert_eq!(d.replayed, Some(replayed[1]));
+    }
+
+    #[test]
+    fn short_stream_diverges_at_its_end() {
+        let recorded = events();
+        let replayed = &recorded[..2];
+        let d = first_divergence(&recorded, replayed).expect("divergence found");
+        assert_eq!(d.index, 2);
+        assert_eq!(d.recorded, Some(recorded[2]));
+        assert_eq!(d.replayed, None);
+    }
+
+    #[test]
+    fn rebuild_wall_clock_cost_is_not_a_divergence() {
+        let a = vec![Event {
+            time_us: 5,
+            kind: EventKind::StructureRebuild {
+                structure: "alias",
+                clients: 10,
+                stale: 2,
+                rebuild_ns: 1234,
+            },
+        }];
+        let mut b = a.clone();
+        if let EventKind::StructureRebuild { rebuild_ns, .. } = &mut b[0].kind {
+            *rebuild_ns = 99_999;
+        }
+        assert_eq!(first_divergence(&a, &b), None);
+    }
+}

@@ -237,15 +237,24 @@ impl<P: Policy> Kernel<P> {
             reason: EndReason::Exited.as_str(),
             used_us: 0,
         });
+        self.probe(|| EventKind::ThreadExit {
+            thread: tid.index(),
+        });
     }
 
     /// Runs the simulation until the clock reaches `deadline` (plus any
-    /// quantum in flight) or no runnable or sleeping threads remain.
+    /// quantum in flight).
+    ///
+    /// The clock always reaches `deadline`, even when no runnable or
+    /// sleeping threads remain — idle time passes, as on the SMP kernel —
+    /// so threads spawned after a `run_until` enter at the deadline, not
+    /// at whatever instant the last thread exited.
     pub fn run_until(&mut self, deadline: SimTime) {
         while self.clock < deadline {
             self.deliver_due_wakes();
             let Some(tid) = self.policy.pick(self.clock) else {
-                // CPU idle: jump to the next timer wake, or stop if none.
+                // CPU idle: jump to the next timer wake, or idle out the
+                // remainder of the window if there is none.
                 match self.wakes.peek() {
                     Some(&Reverse((when, _, _))) => {
                         let next = when.min(deadline).max(self.clock);
@@ -256,7 +265,11 @@ impl<P: Policy> Kernel<P> {
                         }
                         continue;
                     }
-                    None => return,
+                    None => {
+                        self.metrics.idle += deadline.since(self.clock);
+                        self.clock = deadline;
+                        return;
+                    }
                 }
             };
             self.dispatch(tid);
@@ -505,6 +518,9 @@ impl<P: Policy> Kernel<P> {
             }
             EndReason::Exited => {
                 self.policy.on_exit(tid);
+                self.probe(|| EventKind::ThreadExit {
+                    thread: tid.index(),
+                });
             }
         }
     }
@@ -592,8 +608,11 @@ mod tests {
         assert!(k.thread(t).is_exited());
         assert_eq!(k.metrics().cpu_us(t), 250_000);
         assert_eq!(k.live_threads(), 0);
-        // The simulation stops early: nothing left to run.
-        assert_eq!(k.now(), SimTime::from_ms(250));
+        // Idle time passes after the last exit: the clock still reaches
+        // the deadline (matching the SMP kernel), with the remainder
+        // accounted as idle.
+        assert_eq!(k.now(), SimTime::from_secs(1));
+        assert_eq!(k.metrics().idle, SimDuration::from_ms(750));
     }
 
     #[test]
@@ -724,10 +743,13 @@ mod tests {
     }
 
     #[test]
-    fn idle_kernel_returns_immediately() {
+    fn idle_kernel_passes_time() {
         let mut k = rr_kernel(100);
         k.run_until(SimTime::from_secs(5));
-        assert_eq!(k.now(), SimTime::ZERO);
+        // An empty machine idles to the deadline so later spawns enter at
+        // the time the caller asked for, not at zero.
+        assert_eq!(k.now(), SimTime::from_secs(5));
+        assert_eq!(k.metrics().idle, SimDuration::from_secs(5));
     }
 
     #[test]

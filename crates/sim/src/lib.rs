@@ -28,6 +28,7 @@
 pub mod ipc;
 pub mod kernel;
 pub mod metrics;
+pub mod replay;
 pub mod sched;
 pub mod smp;
 pub mod task;
@@ -39,13 +40,17 @@ pub mod workload;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use lottery_obs::{
-        Aggregator, DominantShareMonitor, FairnessMonitor, FlightRecorder, ProbeBus, Recorder,
-        Shared,
+        first_divergence, Aggregator, CurrencySnapshot, Divergence, DominantShareMonitor,
+        FairnessMonitor, FlightRecorder, ProbeBus, Recorder, ReplayHeader, ReplayLog, Shared,
+        TraceJob, TraceSpec,
     };
 
     pub use crate::ipc::PortId;
     pub use crate::kernel::Kernel;
     pub use crate::metrics::Metrics;
+    pub use crate::replay::{
+        job_outcomes, record, run_fcfs, CaptureConfig, JobOutcome, ReplayReport, Replayer,
+    };
     pub use crate::sched::comp::CompensationHook;
     pub use crate::sched::distributed::{DistributedLottery, ShardStats};
     pub use crate::sched::fairshare::{FairSharePolicy, UserId};

@@ -232,6 +232,20 @@ impl DistributedLottery {
         self.comp.set_enabled(enabled);
     }
 
+    /// Whether compensation tickets are enabled (replay stamps capture
+    /// this switch).
+    pub fn compensation_enabled(&self) -> bool {
+        self.comp.enabled()
+    }
+
+    /// The Park–Miller state the next draw will consume — the replay
+    /// checkpoint. Passing this value as the seed of a fresh policy
+    /// reproduces the remaining draw stream exactly (seeds in
+    /// `[1, 2^31 - 2]` are taken verbatim).
+    pub fn rng_state(&self) -> u32 {
+        self.rng.state()
+    }
+
     /// Chooses whether homing, stealing, and rebalancing compare
     /// effective (compensated) shard totals — ready tree value plus the
     /// resting compensated weight of blocked threads — or raw ready tree
@@ -333,7 +347,13 @@ impl DistributedLottery {
     /// ticket inflation/deflation (Section 3.2).
     pub fn set_funding(&mut self, tid: ThreadId, amount: u64) -> Result<()> {
         let funding = self.funding_info(tid);
-        self.ledger.set_amount(funding.ticket, amount)
+        self.ledger.set_amount(funding.ticket, amount)?;
+        self.bus.emit(|| EventKind::WeightChange {
+            client: funding.client.index(),
+            tickets: amount,
+            origin: "set-funding",
+        });
+        Ok(())
     }
 
     /// The face amount of a thread's funding ticket.
@@ -773,6 +793,11 @@ impl Policy for DistributedLottery {
             self.client_threads.resize(slot + 1, None);
         }
         self.client_threads[slot] = Some(tid);
+        self.bus.emit(|| EventKind::WeightChange {
+            client: client.index(),
+            tickets: spec.amount,
+            origin: "spawn",
+        });
     }
 
     fn on_exit(&mut self, tid: ThreadId) {

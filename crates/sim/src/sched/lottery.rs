@@ -360,7 +360,13 @@ impl LotteryPolicy {
         let funding = self.funding_info(tid);
         // Affected tree weights are refreshed lazily, from the ledger's
         // dirty-client queue, at the next pick.
-        self.ledger.set_amount(funding.ticket, amount)
+        self.ledger.set_amount(funding.ticket, amount)?;
+        self.bus.emit(|| EventKind::WeightChange {
+            client: funding.client.index(),
+            tickets: amount,
+            origin: "set-funding",
+        });
+        Ok(())
     }
 
     /// The face amount of a thread's funding ticket.
@@ -397,6 +403,20 @@ impl LotteryPolicy {
     /// Number of lotteries held so far.
     pub fn lotteries_held(&self) -> u64 {
         self.lotteries
+    }
+
+    /// The Park–Miller state the next draw will consume — the replay
+    /// checkpoint. Passing this value as the seed of a fresh policy
+    /// reproduces the remaining draw stream exactly (seeds in
+    /// `[1, 2^31 - 2]` are taken verbatim).
+    pub fn rng_state(&self) -> u32 {
+        self.rng.state()
+    }
+
+    /// Whether compensation tickets are enabled (replay stamps capture
+    /// this switch).
+    pub fn compensation_enabled(&self) -> bool {
+        self.comp.enabled()
     }
 
     fn funding_info(&self, tid: ThreadId) -> ThreadFunding {
@@ -440,6 +460,11 @@ impl Policy for LotteryPolicy {
             self.client_threads.resize(slot + 1, None);
         }
         self.client_threads[slot] = Some(tid);
+        self.bus.emit(|| EventKind::WeightChange {
+            client: client.index(),
+            tickets: spec.amount,
+            origin: "spawn",
+        });
     }
 
     fn on_exit(&mut self, tid: ThreadId) {

@@ -386,7 +386,12 @@ impl<P: Policy> SmpKernel<P> {
             EndReason::Blocked => {
                 self.metrics.thread_mut(tid).blocks += 1;
             }
-            EndReason::Exited => self.policy.on_exit(tid),
+            EndReason::Exited => {
+                self.policy.on_exit(tid);
+                self.probe(end, || EventKind::ThreadExit {
+                    thread: tid.index(),
+                });
+            }
         }
         self.seq += 1;
         self.events

@@ -227,8 +227,14 @@ fn kill_all_threads_stops_the_machine() {
         k.kill(t);
     }
     let now = k.now();
+    let idle_before = k.metrics().idle;
     k.run_until(SimTime::from_secs(100));
-    assert_eq!(k.now(), now, "nothing left to run");
+    // Nothing left to run: the remainder of the window is pure idle time.
+    assert_eq!(k.now(), SimTime::from_secs(100));
+    assert_eq!(
+        k.metrics().idle - idle_before,
+        SimTime::from_secs(100).since(now)
+    );
     assert_eq!(k.live_threads(), 0);
     assert_eq!(k.policy().ledger().tickets().count(), 0);
 }

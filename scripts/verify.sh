@@ -61,6 +61,33 @@ echo "$ctl_structure_out" | grep -q '"structure":"alias"' \
 echo "$ctl_structure_out" | grep -q '"rebuild_ns":' \
   || { echo "verify: ctl structure --json lacks rebuild_ns" >&2; exit 1; }
 
+# Record/replay smoke: every capture configuration must replay
+# bit-identically, the JSONL round-trip must stay exact, and a tampered
+# event must be flagged with its index. The experiment leaves a capture
+# at target/replay/capture.jsonl for the ctl smoke below.
+replay_out=$(cargo run -q --release -p lottery-experiments --bin experiments -- replay)
+echo "$replay_out" | grep -q "OK bit-exact: structure=alias shards=4" \
+  || { echo "verify: distributed alias capture failed to replay bit-exactly" >&2; exit 1; }
+echo "$replay_out" | grep -q "OK bit-exact: capture.jsonl round-trip" \
+  || { echo "verify: JSONL round-trip broke replay equality" >&2; exit 1; }
+echo "$replay_out" | grep -q "OK divergence detected at index" \
+  || { echo "verify: tampered capture was not flagged as divergent" >&2; exit 1; }
+
+# ctl replay smoke: the replay verb must re-run the capture written
+# above and report bit-exactness machine-readably under --json.
+ctl_replay_out=$(printf '%s\n' "replay target/replay/capture.jsonl --json" \
+  | cargo run -q --release -p lottery-ctl --bin lotteryctl)
+echo "$ctl_replay_out" | grep -q '"bit_exact":true' \
+  || { echo "verify: ctl replay --json did not confirm bit-exactness" >&2; exit 1; }
+echo "$ctl_replay_out" | grep -q '"divergence":null' \
+  || { echo "verify: ctl replay --json reported a divergence" >&2; exit 1; }
+
+# Workload-trace smoke: lottery admission must order tenants by funding
+# on the heavy-tailed trace while the FCFS baseline stays tenant-blind.
+traces_out=$(cargo run -q --release -p lottery-experiments --bin experiments -- traces)
+echo "$traces_out" | grep -q "OK lottery orders tenants by funding on the heavy-tailed trace" \
+  || { echo "verify: lottery admission failed to order tenants by funding" >&2; exit 1; }
+
 # ctl broker smoke: per-tenant funding and observed shares, with the
 # dominant share machine-readable under --json.
 ctl_broker_out=$(printf '%s\n' \

@@ -259,3 +259,36 @@ fn broker_summary_covers_both_control_paths_at_every_population() {
         }
     }
 }
+
+#[test]
+fn replay_summary_prices_record_and_replay_for_every_structure() {
+    // Committed by `cargo bench --bench replay`: a live recorded run and
+    // a full replay-and-diff of the same capture, per selection
+    // structure. `elements` carries the recorded event count so the two
+    // phases of one structure are comparable per event; replay must have
+    // the same element count as record — it re-executes the identical
+    // capture.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_replay.json");
+    let text = fs::read_to_string(&path).expect("BENCH_replay.json committed");
+    let v = json::parse(&text).unwrap();
+    let results = v.get("results").and_then(Value::as_array).unwrap();
+    for structure in ["list", "tree", "alias"] {
+        let events: Vec<f64> = ["record", "replay"]
+            .iter()
+            .map(|phase| {
+                let id = format!("replay/{phase}/{structure}");
+                let r = results
+                    .iter()
+                    .find(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str()))
+                    .unwrap_or_else(|| panic!("missing result {id}"));
+                let elements = r.get("elements").and_then(Value::as_f64).unwrap();
+                assert!(elements > 0.0, "{id}: elements must count events");
+                elements
+            })
+            .collect();
+        assert_eq!(
+            events[0], events[1],
+            "{structure}: record and replay must cover the same capture"
+        );
+    }
+}
