@@ -1,0 +1,60 @@
+//! Reconciliation cost vs cluster size (DESIGN.md §8).
+//!
+//! The cluster coordinator's control path runs once per reconciliation
+//! round: fold delivered reports, detect losses, re-target every
+//! tenant's allocation toward its demand, and push a full grant sync to
+//! every reachable node. These benchmarks price that round at 2–16
+//! nodes. The `reconcile` variant runs the protocol alone (zero service
+//! slots, so no scheduler work muddies the number); the `round` variant
+//! adds two serviced slots per resource per node — the steady-state
+//! cost a cluster tick actually pays. Throughput elements carry the
+//! node count so the summary JSON yields per-node costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lottery_cluster::{BudgetPolicy, ClusterMarket};
+
+fn market(nodes: u32) -> ClusterMarket {
+    let mut m = ClusterMarket::new(
+        nodes,
+        7,
+        BudgetPolicy::DemandFollowing,
+        &[("gold", 2000), ("silver", 1000)],
+    )
+    .expect("fresh market");
+    // Backlog on every node so each report row carries demand and every
+    // round's rebalance has a signal to chase.
+    for node in 0..nodes {
+        for tenant in 0..m.tenant_count() {
+            m.offer(node, tenant, 8, 8);
+        }
+    }
+    m
+}
+
+fn bench_cluster_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    for nodes in [2u32, 4, 8, 16] {
+        group.throughput(Throughput::Elements(u64::from(nodes)));
+        let mut m = market(nodes);
+        group.bench_with_input(BenchmarkId::new("reconcile", nodes), &nodes, |b, _| {
+            b.iter(|| m.round(0).expect("reconciliation round"))
+        });
+        let mut m = market(nodes);
+        group.bench_with_input(BenchmarkId::new("round", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                // Offer exactly what two slots per resource can drain, so
+                // queues stay at their seeded depth across iterations.
+                for node in 0..nodes {
+                    for tenant in 0..m.tenant_count() {
+                        m.offer(node, tenant, 1, 1);
+                    }
+                }
+                m.round(2).expect("serviced round")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_rounds);
+criterion_main!(benches);

@@ -138,6 +138,13 @@ struct ResourceSlot {
 struct Tenant {
     name: String,
     grant: u64,
+    /// The tenant currency the grant funds.
+    currency: CurrencyId,
+    /// The base-currency ticket carrying the grant.
+    grant_ticket: TicketId,
+    /// Whether the grant ticket currently funds the tenant currency
+    /// (false after [`ResourceBroker::set_grant`] to zero).
+    grant_funded: bool,
     policy: SplitPolicy,
     slots: [ResourceSlot; 4],
 }
@@ -316,6 +323,9 @@ impl ResourceBroker {
         self.tenants.push(Tenant {
             name,
             grant,
+            currency: tenant_currency,
+            grant_ticket,
+            grant_funded: true,
             policy,
             slots,
         });
@@ -348,6 +358,35 @@ impl ResourceBroker {
         self.tenants[tenant.0 as usize].grant
     }
 
+    /// Re-prices a tenant's base-currency grant in place — the lever a
+    /// cluster coordinator pulls when reconciliation moves funding
+    /// between nodes. A zero grant unfunds the grant ticket entirely
+    /// (the tenant's resource weights all collapse to zero but the
+    /// funding graph stays intact); a later non-zero grant re-funds it.
+    pub fn set_grant(&mut self, tenant: TenantId, grant: u64) -> Result<()> {
+        let (ticket, currency, funded) = {
+            let t = &self.tenants[tenant.0 as usize];
+            (t.grant_ticket, t.currency, t.grant_funded)
+        };
+        if grant == 0 {
+            if funded {
+                self.ledger.unfund(ticket)?;
+                self.tenants[tenant.0 as usize].grant_funded = false;
+            }
+        } else {
+            self.ledger.set_amount(ticket, grant)?;
+            if !funded {
+                self.ledger.fund_currency(ticket, currency)?;
+                self.tenants[tenant.0 as usize].grant_funded = true;
+            }
+        }
+        self.tenants[tenant.0 as usize].grant = grant;
+        for resource in Resource::ALL {
+            self.emit_funding(tenant, resource, false);
+        }
+        Ok(())
+    }
+
     /// A tenant's grant-proportional entitled share of every resource.
     pub fn entitled_share(&self, tenant: TenantId) -> f64 {
         let total: u64 = self.tenants.iter().map(|t| t.grant).sum();
@@ -363,6 +402,33 @@ impl ResourceBroker {
     /// under [`SplitPolicy::DemandRefund`].
     pub fn record_demand(&mut self, tenant: TenantId, resource: Resource, units: u64) {
         self.tenants[tenant.0 as usize].slots[resource.index()].demand += units;
+    }
+
+    /// Folds demand derived by a [`crate::demand::DemandTap`] on the probe
+    /// bus into the normal demand accounting, then clears the tap — the
+    /// unattended alternative to calling [`ResourceBroker::record_demand`]
+    /// by hand each step. Returns the total units absorbed.
+    pub fn absorb_demand(&mut self, tap: &lottery_obs::Shared<crate::demand::DemandTap>) -> u64 {
+        let rows = tap.with(|t| t.drain());
+        let mut total = 0;
+        for (tenant, resource, units) in rows {
+            self.record_demand(tenant, resource, units);
+            total += units;
+        }
+        total
+    }
+
+    /// The demand units accumulated for a tenant since the last
+    /// rebalance, per resource in canonical order — the per-node demand
+    /// export cluster reconciliation reports upstream.
+    pub fn pending_demand(&self, tenant: TenantId) -> [u64; 4] {
+        let slots = &self.tenants[tenant.0 as usize].slots;
+        [
+            slots[0].demand,
+            slots[1].demand,
+            slots[2].demand,
+            slots[3].demand,
+        ]
     }
 
     /// Records completed usage units for a tenant on a resource (feeds
@@ -773,6 +839,61 @@ mod tests {
         assert_eq!(broker.grant(gold), 2000);
         assert_eq!(broker.tenant_count(), 2);
         assert_eq!(gold.index(), 0);
+    }
+
+    #[test]
+    fn set_grant_reprices_and_survives_zero() {
+        let mut broker = ResourceBroker::new();
+        let (gold, silver) = two_tenants(&mut broker);
+        broker.set_grant(gold, 4000).unwrap();
+        for r in Resource::ALL {
+            assert!((broker.weight(gold, r) - 1000.0).abs() < 1e-9, "{r:?}");
+            assert!((broker.weight(silver, r) - 250.0).abs() < 1e-9, "{r:?}");
+        }
+        assert_eq!(broker.grant(gold), 4000);
+        // Zero drains the tenant's weights without touching silver.
+        broker.set_grant(gold, 0).unwrap();
+        for r in Resource::ALL {
+            assert_eq!(broker.weight(gold, r), 0.0, "{r:?}");
+            assert!((broker.weight(silver, r) - 250.0).abs() < 1e-9, "{r:?}");
+        }
+        assert!((broker.entitled_share(silver) - 1.0).abs() < 1e-12);
+        // And funding comes back whole.
+        broker.set_grant(gold, 2000).unwrap();
+        for r in Resource::ALL {
+            assert!((broker.weight(gold, r) - 500.0).abs() < 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn absorbed_tap_demand_keeps_resources_funded() {
+        use lottery_obs::Shared;
+        let mut broker = ResourceBroker::new();
+        let (gold, silver) = two_tenants(&mut broker);
+        let tap = Shared::new(crate::DemandTap::new());
+        tap.with(|t| {
+            t.bind(Resource::Disk, 0, gold);
+            t.bind(Resource::Net, 1, silver);
+        });
+        let mut on_bus = tap.clone();
+        use lottery_obs::Recorder as _;
+        on_bus.record(&lottery_obs::Event {
+            time_us: 0,
+            kind: EventKind::ResourceDraw {
+                resource: "disk",
+                client: 0,
+                entries: 2,
+                total: 750,
+            },
+        });
+        let absorbed = broker.absorb_demand(&tap);
+        assert_eq!(absorbed, 1);
+        assert_eq!(broker.pending_demand(gold), [0, 1, 0, 0]);
+        broker.rebalance().unwrap();
+        // Disk stayed funded off derived demand; everything idle refunded.
+        assert!(broker.weight(gold, Resource::Disk) > 0.0);
+        assert_eq!(broker.weight(gold, Resource::Cpu), 0.0);
+        assert_eq!(broker.weight(silver, Resource::Net), 0.0);
     }
 
     #[test]

@@ -28,8 +28,10 @@
 //!   grant instead of evaporating.
 
 pub mod broker;
+pub mod demand;
 
 pub use broker::{
     BrokerReport, BrokerResourceRow, BrokerTenantRow, Resource, ResourceBroker, SplitPolicy,
     TenantId,
 };
+pub use demand::DemandTap;

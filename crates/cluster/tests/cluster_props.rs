@@ -1,0 +1,150 @@
+//! Properties of the cluster market.
+//!
+//! Two invariants keep the market honest:
+//!
+//! * **grant conservation** — the coordinator's allocation matrix is the
+//!   cluster's ledger: whatever sequence of reconciliation rounds,
+//!   demand-following rebalances, message drops, node kills, partitions,
+//!   and heals a run goes through, every tenant's per-node allocations
+//!   always sum to exactly its cluster grant. Rebalancing and recovery
+//!   move value between nodes; they never mint or leak it.
+//! * **1-node transparency** — a single-node cluster is the standalone
+//!   broker stack: the market's whole protocol (reports up, grant syncs
+//!   down, demand-following retargeting) must reduce to no-ops, leaving
+//!   per-round usage and grants bit-identical to a directly driven
+//!   [`Node`]. Scaling out changed where funding decisions live, not the
+//!   mechanism.
+
+use lottery_cluster::{BudgetPolicy, ClusterMarket, Node};
+use proptest::prelude::*;
+
+/// One scripted cluster event, applied between reconciliation rounds.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Queue work for `tenant % tenants` on `node % nodes`.
+    Offer {
+        node: u32,
+        tenant: usize,
+        disk: u64,
+        cells: u64,
+    },
+    /// Kill `node % nodes` outright.
+    Kill { node: u32 },
+    /// Cut `node % nodes`'s link.
+    Partition { node: u32 },
+    /// Restore `node % nodes`'s link.
+    Heal { node: u32 },
+    /// Run one reconciliation round of `services` slots per scheduler.
+    Round { services: u64 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..8u32, 0..4usize, 0..6u64, 0..6u64)
+            .prop_map(|(node, tenant, disk, cells)| Step::Offer { node, tenant, disk, cells }),
+        1 => (0..8u32).prop_map(|node| Step::Kill { node }),
+        1 => (0..8u32).prop_map(|node| Step::Partition { node }),
+        1 => (0..8u32).prop_map(|node| Step::Heal { node }),
+        5 => (1..6u64).prop_map(|services| Step::Round { services }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cluster-wide grant value is conserved across reconciliation
+    /// rounds, node loss, partitions, heals, and lossy links: no ticket
+    /// value is minted or leaked by the coordinator, ever.
+    #[test]
+    fn grant_value_conserved_under_chaos(
+        seed in 1..u32::MAX,
+        nodes in 1..6u32,
+        grants in proptest::collection::vec(1..4000u64, 1..4),
+        drop_per_mille in 0..400u32,
+        script in proptest::collection::vec(step_strategy(), 1..60),
+    ) {
+        let names = ["a", "b", "c", "d"];
+        let tenants: Vec<(&str, u64)> = grants
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (names[i], g))
+            .collect();
+        let mut m = ClusterMarket::new(nodes, seed, BudgetPolicy::DemandFollowing, &tenants)
+            .unwrap();
+        m.net_mut().set_drop_per_mille(drop_per_mille);
+        prop_assert!(m.conserved());
+        for step in &script {
+            match *step {
+                Step::Offer { node, tenant, disk, cells } => {
+                    m.offer(node % nodes, tenant % tenants.len(), disk, cells);
+                }
+                Step::Kill { node } => m.kill(node % nodes),
+                Step::Partition { node } => m.partition(node % nodes),
+                Step::Heal { node } => m.heal(node % nodes),
+                Step::Round { services } => {
+                    m.round(services).unwrap();
+                    prop_assert!(
+                        m.conserved(),
+                        "allocation rows no longer sum to cluster grants at round {}",
+                        m.round_count()
+                    );
+                }
+            }
+        }
+        // Drain a few more rounds so in-flight reclaims and resyncs land,
+        // then re-check.
+        for _ in 0..4 {
+            m.round(2).unwrap();
+            prop_assert!(m.conserved());
+        }
+    }
+
+    /// A 1-node cluster is bit-identical to the standalone broker node:
+    /// the market protocol must not perturb scheduling, usage, or grants
+    /// when there is nowhere for funding to move.
+    #[test]
+    fn one_node_cluster_matches_standalone_node(
+        seed in 1..u32::MAX,
+        grants in proptest::collection::vec(1..3000u64, 1..4),
+        drop_per_mille in 0..500u32,
+        rounds in 1..25usize,
+        services in 1..5u64,
+    ) {
+        let names = ["a", "b", "c", "d"];
+        let tenants: Vec<(&str, u64)> = grants
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (names[i], g))
+            .collect();
+        let mut m = ClusterMarket::new(1, seed, BudgetPolicy::DemandFollowing, &tenants)
+            .unwrap();
+        m.net_mut().set_drop_per_mille(drop_per_mille);
+        let spec: Vec<(String, u64)> = tenants
+            .iter()
+            .map(|(n, g)| (n.to_string(), *g))
+            .collect();
+        let mut solo = Node::new(0, seed, &spec).unwrap();
+        for round in 0..rounds {
+            for t in 0..tenants.len() {
+                let disk = ((round + t) % 5) as u64;
+                let cells = ((round * (t + 1)) % 4) as u64;
+                m.offer(0, t, disk, cells);
+                solo.offer(t, disk, cells);
+            }
+            m.round(services).unwrap();
+            solo.step(services).unwrap();
+            for t in 0..tenants.len() {
+                prop_assert_eq!(
+                    m.node(0).usage(t),
+                    solo.usage(t),
+                    "usage diverged for tenant {} at round {}",
+                    t,
+                    round
+                );
+                prop_assert_eq!(m.node(0).grant(t), solo.grant(t));
+                prop_assert_eq!(m.node(0).backlog(t), solo.backlog(t));
+            }
+        }
+        prop_assert!(m.conserved());
+    }
+}

@@ -137,10 +137,23 @@ pub enum Command {
     /// `replay <file> [--json]` — re-execute a recorded capture
     /// (`ReplayLog` JSONL, as written by the `replay` experiment or
     /// `FlightRecorder::to_replay_log`) and report the first divergence,
-    /// if any.
+    /// if any. The file may instead be an external workload trace
+    /// (`TraceSpec` JSONL, header `{"trace":1,...}`): the trace is
+    /// captured under the default configuration, self-replayed, and
+    /// diffed the same way.
     Replay {
-        /// Path to the capture file.
+        /// Path to the capture or trace file.
         path: String,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
+    /// `cluster [<nodes>] [--json]` — run the canned cluster-market
+    /// scenario (demand-following budgets, saturating 2:1 tenants, one
+    /// node killed mid-run) and report the coordinator's allocations,
+    /// conservation check, and cluster-wide dominant shares.
+    Cluster {
+        /// Number of nodes (default 4).
+        nodes: Option<u32>,
         /// Emit machine-readable JSON instead of text.
         json: bool,
     },
@@ -275,7 +288,8 @@ commands (Section 4.7 of the paper):
   stat                             probe-counter snapshot (Prometheus text)
   trace on|off                     toggle the session flight recorder
   dump                             flight-recorder events as JSONL
-  replay <file> [--json]           re-run a recorded capture, diff the streams
+  replay <file> [--json]           re-run a capture (or capture a trace file), diff the streams
+  cluster [<nodes>] [--json]       canned multi-node market: allocations, conservation, shares
   shards [<n>|--json]              partition processes across n dirty shards / report
   structure [list|tree|alias] [--json]  switch the winner-search structure / report rebuild stats
   broker tenant <name> <grant> [static]  register a tenant grant split over cpu/disk/mem/net
@@ -388,6 +402,23 @@ commands (Section 4.7 of the paper):
                 json: true,
             }),
             ["replay", ..] => Err(ParseError::Usage("replay <file> [--json]")),
+            ["cluster"] => Ok(Command::Cluster {
+                nodes: None,
+                json: false,
+            }),
+            ["cluster", "--json"] => Ok(Command::Cluster {
+                nodes: None,
+                json: true,
+            }),
+            ["cluster", n] => Ok(Command::Cluster {
+                nodes: Some(amount(n)? as u32),
+                json: false,
+            }),
+            ["cluster", n, "--json"] | ["cluster", "--json", n] => Ok(Command::Cluster {
+                nodes: Some(amount(n)? as u32),
+                json: true,
+            }),
+            ["cluster", ..] => Err(ParseError::Usage("cluster [<nodes>] [--json]")),
             ["compensate", name, used, quantum] => Ok(Command::Compensate {
                 name: name.to_string(),
                 used: amount(used)?,
@@ -568,6 +599,53 @@ mod tests {
         assert!(matches!(
             Command::parse("replay a b"),
             Err(ParseError::UnknownVerb(_)) | Err(ParseError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_cluster() {
+        assert_eq!(
+            Command::parse("cluster"),
+            Ok(Command::Cluster {
+                nodes: None,
+                json: false
+            })
+        );
+        assert_eq!(
+            Command::parse("cluster --json"),
+            Ok(Command::Cluster {
+                nodes: None,
+                json: true
+            })
+        );
+        assert_eq!(
+            Command::parse("cluster 6"),
+            Ok(Command::Cluster {
+                nodes: Some(6),
+                json: false
+            })
+        );
+        assert_eq!(
+            Command::parse("cluster 3 --json"),
+            Ok(Command::Cluster {
+                nodes: Some(3),
+                json: true
+            })
+        );
+        assert_eq!(
+            Command::parse("cluster --json 3"),
+            Ok(Command::Cluster {
+                nodes: Some(3),
+                json: true
+            })
+        );
+        assert!(matches!(
+            Command::parse("cluster 0"),
+            Err(ParseError::BadAmount(_))
+        ));
+        assert!(matches!(
+            Command::parse("cluster a b c"),
+            Err(ParseError::Usage(_))
         ));
     }
 

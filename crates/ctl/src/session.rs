@@ -466,6 +466,7 @@ impl Session {
             }
             Command::Dump => Ok(self.flight.with(|f| f.to_jsonl())),
             Command::Replay { path, json } => Self::exec_replay(&path, json),
+            Command::Cluster { nodes, json } => Self::exec_cluster(nodes.unwrap_or(4), json),
             Command::Shards { count, json } => {
                 if let Some(n) = count {
                     return self.partition_shards(n);
@@ -716,6 +717,9 @@ impl Session {
     fn exec_replay(path: &str, json_out: bool) -> Result<String, CtlError> {
         let text =
             std::fs::read_to_string(path).map_err(|e| CtlError::Replay(format!("{path}: {e}")))?;
+        if lottery_obs::TraceSpec::sniff(&text) {
+            return Self::exec_replay_trace(path, &text, json_out);
+        }
         let log = lottery_obs::ReplayLog::from_jsonl(&text).map_err(CtlError::Replay)?;
         let header = log.header.clone();
         let recorded = log.events.len();
@@ -775,6 +779,172 @@ impl Session {
                 let _ = writeln!(out, "  recorded: {}", side(&d.recorded));
                 let _ = write!(out, "  replayed: {}", side(&d.replayed));
             }
+        }
+        Ok(out)
+    }
+
+    /// `replay <trace-file>`: the file is an external workload trace
+    /// (`TraceSpec` JSONL), not a capture — record it under the default
+    /// configuration, self-replay, and diff, so external corpora become
+    /// replayable captures in one step.
+    fn exec_replay_trace(path: &str, text: &str, json_out: bool) -> Result<String, CtlError> {
+        let spec = lottery_obs::TraceSpec::from_jsonl(text)
+            .map_err(|e| CtlError::Replay(format!("{path}: {e}")))?;
+        let (currencies, jobs) = (spec.currencies.len(), spec.jobs.len());
+        let config = lottery_sim::replay::CaptureConfig::default();
+        let log = lottery_sim::replay::record(spec, &config).map_err(CtlError::Replay)?;
+        let header = log.header.clone();
+        let captured = log.events.len();
+        let report = lottery_sim::replay::Replayer::new(log)
+            .run()
+            .map_err(CtlError::Replay)?;
+        if json_out {
+            return Ok(format!(
+                "{{\"file\":\"{}\",\"trace\":true,\"currencies\":{},\"jobs\":{},\
+                 \"seed\":{},\"structure\":\"{}\",\"shards\":{},\"captured\":{},\
+                 \"bit_exact\":{}}}",
+                json::escape(path),
+                currencies,
+                jobs,
+                header.seed,
+                json::escape(&header.structure),
+                header.shards,
+                captured,
+                report.bit_exact(),
+            ));
+        }
+        Ok(format!(
+            "trace {path}: {currencies} currencies, {jobs} jobs\n\
+             captured {captured} events (seed={} structure={} shards={} until_us={})\n\
+             self-replay: {}",
+            header.seed,
+            header.structure,
+            header.shards,
+            header.until_us,
+            if report.bit_exact() {
+                "bit-exact".to_string()
+            } else {
+                "DIVERGED".to_string()
+            },
+        ))
+    }
+
+    /// `cluster [<nodes>]`: the canned cluster-market scenario — a 2:1
+    /// tenant pair saturating every node under demand-following budgets,
+    /// with the last node killed mid-run so the report shows loss
+    /// detection, inverse-lottery reclaim, and conservation.
+    fn exec_cluster(nodes: u32, json_out: bool) -> Result<String, CtlError> {
+        use lottery_cluster::{BudgetPolicy, ClusterMarket, LOSS_TIMEOUT_ROUNDS};
+        let mut market = ClusterMarket::new(
+            nodes,
+            42,
+            BudgetPolicy::DemandFollowing,
+            &[("gold", 2000), ("silver", 1000)],
+        )
+        .map_err(CtlError::Ledger)?;
+        let saturate = |m: &mut ClusterMarket| {
+            for node in 0..m.node_count() {
+                m.offer(node, 0, 6, 6);
+                m.offer(node, 1, 3, 3);
+            }
+        };
+        for _ in 0..12 {
+            saturate(&mut market);
+            market.round(4).map_err(CtlError::Ledger)?;
+        }
+        if nodes > 1 {
+            market.kill(nodes - 1);
+        }
+        for _ in 0..(LOSS_TIMEOUT_ROUNDS + 10) {
+            saturate(&mut market);
+            market.round(4).map_err(CtlError::Ledger)?;
+        }
+        let report = market.report();
+        let share_row = |tenant: u32| report.shares.tenants.iter().find(|t| t.tenant == tenant);
+        if json_out {
+            let tenants: Vec<String> = report
+                .tenants
+                .iter()
+                .map(|t| {
+                    let (dominant_share, dominant_resource, complaint) = share_row(t.tenant)
+                        .map(|s| (s.dominant_share, s.dominant_resource, s.complaint))
+                        .unwrap_or((0.0, "none", false));
+                    format!(
+                        "{{\"tenant\":{},\"name\":\"{}\",\"grant\":{},\"entitled_share\":{},\
+                         \"dominant_share\":{},\"dominant_resource\":\"{}\",\"complaint\":{},\
+                         \"disk_units\":{},\"net_units\":{}}}",
+                        t.tenant,
+                        json::escape(&t.name),
+                        t.grant,
+                        json::number(t.entitled_share),
+                        json::number(dominant_share),
+                        json::escape(dominant_resource),
+                        complaint,
+                        t.usage[1],
+                        t.usage[3],
+                    )
+                })
+                .collect();
+            let allocs: Vec<String> = report
+                .allocs
+                .iter()
+                .map(|a| {
+                    format!(
+                        "{{\"tenant\":{},\"node\":{},\"alloc\":{},\"node_grant\":{},\
+                         \"backlog\":{}}}",
+                        a.tenant, a.node, a.alloc, a.node_grant, a.backlog
+                    )
+                })
+                .collect();
+            return Ok(format!(
+                "{{\"nodes\":{},\"reachable\":{},\"round\":{},\"policy\":\"{}\",\
+                 \"conserved\":{},\"moves\":{},\"heals\":{},\"dropped\":{},\
+                 \"tenants\":[{}],\"allocs\":[{}]}}",
+                report.nodes,
+                report.reachable,
+                report.round,
+                json::escape(report.policy),
+                report.conserved,
+                report.moves,
+                report.heals,
+                report.dropped,
+                tenants.join(","),
+                allocs.join(","),
+            ));
+        }
+        let mut out = format!(
+            "cluster: {} nodes ({} reachable), {} rounds, {} policy\n",
+            report.nodes, report.reachable, report.round, report.policy
+        );
+        let _ = writeln!(
+            out,
+            "grant moves={} heals={} dropped={} conserved={}",
+            report.moves,
+            report.heals,
+            report.dropped,
+            if report.conserved { "yes" } else { "NO" }
+        );
+        for t in &report.tenants {
+            let allocs: Vec<String> = report
+                .allocs
+                .iter()
+                .filter(|a| a.tenant == t.tenant)
+                .map(|a| format!("n{}={}", a.node, a.alloc))
+                .collect();
+            let dominant = share_row(t.tenant)
+                .map(|s| format!("{:.3} ({})", s.dominant_share, s.dominant_resource))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "tenant {} grant={} entitled={:.3} dominant={} alloc[{}] disk={} net={}",
+                t.name,
+                t.grant,
+                t.entitled_share,
+                dominant,
+                allocs.join(" "),
+                t.usage[1],
+                t.usage[3],
+            );
         }
         Ok(out)
     }
@@ -1486,6 +1656,83 @@ mod tests {
         assert!(d.get("recorded").unwrap().get("kind").is_some(), "{out}");
         assert!(d.get("replayed").unwrap().get("kind").is_some(), "{out}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn replay_verb_accepts_external_trace_files() {
+        use lottery_obs::{CurrencySnapshot, TraceJob, TraceSpec};
+        let spec = TraceSpec {
+            currencies: vec![CurrencySnapshot {
+                name: "web".to_string(),
+                amount: 300,
+            }],
+            jobs: vec![
+                TraceJob {
+                    arrival_us: 0,
+                    service_us: 4_000,
+                    sleep_us: 0,
+                    tenant: "web".to_string(),
+                    tickets: 200,
+                },
+                TraceJob {
+                    arrival_us: 1_500,
+                    service_us: 3_000,
+                    sleep_us: 1_000,
+                    tenant: "base".to_string(),
+                    tickets: 100,
+                },
+            ],
+        };
+        let path = std::env::temp_dir().join("lotteryctl-trace-corpus.jsonl");
+        std::fs::write(&path, spec.to_jsonl()).unwrap();
+        let mut s = Session::new();
+        let out = eval(&mut s, &format!("replay {}", path.display()));
+        assert!(out.contains("trace"), "{out}");
+        assert!(out.contains("1 currencies, 2 jobs"), "{out}");
+        assert!(out.contains("self-replay: bit-exact"), "{out}");
+        let out = eval(&mut s, &format!("replay {} --json", path.display()));
+        let v = lottery_obs::json::parse(&out).expect("trace replay --json parses");
+        assert_eq!(v.get("trace").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(v.get("jobs").and_then(|n| n.as_f64()), Some(2.0));
+        assert_eq!(v.get("bit_exact").and_then(|b| b.as_bool()), Some(true));
+        assert!(v.get("captured").and_then(|n| n.as_f64()).unwrap() > 0.0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cluster_verb_reports_recovered_market() {
+        let mut s = Session::new();
+        let out = eval(&mut s, "cluster");
+        assert!(out.contains("4 nodes (3 reachable)"), "{out}");
+        assert!(out.contains("conserved=yes"), "{out}");
+        assert!(out.contains("tenant gold grant=2000"), "{out}");
+        let out = eval(&mut s, "cluster --json");
+        let v = lottery_obs::json::parse(&out).expect("cluster --json parses");
+        assert_eq!(v.get("conserved").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(v.get("nodes").and_then(|n| n.as_f64()), Some(4.0));
+        assert_eq!(v.get("reachable").and_then(|n| n.as_f64()), Some(3.0));
+        assert_eq!(
+            v.get("policy").and_then(|p| p.as_str()),
+            Some("demand-following")
+        );
+        let tenants = v.get("tenants").and_then(|t| t.as_array()).unwrap();
+        assert_eq!(tenants.len(), 2);
+        for t in tenants {
+            assert_eq!(t.get("complaint").and_then(|c| c.as_bool()), Some(false));
+            assert!(t.get("dominant_share").and_then(|d| d.as_f64()).is_some());
+        }
+        // The killed node's allocations were reclaimed.
+        let allocs = v.get("allocs").and_then(|a| a.as_array()).unwrap();
+        for a in allocs {
+            if a.get("node").and_then(|n| n.as_f64()) == Some(3.0) {
+                assert_eq!(a.get("alloc").and_then(|x| x.as_f64()), Some(0.0), "{out}");
+            }
+        }
+        // A 2-node run on the same verb: smaller market, same invariants.
+        let out = eval(&mut s, "cluster 2 --json");
+        let v = lottery_obs::json::parse(&out).unwrap();
+        assert_eq!(v.get("nodes").and_then(|n| n.as_f64()), Some(2.0));
+        assert_eq!(v.get("conserved").and_then(|b| b.as_bool()), Some(true));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! shares; the [`DominantShareMonitor`] alarms on the drift.
 
 use lottery_apps::montecarlo::relative_error;
-use lottery_broker::{Resource, ResourceBroker, SplitPolicy, TenantId};
+use lottery_broker::{DemandTap, Resource, ResourceBroker, SplitPolicy, TenantId};
 use lottery_core::prelude::*;
 use lottery_io::{DiskPolicy, DiskScheduler};
 use lottery_mem::MemoryManager;
@@ -296,6 +296,135 @@ fn refund_demo(_seed: u32) {
     );
 }
 
+/// Caller-reported vs probe-bus-derived demand: the broker rebalances
+/// unattended off the schedulers' own draw/completion events.
+fn demand_source_ablation(seed: u32) {
+    struct ModeOut {
+        disk_served: [u64; 2],
+        net_served: [u64; 2],
+        disk_weights: [f64; 2],
+        net_weights: [f64; 2],
+        refunds: u64,
+    }
+    let run_mode = |derived: bool| -> ModeOut {
+        let mut broker = ResourceBroker::new();
+        let bus = ProbeBus::enabled();
+        let tap = Shared::new(DemandTap::new());
+        bus.attach(tap.clone());
+        let mut disk = DiskScheduler::new(DiskPolicy::Lottery);
+        let mut switch = Switch::new();
+        disk.set_probe_bus(bus.clone());
+        switch.set_probe_bus(bus.clone());
+        let gold = broker
+            .register_tenant("db-gold", GOLD_GRANT, SplitPolicy::even())
+            .unwrap();
+        let silver = broker
+            .register_tenant("mc-silver", SILVER_GRANT, SplitPolicy::even())
+            .unwrap();
+        let disk_bind = [
+            (gold, disk.register("db-gold", 1)),
+            (silver, disk.register("mc-silver", 1)),
+        ];
+        let net_bind = [
+            (gold, switch.open_circuit("db-gold", 1)),
+            (silver, switch.open_circuit("mc-silver", 1)),
+        ];
+        tap.with(|t| {
+            for (tenant, c) in &disk_bind {
+                t.bind(Resource::Disk, c.index(), *tenant);
+            }
+            for (tenant, vc) in &net_bind {
+                t.bind(Resource::Net, vc.index(), *tenant);
+            }
+        });
+        let mut rng = ParkMiller::new(seed.wrapping_add(31));
+        for step in 0..300u64 {
+            for i in 0..20u64 {
+                for (k, &(_, c)) in disk_bind.iter().enumerate() {
+                    if disk.backlog(c) < 4 {
+                        let sector = ((step * 20 + i) * 64 + k as u64 * 500_000) % 1_000_000;
+                        disk.submit(c, sector, 8);
+                    }
+                }
+                disk.service_next(&mut rng).expect("disk stays backlogged");
+            }
+            for i in 0..20u64 {
+                for &(_, vc) in &net_bind {
+                    if switch.backlog(vc) == 0 {
+                        switch.enqueue(vc, step * 20 + i);
+                    }
+                }
+                switch.forward(&mut rng).expect("switch stays backlogged");
+            }
+            if derived {
+                // No record_demand calls at all: the tap saw every draw
+                // and completion the schedulers emitted this step.
+                broker.absorb_demand(&tap);
+            } else {
+                tap.with(|t| t.drain());
+                for &(t, _) in &disk_bind {
+                    broker.record_demand(t, Resource::Disk, 1);
+                }
+                for &(t, _) in &net_bind {
+                    broker.record_demand(t, Resource::Net, 1);
+                }
+            }
+            broker.rebalance().expect("funding graph stays well-formed");
+            broker.apply_disk(&mut disk, &disk_bind);
+            broker.apply_net(&mut switch, &net_bind);
+        }
+        ModeOut {
+            disk_served: [
+                disk.sectors_served(disk_bind[0].1),
+                disk.sectors_served(disk_bind[1].1),
+            ],
+            net_served: [
+                switch.forwarded(net_bind[0].1),
+                switch.forwarded(net_bind[1].1),
+            ],
+            disk_weights: [
+                broker.weight(gold, Resource::Disk),
+                broker.weight(silver, Resource::Disk),
+            ],
+            net_weights: [
+                broker.weight(gold, Resource::Net),
+                broker.weight(silver, Resource::Net),
+            ],
+            refunds: broker.refunds(),
+        }
+    };
+
+    let reported = run_mode(false);
+    let derived = run_mode(true);
+    println!(
+        "\ndemand-source ablation (300 steps, disk+net busy, cpu+mem idle):\n\
+         caller-reported: disk {}:{} net {}:{} ({} refunds)\n\
+         probe-bus tap:   disk {}:{} net {}:{} ({} refunds)",
+        reported.disk_served[0],
+        reported.disk_served[1],
+        reported.net_served[0],
+        reported.net_served[1],
+        reported.refunds,
+        derived.disk_served[0],
+        derived.disk_served[1],
+        derived.net_served[0],
+        derived.net_served[1],
+        derived.refunds,
+    );
+    // Rebalance keys on demand presence, not magnitude, so a tap that
+    // merely watched the schedulers reproduces the caller-reported run
+    // bit for bit: same funded set, same weights, same lottery stream.
+    let identical = reported.disk_served == derived.disk_served
+        && reported.net_served == derived.net_served
+        && reported.disk_weights == derived.disk_weights
+        && reported.net_weights == derived.net_weights
+        && reported.refunds == derived.refunds;
+    println!(
+        "derived (probe-bus) demand reproduces caller-reported rebalancing: {}",
+        if identical { "OK" } else { "FAILED" }
+    );
+}
+
 /// Mixed db-server vs Monte-Carlo tenants through the broker: 2:1 on all
 /// four resources at once, with a raw face-funding ablation.
 pub fn run(seed: u32) {
@@ -329,6 +458,7 @@ pub fn run(seed: u32) {
     );
 
     refund_demo(seed);
+    demand_source_ablation(seed);
 
     let raw = run_mode(seed, true);
     println!("\nraw (face-amount) funding ablation, same inflation:");

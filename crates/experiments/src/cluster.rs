@@ -1,0 +1,295 @@
+//! The cluster market: one grant per tenant, proportional share across
+//! four nodes, and recovery when a node dies.
+//!
+//! Two tenants (`gold` 2000, `silver` 1000) each hold ONE cluster-level
+//! grant over a 4-node [`ClusterMarket`]. The run opens with a demand
+//! skew — gold's work all lands on node 0, silver's on node 3 — so the
+//! demand-following budget policy concentrates each tenant's allocation
+//! where its backlog is. Then demand turns uniform and saturating on
+//! every node: reconciliation (periodic reports up, grant updates down,
+//! one link-latency round each way) re-spreads the allocations, and the
+//! 2:1 grant ratio re-appears cluster-wide within 5% on disk and net.
+//!
+//! Two failure drills ride the same machinery. The **node-loss**
+//! scenario kills a node mid-saturation: the coordinator can only notice
+//! via missed reports, declares the node lost after
+//! [`LOSS_TIMEOUT_ROUNDS`], reclaims its allocations through inverse
+//! lotteries (each quantum goes to the poorest-favored survivor), and
+//! the 2:1 ratio holds on the survivors — no justified complaints. The
+//! **ablation** replays the skew-then-uniform run but freezes
+//! reconciliation at the phase turn ([`BudgetPolicy::StaticSplit`]):
+//! allocations stay concentrated, two nodes strand with zero tickets,
+//! and the cluster-wide ratio collapses — the drift the
+//! [`DominantShareMonitor`](lottery_obs::DominantShareMonitor) flags as
+//! a justified complaint.
+
+use lottery_cluster::{BudgetPolicy, ClusterMarket, LOSS_TIMEOUT_ROUNDS};
+use lottery_stats::table::Table;
+
+const NODES: u32 = 4;
+const GOLD_GRANT: u64 = 2000;
+const SILVER_GRANT: u64 = 1000;
+/// Disk slots and switch slots each node services per reconciliation round.
+const SERVICES: u64 = 4;
+/// Rounds of skewed, unsaturated demand (gold on node 0, silver on node 3).
+const SKEW_ROUNDS: u32 = 12;
+/// Rounds of uniform demand before measurement starts (re-convergence
+/// plus link latency).
+const CONVERGE_ROUNDS: u32 = 8;
+/// Measurement window, in rounds. 16k disk draws cluster-wide, so the
+/// binomial noise on a 2:1 ratio sits near 1.7% and the 5% check is a
+/// 3-sigma bound.
+const MEASURE_ROUNDS: u32 = 1000;
+/// Star-link latency in rounds (SimNet default).
+const LINK_LATENCY: u32 = 1;
+
+fn new_market(seed: u32) -> ClusterMarket {
+    ClusterMarket::new(
+        NODES,
+        seed,
+        BudgetPolicy::DemandFollowing,
+        &[("gold", GOLD_GRANT), ("silver", SILVER_GRANT)],
+    )
+    .expect("fresh market")
+}
+
+/// Keeps both tenants backlogged on every node: a steady 3 disk requests
+/// and 3 cells per tenant per node per round, slightly above what either
+/// tenant's share can drain. Backlog accumulates, which is the point —
+/// queued work dominates the demand signal, and backlog is
+/// self-equalizing (an under-funded node queues faster, attracts
+/// funding, and the allocations settle even instead of churning on
+/// lottery noise in the usage deltas).
+fn saturate(m: &mut ClusterMarket) {
+    for node in 0..m.node_count() {
+        for tenant in 0..m.tenant_count() {
+            m.offer(node, tenant, 3, 3);
+        }
+    }
+}
+
+/// gold:silver usage ratios on disk and net since `base`.
+fn ratios_since(m: &ClusterMarket, base: &[[u64; 4]; 2]) -> [f64; 2] {
+    let gold = m.usage(0);
+    let silver = m.usage(1);
+    let delta = |r: usize| (gold[r] - base[0][r]) as f64 / (silver[r] - base[1][r]).max(1) as f64;
+    [delta(1), delta(3)]
+}
+
+fn within_5pct(ratios: &[f64; 2]) -> bool {
+    ratios.iter().all(|r| (r / 2.0 - 1.0).abs() <= 0.05)
+}
+
+fn ratio_table(ratios: &[f64; 2]) -> String {
+    let mut table = Table::new(&["resource", "gold:silver", "error vs 2:1"]);
+    for (name, ratio) in ["disk", "net"].iter().zip(ratios) {
+        table.row(&[
+            name.to_string(),
+            format!("{ratio:.3}:1"),
+            format!("{:+.1}%", (ratio / 2.0 - 1.0) * 100.0),
+        ]);
+    }
+    table.render()
+}
+
+fn alloc_line(m: &ClusterMarket, tenant: usize) -> String {
+    let cells: Vec<String> = (0..m.node_count())
+        .map(|n| format!("n{n}={}", m.alloc(tenant, n)))
+        .collect();
+    format!("{} [{}]", m.tenant_name(tenant), cells.join(" "))
+}
+
+struct Outcome {
+    /// (gold alloc on node 0, silver alloc on node 3) at the phase turn.
+    concentration: (u64, u64),
+    /// Final per-tenant allocation lines.
+    alloc_lines: [String; 2],
+    /// gold:silver on disk and net over the measurement window.
+    ratios: [f64; 2],
+    moves: u64,
+    complaint: bool,
+    conserved: bool,
+}
+
+/// Skewed demand concentrates allocations; uniform demand re-spreads
+/// them — unless `freeze` cuts reconciliation at the phase turn.
+fn skew_then_uniform(seed: u32, freeze: bool) -> Outcome {
+    let mut m = new_market(seed);
+    // Phase 1: unsaturated skew. Gold's work exists only on node 0,
+    // silver's only on node 3; everything offered is served the same
+    // round, so the only signal is *where* demand is, not contention.
+    for _ in 0..SKEW_ROUNDS {
+        m.offer(0, 0, 2, 2);
+        m.offer(NODES - 1, 1, 2, 2);
+        m.round(SERVICES).expect("reconciliation round");
+    }
+    let concentration = (m.alloc(0, 0), m.alloc(1, NODES - 1));
+    if freeze {
+        m.set_policy(BudgetPolicy::StaticSplit);
+    }
+    // Phase 2: uniform saturating demand everywhere.
+    for _ in 0..CONVERGE_ROUNDS {
+        saturate(&mut m);
+        m.round(SERVICES).expect("reconciliation round");
+    }
+    let base = [m.usage(0), m.usage(1)];
+    for _ in 0..MEASURE_ROUNDS {
+        saturate(&mut m);
+        m.round(SERVICES).expect("reconciliation round");
+    }
+    let report = m.report();
+    Outcome {
+        concentration,
+        alloc_lines: [alloc_line(&m, 0), alloc_line(&m, 1)],
+        ratios: ratios_since(&m, &base),
+        moves: report.moves,
+        complaint: report.shares.any_complaint(),
+        conserved: report.conserved,
+    }
+}
+
+/// Kills a node mid-saturation and times the reclaim.
+fn node_loss(seed: u32) {
+    let mut m = new_market(seed);
+    for _ in 0..10 {
+        saturate(&mut m);
+        m.round(SERVICES).expect("reconciliation round");
+    }
+    let victim = NODES - 1;
+    let stranded = m.alloc(0, victim) + m.alloc(1, victim);
+    let kill_round = m.round_count();
+    m.kill(victim);
+    // Loss detection is report-silence only: the victim's last report is
+    // still in flight when it dies, so the coordinator hears it one
+    // latency later, waits out the timeout, reclaims, and the refreshed
+    // grants take one more latency to land on the survivors.
+    let bound = LOSS_TIMEOUT_ROUNDS + 2 * LINK_LATENCY + 2;
+    let mut reclaimed_after = None;
+    while m.round_count() - kill_round <= bound {
+        saturate(&mut m);
+        m.round(SERVICES).expect("reconciliation round");
+        let drained =
+            !m.is_reachable(victim) && (0..m.tenant_count()).all(|t| m.alloc(t, victim) == 0);
+        if drained && reclaimed_after.is_none() {
+            reclaimed_after = Some(m.round_count() - kill_round);
+        }
+    }
+    let base = [m.usage(0), m.usage(1)];
+    for _ in 0..MEASURE_ROUNDS {
+        saturate(&mut m);
+        m.round(SERVICES).expect("reconciliation round");
+    }
+    let report = m.report();
+    let ratios = ratios_since(&m, &base);
+    println!(
+        "\nnode-loss drill: node {victim} killed at round {kill_round} holding {stranded} \
+         tickets of cluster grant"
+    );
+    match reclaimed_after {
+        Some(rounds) => println!(
+            "coordinator declared it lost and inverse lotteries redistributed all {stranded} \
+             tickets {rounds} rounds later (bound {bound}: timeout {LOSS_TIMEOUT_ROUNDS} + \
+             2x link latency + detection slack)"
+        ),
+        None => println!("allocations NOT drained within {bound} rounds"),
+    }
+    println!("post-loss allocations: {}", alloc_line(&m, 0));
+    println!("                       {}", alloc_line(&m, 1));
+    println!(
+        "survivor-window shares over {MEASURE_ROUNDS} rounds on {} nodes:",
+        NODES - 1
+    );
+    print!("{}", ratio_table(&ratios));
+    println!(
+        "conserved={} complaints={}",
+        if report.conserved { "yes" } else { "NO" },
+        if report.shares.any_complaint() {
+            "JUSTIFIED"
+        } else {
+            "none"
+        }
+    );
+    let confirmed = reclaimed_after.is_some_and(|r| r <= bound)
+        && within_5pct(&ratios)
+        && report.conserved
+        && !report.shares.any_complaint();
+    println!(
+        "node-loss recovery within {} rounds (bound {bound}): {}",
+        reclaimed_after.map_or(u32::MAX, |r| r),
+        if confirmed {
+            "CONFIRMED"
+        } else {
+            "NOT OBSERVED"
+        }
+    );
+}
+
+/// Demand skew, re-convergence, node loss, and the frozen-reconciliation
+/// ablation on a 4-node cluster market.
+pub fn run(seed: u32) {
+    println!(
+        "two tenants, one cluster-level grant each (gold {GOLD_GRANT}, silver {SILVER_GRANT}) \
+         over {NODES} nodes;"
+    );
+    println!(
+        "demand skews to opposite corners, then saturates uniformly; reconciliation is \
+         report-driven over a 1-round-latency network\n"
+    );
+
+    let follow = skew_then_uniform(seed, false);
+    println!(
+        "demand-following: skew phase concentrated gold to {} tickets on node 0 and silver \
+         to {} on node {} (of {GOLD_GRANT}/{SILVER_GRANT});",
+        follow.concentration.0,
+        follow.concentration.1,
+        NODES - 1
+    );
+    println!(
+        "after demand turned uniform, reconciliation re-spread the allocations \
+         ({} grant moves total):",
+        follow.moves
+    );
+    println!("  {}", follow.alloc_lines[0]);
+    println!("  {}", follow.alloc_lines[1]);
+    println!("measured over the last {MEASURE_ROUNDS} rounds:");
+    print!("{}", ratio_table(&follow.ratios));
+    println!(
+        "conserved={} complaints={}",
+        if follow.conserved { "yes" } else { "NO" },
+        if follow.complaint {
+            "JUSTIFIED"
+        } else {
+            "none"
+        }
+    );
+    let held = within_5pct(&follow.ratios) && follow.conserved && !follow.complaint;
+    println!(
+        "cluster 2:1 isolation held within 5% across {NODES} nodes: {}",
+        if held { "OK" } else { "FAILED" }
+    );
+
+    node_loss(seed);
+
+    let frozen = skew_then_uniform(seed, true);
+    println!(
+        "\nablation: same run, but reconciliation freezes (static split) at the phase turn, \
+         allocations stuck concentrated:"
+    );
+    println!("  {}", frozen.alloc_lines[0]);
+    println!("  {}", frozen.alloc_lines[1]);
+    print!("{}", ratio_table(&frozen.ratios));
+    println!(
+        "conserved={} complaints={}",
+        if frozen.conserved { "yes" } else { "NO" },
+        if frozen.complaint {
+            "JUSTIFIED"
+        } else {
+            "none"
+        }
+    );
+    let drifted = !within_5pct(&frozen.ratios) && frozen.complaint;
+    println!(
+        "static-split ablation drifts without reconciliation: {}",
+        if drifted { "CONFIRMED" } else { "NOT OBSERVED" }
+    );
+}

@@ -7,6 +7,7 @@
 
 mod ablations;
 mod broker;
+mod cluster;
 mod diverse;
 mod fig_apps;
 mod fig_basics;
@@ -172,6 +173,11 @@ const EXPERIMENTS: &[(&str, &str, Entry)] = &[
         "broker",
         "multi-resource broker: one grant, 2:1 on cpu/disk/mem/net (Section 6)",
         broker::run,
+    ),
+    (
+        "cluster",
+        "cluster market: 4-node brokered lotteries, node loss, reconciliation ablation",
+        cluster::run,
     ),
 ];
 

@@ -78,6 +78,16 @@ pub struct Aggregator {
     pub broker_refunds: u64,
     /// Last broker-pushed weight per (tenant, resource), in base units.
     pub broker_weight: BTreeMap<(u32, &'static str), f64>,
+    /// Cluster node reports delivered to the coordinator.
+    pub node_reports: u64,
+    /// Cluster grant moves (reconciliation + recovery).
+    pub grant_moves: u64,
+    /// Base-currency tickets moved between nodes, cumulative.
+    pub grant_moved_amount: u64,
+    /// Partition/node-loss heals observed.
+    pub partition_heals: u64,
+    /// Last reported aggregate backlog per (node, tenant).
+    pub node_backlog: BTreeMap<(u32, u32), u64>,
 }
 
 impl Default for Aggregator {
@@ -121,6 +131,11 @@ impl Aggregator {
             broker_fundings: 0,
             broker_refunds: 0,
             broker_weight: BTreeMap::new(),
+            node_reports: 0,
+            grant_moves: 0,
+            grant_moved_amount: 0,
+            partition_heals: 0,
+            node_backlog: BTreeMap::new(),
         }
     }
 
@@ -208,6 +223,26 @@ impl Aggregator {
             "lottery_broker_refunds_total",
             "Broker rebalances that refunded an idle backing.",
             self.broker_refunds as f64,
+        );
+        counter(
+            "lottery_cluster_node_reports_total",
+            "Cluster node reports delivered to the coordinator.",
+            self.node_reports as f64,
+        );
+        counter(
+            "lottery_cluster_grant_moves_total",
+            "Cluster grant moves between nodes.",
+            self.grant_moves as f64,
+        );
+        counter(
+            "lottery_cluster_grant_moved_tickets_total",
+            "Base-currency tickets moved between nodes.",
+            self.grant_moved_amount as f64,
+        );
+        counter(
+            "lottery_cluster_partition_heals_total",
+            "Partition/node-loss heals observed.",
+            self.partition_heals as f64,
         );
         let _ = writeln!(
             out,
@@ -326,6 +361,17 @@ impl Aggregator {
                 "lottery_broker_weight{{tenant=\"{tenant}\",resource=\"{resource}\"}} {weight}"
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP lottery_cluster_node_backlog Last reported aggregate backlog per node and tenant."
+        );
+        let _ = writeln!(out, "# TYPE lottery_cluster_node_backlog gauge");
+        for ((node, tenant), backlog) in &self.node_backlog {
+            let _ = writeln!(
+                out,
+                "lottery_cluster_node_backlog{{node=\"{node}\",tenant=\"{tenant}\"}} {backlog}"
+            );
+        }
         out
     }
 }
@@ -422,6 +468,20 @@ impl Recorder for Aggregator {
                 self.broker_refunds += u64::from(refunded);
                 self.broker_weight.insert((tenant, resource), weight);
             }
+            EventKind::NodeReport {
+                node,
+                tenant,
+                backlog,
+                ..
+            } => {
+                self.node_reports += 1;
+                self.node_backlog.insert((node, tenant), backlog);
+            }
+            EventKind::GrantMove { amount, .. } => {
+                self.grant_moves += 1;
+                self.grant_moved_amount += amount;
+            }
+            EventKind::PartitionHeal { .. } => self.partition_heals += 1,
             EventKind::ThreadSpawn { .. }
             | EventKind::ThreadExit { .. }
             | EventKind::WeightChange { .. }
@@ -514,6 +574,23 @@ mod tests {
                 stale: 130,
                 rebuild_ns: 5000,
             },
+            EventKind::NodeReport {
+                node: 2,
+                tenant: 0,
+                backlog: 40,
+                round: 3,
+            },
+            EventKind::GrantMove {
+                tenant: 0,
+                from_node: 1,
+                to_node: 2,
+                amount: 250,
+            },
+            EventKind::PartitionHeal {
+                node: 1,
+                rounds: 4,
+                dropped: 7,
+            },
         ];
         for kind in feed {
             a.record(&Event { time_us: 0, kind });
@@ -543,5 +620,11 @@ mod tests {
         assert_eq!(a.structure_rebuilds, 1);
         assert!(text.contains("lottery_structure_rebuilds_total 1"));
         assert!(text.contains("lottery_structure_rebuild_ns_mean 5000"));
+        assert_eq!(a.node_reports, 1);
+        assert_eq!(a.grant_moves, 1);
+        assert_eq!(a.grant_moved_amount, 250);
+        assert_eq!(a.partition_heals, 1);
+        assert!(text.contains("lottery_cluster_grant_moves_total 1"));
+        assert!(text.contains("lottery_cluster_node_backlog{node=\"2\",tenant=\"0\"} 40"));
     }
 }

@@ -266,6 +266,44 @@ pub enum EventKind {
         /// Whether this rebalance refunded the (idle) backing to the grant.
         refunded: bool,
     },
+    /// A cluster node's periodic report reached the market coordinator
+    /// over the simulated network: one tenant's aggregate demand on one
+    /// node, as the reconciliation loop saw it.
+    NodeReport {
+        /// Reporting node index.
+        node: u32,
+        /// Cluster tenant index.
+        tenant: u32,
+        /// Aggregate backlog (demand units summed over resources) the
+        /// node reported for the tenant.
+        backlog: u64,
+        /// The network round (coordinator reconciliation tick) the report
+        /// was delivered in — late reports carry the round they land in,
+        /// not the round they were sent.
+        round: u32,
+    },
+    /// Cluster reconciliation moved part of a tenant's grant between
+    /// nodes (demand-following rebalance or node-loss recovery).
+    GrantMove {
+        /// Cluster tenant index.
+        tenant: u32,
+        /// Node the funding left.
+        from_node: u32,
+        /// Node the funding arrived at.
+        to_node: u32,
+        /// Base-currency tickets moved.
+        amount: u64,
+    },
+    /// A partitioned (or lost-and-replaced) node was reabsorbed into the
+    /// market and the coordinator's funding view reconverged.
+    PartitionHeal {
+        /// The healed node index.
+        node: u32,
+        /// Reconciliation rounds the node spent unreachable.
+        rounds: u32,
+        /// Reports dropped by the network while it was unreachable.
+        dropped: u64,
+    },
 }
 
 impl EventKind {
@@ -298,6 +336,9 @@ impl EventKind {
             EventKind::ResourceDraw { .. } => "resource-draw",
             EventKind::ResourceComplete { .. } => "resource-complete",
             EventKind::BrokerFunding { .. } => "broker-funding",
+            EventKind::NodeReport { .. } => "node-report",
+            EventKind::GrantMove { .. } => "grant-move",
+            EventKind::PartitionHeal { .. } => "partition-heal",
         }
     }
 }
@@ -502,6 +543,38 @@ impl Event {
                     json::number(weight)
                 );
             }
+            EventKind::NodeReport {
+                node,
+                tenant,
+                backlog,
+                round,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"tenant\":{tenant},\"backlog\":{backlog},\"round\":{round}"
+                );
+            }
+            EventKind::GrantMove {
+                tenant,
+                from_node,
+                to_node,
+                amount,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"tenant\":{tenant},\"from_node\":{from_node},\"to_node\":{to_node},\"amount\":{amount}"
+                );
+            }
+            EventKind::PartitionHeal {
+                node,
+                rounds,
+                dropped,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"rounds\":{rounds},\"dropped\":{dropped}"
+                );
+            }
         }
         s.push('}');
         s
@@ -642,6 +715,23 @@ impl Event {
                 resource: intern(v, "resource", RESOURCES)?,
                 weight: f64_field(v, "weight")?,
                 refunded: bool_field(v, "refunded")?,
+            },
+            "node-report" => EventKind::NodeReport {
+                node: u32_field(v, "node")?,
+                tenant: u32_field(v, "tenant")?,
+                backlog: u64_field(v, "backlog")?,
+                round: u32_field(v, "round")?,
+            },
+            "grant-move" => EventKind::GrantMove {
+                tenant: u32_field(v, "tenant")?,
+                from_node: u32_field(v, "from_node")?,
+                to_node: u32_field(v, "to_node")?,
+                amount: u64_field(v, "amount")?,
+            },
+            "partition-heal" => EventKind::PartitionHeal {
+                node: u32_field(v, "node")?,
+                rounds: u32_field(v, "rounds")?,
+                dropped: u64_field(v, "dropped")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -950,6 +1040,23 @@ mod tests {
                 weight: 333.25,
                 refunded: false,
             },
+            EventKind::NodeReport {
+                node: 3,
+                tenant: 1,
+                backlog: 1_000_000,
+                round: 42,
+            },
+            EventKind::GrantMove {
+                tenant: 1,
+                from_node: 3,
+                to_node: 0,
+                amount: 750,
+            },
+            EventKind::PartitionHeal {
+                node: 3,
+                rounds: 6,
+                dropped: 18,
+            },
         ];
         kinds
             .into_iter()
@@ -995,7 +1102,10 @@ mod tests {
                 | EventKind::ResourceGrant { .. }
                 | EventKind::ResourceDraw { .. }
                 | EventKind::ResourceComplete { .. }
-                | EventKind::BrokerFunding { .. } => {}
+                | EventKind::BrokerFunding { .. }
+                | EventKind::NodeReport { .. }
+                | EventKind::GrantMove { .. }
+                | EventKind::PartitionHeal { .. } => {}
             }
         }
         for e in events {

@@ -32,6 +32,10 @@ use crate::json::{self, Value};
 /// Replay log format version, written as the header's `replay` field.
 pub const REPLAY_VERSION: u64 = 1;
 
+/// Standalone trace corpus format version, written as the trace header's
+/// `trace` field.
+pub const TRACE_VERSION: u64 = 1;
+
 /// One currency in the captured ledger: a subcurrency of the base,
 /// backed by `amount` base tickets.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +70,111 @@ pub struct TraceSpec {
     pub currencies: Vec<CurrencySnapshot>,
     /// Jobs, spawned in `arrival_us` order (ties in listed order).
     pub jobs: Vec<TraceJob>,
+}
+
+impl TraceSpec {
+    /// Serializes the trace as a standalone JSONL corpus file: a
+    /// `{"trace":1,"currencies":[...]}` header line, then one job object
+    /// per line. Unlike a [`ReplayLog`], a trace file carries no RNG
+    /// state or scheduler configuration — it is a portable workload
+    /// description that external tools can generate and captures can be
+    /// driven from.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.jobs.len() * 96);
+        let _ = write!(out, "{{\"trace\":{TRACE_VERSION},\"currencies\":[");
+        for (i, c) in self.currencies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"amount\":{}}}",
+                json::escape(&c.name),
+                c.amount
+            );
+        }
+        out.push_str("]}\n");
+        for j in &self.jobs {
+            let _ = writeln!(
+                out,
+                "{{\"arrival_us\":{},\"service_us\":{},\"sleep_us\":{},\"tenant\":\"{}\",\"tickets\":{}}}",
+                j.arrival_us,
+                j.service_us,
+                j.sleep_us,
+                json::escape(&j.tenant),
+                j.tickets
+            );
+        }
+        out
+    }
+
+    /// Loads a trace from its JSONL corpus serialization (the inverse of
+    /// [`TraceSpec::to_jsonl`]).
+    ///
+    /// # Errors
+    ///
+    /// The first non-empty line must be a version-1 trace header and
+    /// every following non-empty line a job object; anything else is
+    /// reported with its line number.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines
+            .by_ref()
+            .find(|(_, l)| !l.trim().is_empty())
+            .ok_or("empty trace file")?;
+        let hv = json::parse(first).map_err(|e| format!("line 1: {e}"))?;
+        let version = u64_field(&hv, "trace").map_err(|e| format!("line 1: {e}"))?;
+        if version != TRACE_VERSION {
+            return Err(format!(
+                "unsupported trace version {version} (expected {TRACE_VERSION})"
+            ));
+        }
+        let currencies = hv
+            .get("currencies")
+            .and_then(Value::as_array)
+            .ok_or("line 1: trace header lacks a currencies array")?
+            .iter()
+            .map(|c| {
+                Ok(CurrencySnapshot {
+                    name: str_field(c, "name")?.to_string(),
+                    amount: u64_field(c, "amount")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()
+            .map_err(|e: String| format!("line 1: {e}"))?;
+        let mut jobs = Vec::new();
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let job = (|| {
+                Ok::<TraceJob, String>(TraceJob {
+                    arrival_us: u64_field(&v, "arrival_us")?,
+                    service_us: u64_field(&v, "service_us")?,
+                    sleep_us: u64_field(&v, "sleep_us")?,
+                    tenant: str_field(&v, "tenant")?.to_string(),
+                    tickets: u64_field(&v, "tickets")?,
+                })
+            })()
+            .map_err(|e| format!("line {}: {e}", i + 1))?;
+            jobs.push(job);
+        }
+        Ok(TraceSpec { currencies, jobs })
+    }
+
+    /// Whether a serialized document looks like a standalone trace corpus
+    /// (as opposed to a [`ReplayLog`], whose header carries `replay`):
+    /// cheap format sniffing for tools that accept either.
+    pub fn sniff(text: &str) -> bool {
+        let Some(first) = text.lines().find(|l| !l.trim().is_empty()) else {
+            return false;
+        };
+        match json::parse(first) {
+            Ok(v) => v.get("trace").is_some(),
+            Err(_) => false,
+        }
+    }
 }
 
 /// The replay stamp: scheduler configuration, RNG state, and the ledger
@@ -372,6 +481,41 @@ mod tests {
                 kind: EventKind::ThreadExit { thread: 0 },
             },
         ]
+    }
+
+    #[test]
+    fn trace_round_trips_through_jsonl() {
+        let spec = header().spec;
+        let text = spec.to_jsonl();
+        let back = TraceSpec::from_jsonl(&text).expect("trace parses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn trace_rejects_wrong_version() {
+        let text = header()
+            .spec
+            .to_jsonl()
+            .replace("\"trace\":1", "\"trace\":9");
+        assert!(TraceSpec::from_jsonl(&text)
+            .unwrap_err()
+            .contains("version 9"));
+    }
+
+    #[test]
+    fn trace_reports_bad_job_line_number() {
+        let mut text = header().spec.to_jsonl();
+        text.push_str("{\"arrival_us\":1}\n");
+        let err = TraceSpec::from_jsonl(&text).unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
+    }
+
+    #[test]
+    fn sniff_tells_traces_from_replay_logs() {
+        assert!(TraceSpec::sniff(&header().spec.to_jsonl()));
+        assert!(!TraceSpec::sniff(&header().to_json()));
+        assert!(!TraceSpec::sniff(""));
+        assert!(!TraceSpec::sniff("not json"));
     }
 
     #[test]

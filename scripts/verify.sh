@@ -39,6 +39,25 @@ echo "$broker_out" | grep -q "broker 2:1 isolation held within 5% on cpu, disk, 
 echo "$broker_out" | grep -q "raw funding drifts under intra-tenant inflation: CONFIRMED" \
   || { echo "verify: raw funding ablation failed to show the leak" >&2; exit 1; }
 
+# Cluster smoke: one cluster-level grant per tenant must hold 2:1 within
+# 5% across 4 nodes after a demand skew, a killed node's grants must be
+# reclaimed via inverse lotteries within the recovery bound, and the
+# frozen-reconciliation ablation must demonstrably drift. The ctl verb
+# must report the canned market machine-readably.
+cluster_out=$(cargo run -q --release -p lottery-experiments --bin experiments -- cluster)
+echo "$cluster_out" | grep -q "cluster 2:1 isolation held within 5% across 4 nodes: OK" \
+  || { echo "verify: cluster market missed the 2:1 cluster-wide ratio" >&2; exit 1; }
+echo "$cluster_out" | grep -qE "node-loss recovery within [0-9]+ rounds \(bound [0-9]+\): CONFIRMED" \
+  || { echo "verify: node-loss recovery was not confirmed within the bound" >&2; exit 1; }
+echo "$cluster_out" | grep -q "static-split ablation drifts without reconciliation: CONFIRMED" \
+  || { echo "verify: static-split ablation failed to show the drift" >&2; exit 1; }
+ctl_cluster_out=$(printf '%s\n' "cluster --json" \
+  | cargo run -q --release -p lottery-ctl --bin lotteryctl)
+echo "$ctl_cluster_out" | grep -q '"conserved":true' \
+  || { echo "verify: ctl cluster --json did not report grant conservation" >&2; exit 1; }
+echo "$ctl_cluster_out" | grep -q '"policy":"demand-following"' \
+  || { echo "verify: ctl cluster --json lacks the budget policy" >&2; exit 1; }
+
 # Alias-sampler smoke: winner streams must stay bit-identical across
 # list/tree/alias under compensation churn, and the alias policy must
 # hold a 2:1 ticket ratio; the scale bench itself is compiled by the

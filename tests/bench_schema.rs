@@ -261,6 +261,39 @@ fn broker_summary_covers_both_control_paths_at_every_population() {
 }
 
 #[test]
+fn cluster_summary_prices_reconciliation_at_every_width() {
+    // Committed by `cargo bench --bench cluster`: the coordinator's
+    // protocol-only round (`reconcile`) and the full serviced round
+    // (`round`) at each cluster width, with `elements` carrying the node
+    // count so downstream tooling can compute per-node reconciliation
+    // cost. A serviced round can never be cheaper than the bare
+    // protocol at the same width.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_cluster.json");
+    let text = fs::read_to_string(&path).expect("BENCH_cluster.json committed");
+    let v = json::parse(&text).unwrap();
+    let results = v.get("results").and_then(Value::as_array).unwrap();
+    let median = |variant: &str, nodes: u64| -> f64 {
+        let id = format!("cluster/{variant}/{nodes}");
+        let r = results
+            .iter()
+            .find(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str()))
+            .unwrap_or_else(|| panic!("missing result {id}"));
+        assert_eq!(
+            r.get("elements").and_then(Value::as_f64),
+            Some(nodes as f64),
+            "{id}: elements must be the node count"
+        );
+        r.get("median_ns").and_then(Value::as_f64).unwrap()
+    };
+    for nodes in [2u64, 4, 8, 16] {
+        assert!(
+            median("round", nodes) > median("reconcile", nodes),
+            "serviced round should cost more than the bare protocol at {nodes} nodes"
+        );
+    }
+}
+
+#[test]
 fn replay_summary_prices_record_and_replay_for_every_structure() {
     // Committed by `cargo bench --bench replay`: a live recorded run and
     // a full replay-and-diff of the same capture, per selection
