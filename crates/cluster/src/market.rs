@@ -167,6 +167,9 @@ pub struct ClusterMarket {
     views: Vec<NodeView>,
     monitor: DominantShareMonitor,
     round: u32,
+    /// Simulated microseconds between reconciliation rounds, for event-
+    /// driven composition (see the `EventSource` impl).
+    round_period_us: u64,
     rng: ParkMiller,
     bus: ProbeBus,
     moves: u64,
@@ -242,6 +245,7 @@ impl ClusterMarket {
             ],
             monitor,
             round: 0,
+            round_period_us: 10_000,
             rng: ParkMiller::new(seed ^ 0x0ddba11),
             bus: ProbeBus::disabled(),
             moves: 0,
@@ -308,6 +312,22 @@ impl ClusterMarket {
     /// Reconciliation rounds run.
     pub fn round_count(&self) -> u32 {
         self.round
+    }
+
+    /// Sets the reconciliation cadence: simulated microseconds between
+    /// rounds (used by the `EventSource` impl; the default is 10 ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period — a zero cadence would pin an event loop.
+    pub fn set_round_period_us(&mut self, period_us: u64) {
+        assert!(period_us > 0, "round period must be positive");
+        self.round_period_us = period_us;
+    }
+
+    /// The reconciliation cadence, in simulated microseconds per round.
+    pub fn round_period_us(&self) -> u64 {
+        self.round_period_us
     }
 
     /// Grant moves performed so far.
@@ -674,6 +694,18 @@ impl ClusterMarket {
             allocs,
             shares: self.monitor.report(),
         }
+    }
+}
+
+/// Reconciliation is a periodic controller: round `r+1` is due one
+/// cadence after round `r`'s nominal instant, unconditionally — the
+/// coordinator re-syncs even an idle cluster (that is what detects
+/// partitions and node loss). A shared event loop jumps straight to it.
+impl lottery_sim::event::EventSource for ClusterMarket {
+    fn next_due(&self) -> Option<lottery_sim::time::SimTime> {
+        Some(lottery_sim::time::SimTime::from_us(
+            (u64::from(self.round) + 1) * self.round_period_us,
+        ))
     }
 }
 

@@ -29,7 +29,7 @@
 //! ```
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use lottery_obs::{EventKind, ProbeBus};
 
@@ -275,15 +275,31 @@ impl CompensationLedger {
 /// CPU refreshing its own partial-sum tree drains only the notifications
 /// it can act on instead of contending on one global set. With a single
 /// shard (the default) this degenerates to exactly the old global queue.
+///
+/// Storage is dense: client ids are arena indices, so home assignment
+/// and pending-membership live in flat vectors indexed by slot — no
+/// hashing on the per-decision invalidation path. Each shard's queue is
+/// an insertion-ordered `Vec`; a `forget` or re-home leaves a tombstone
+/// behind that the next drain skips (membership is authoritative in the
+/// per-slot `pending` word, never in the queue vector).
 #[derive(Debug)]
 pub struct ShardedDirtyQueue {
-    /// Home shard per client. Unassigned clients route to shard 0.
-    owner: HashMap<ClientId, u32>,
-    /// Pending notifications, one set per shard.
-    queues: Vec<HashSet<ClientId>>,
+    /// Home shard per client slot; [`NO_SHARD`] routes to shard 0.
+    owner: Vec<u32>,
+    /// The shard whose queue holds the client's pending notification, or
+    /// [`NO_SHARD`] when none is pending. Authoritative for membership.
+    pending: Vec<u32>,
+    /// Pending notifications per shard, insertion-ordered, possibly with
+    /// tombstones (entries whose `pending` word no longer matches).
+    queues: Vec<Vec<ClientId>>,
+    /// Live (non-tombstoned) notification count per shard.
+    live: Vec<usize>,
     /// Times an already-assigned client moved to a different shard.
     reassignments: u64,
 }
+
+/// Sentinel for "no shard" in the dense owner / pending vectors.
+const NO_SHARD: u32 = u32::MAX;
 
 impl Default for ShardedDirtyQueue {
     fn default() -> Self {
@@ -295,8 +311,10 @@ impl ShardedDirtyQueue {
     /// Creates a queue with `shards` partitions (at least one).
     pub fn new(shards: usize) -> Self {
         Self {
-            owner: HashMap::new(),
-            queues: vec![HashSet::new(); shards.max(1)],
+            owner: Vec::new(),
+            pending: Vec::new(),
+            queues: vec![Vec::new(); shards.max(1)],
+            live: vec![0; shards.max(1)],
             reassignments: 0,
         }
     }
@@ -306,26 +324,41 @@ impl ShardedDirtyQueue {
         self.queues.len()
     }
 
+    /// Grows the dense tables to cover `client`'s slot.
+    fn ensure_slot(&mut self, client: ClientId) -> usize {
+        let slot = client.index() as usize;
+        if slot >= self.owner.len() {
+            self.owner.resize(slot + 1, NO_SHARD);
+            self.pending.resize(slot + 1, NO_SHARD);
+        }
+        slot
+    }
+
     /// The shard a client's notifications route to. Unassigned or
     /// out-of-range owners clamp into the valid shard range.
     pub fn shard_of(&self, client: ClientId) -> u32 {
-        let shard = self.owner.get(&client).copied().unwrap_or(0);
+        let raw = self
+            .owner
+            .get(client.index() as usize)
+            .copied()
+            .unwrap_or(NO_SHARD);
+        let shard = if raw == NO_SHARD { 0 } else { raw };
         shard.min(self.queues.len() as u32 - 1)
     }
 
     /// Pending notifications in one shard (0 for out-of-range shards).
     pub fn depth(&self, shard: u32) -> usize {
-        self.queues.get(shard as usize).map_or(0, HashSet::len)
+        self.live.get(shard as usize).copied().unwrap_or(0)
     }
 
     /// Total pending notifications across all shards.
     pub fn len(&self) -> usize {
-        self.queues.iter().map(HashSet::len).sum()
+        self.live.iter().sum()
     }
 
     /// Whether no notifications are pending anywhere.
     pub fn is_empty(&self) -> bool {
-        self.queues.iter().all(HashSet::is_empty)
+        self.live.iter().all(|&n| n == 0)
     }
 
     /// Times an already-assigned client changed shards.
@@ -333,10 +366,15 @@ impl ShardedDirtyQueue {
         self.reassignments
     }
 
-    /// Enqueues a notification on the client's home shard.
+    /// Enqueues a notification on the client's home shard (idempotent).
     pub fn insert(&mut self, client: ClientId) {
-        let shard = self.shard_of(client) as usize;
-        self.queues[shard].insert(client);
+        let shard = self.shard_of(client);
+        let slot = self.ensure_slot(client);
+        if self.pending[slot] == NO_SHARD {
+            self.pending[slot] = shard;
+            self.queues[shard as usize].push(client);
+            self.live[shard as usize] += 1;
+        }
     }
 
     /// Re-homes a client, migrating any pending notification with it so
@@ -344,27 +382,38 @@ impl ShardedDirtyQueue {
     pub fn assign(&mut self, client: ClientId, shard: u32) {
         let shard = shard.min(self.queues.len() as u32 - 1);
         let old = self.shard_of(client);
-        if self.owner.insert(client, shard).is_some() && old != shard {
+        let slot = self.ensure_slot(client);
+        if self.owner[slot] != NO_SHARD && old != shard {
             self.reassignments += 1;
         }
-        if old != shard && self.queues[old as usize].remove(&client) {
-            self.queues[shard as usize].insert(client);
+        self.owner[slot] = shard;
+        if old != shard && self.pending[slot] == old {
+            // The old queue keeps a tombstone; the pending word moves.
+            self.live[old as usize] -= 1;
+            self.pending[slot] = shard;
+            self.queues[shard as usize].push(client);
+            self.live[shard as usize] += 1;
         }
     }
 
     /// Drops a client entirely: its pending notification and its home
     /// assignment (on destruction — it must never surface from a drain).
     pub fn forget(&mut self, client: ClientId) {
-        let shard = self.shard_of(client) as usize;
-        self.queues[shard].remove(&client);
-        self.owner.remove(&client);
+        let slot = self.ensure_slot(client);
+        let pending = self.pending[slot];
+        if pending != NO_SHARD {
+            self.live[pending as usize] -= 1;
+            self.pending[slot] = NO_SHARD;
+        }
+        self.owner[slot] = NO_SHARD;
     }
 
     /// Changes the shard count, re-routing pending notifications through
     /// the (clamped) owner map.
     pub fn set_shards(&mut self, shards: usize) {
         let pending: Vec<ClientId> = self.drain_all();
-        self.queues = vec![HashSet::new(); shards.max(1)];
+        self.queues = vec![Vec::new(); shards.max(1)];
+        self.live = vec![0; shards.max(1)];
         for client in pending {
             self.insert(client);
         }
@@ -380,15 +429,30 @@ impl ShardedDirtyQueue {
     /// Drains one shard into a caller-owned buffer (cleared first), so
     /// per-draw refresh paths reuse storage instead of allocating.
     ///
-    /// Drain order is ascending client id, never hash order: downstream
-    /// structures patch weights (and decide when to rebuild) in this
-    /// order, and record/replay requires it to be identical across runs.
+    /// Drain order is ascending client id, never hash or insertion
+    /// order: downstream structures patch weights (and decide when to
+    /// rebuild) in this order, and record/replay requires it to be
+    /// identical across runs.
     pub fn drain_shard_into(&mut self, shard: u32, out: &mut Vec<ClientId>) {
         out.clear();
-        if let Some(q) = self.queues.get_mut(shard as usize) {
-            out.extend(q.drain());
-        }
+        self.drain_shard_append(shard, out);
         out.sort_unstable();
+    }
+
+    /// Drains one shard's live entries (skipping tombstones) onto the end
+    /// of `out`, unsorted.
+    fn drain_shard_append(&mut self, shard: u32, out: &mut Vec<ClientId>) {
+        let Some(q) = self.queues.get_mut(shard as usize) else {
+            return;
+        };
+        for client in q.drain(..) {
+            let slot = client.index() as usize;
+            if self.pending[slot] == shard {
+                self.pending[slot] = NO_SHARD;
+                out.push(client);
+            }
+        }
+        self.live[shard as usize] = 0;
     }
 
     /// Drains every shard (order unspecified).
@@ -406,9 +470,9 @@ impl ShardedDirtyQueue {
     pub fn drain_all_into(&mut self, out: &mut Vec<ClientId>) {
         out.clear();
         out.reserve(self.len());
-        for q in &mut self.queues {
+        for shard in 0..self.queues.len() as u32 {
             let start = out.len();
-            out.extend(q.drain());
+            self.drain_shard_append(shard, out);
             out[start..].sort_unstable();
         }
     }

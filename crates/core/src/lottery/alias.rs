@@ -33,10 +33,9 @@
 //! crossings exceed 1/8 of the population or the overlay outgrows
 //! O(√n), amortized O(1) per mutation by a rebuild-spacing gate.
 
-use std::collections::HashMap;
-use std::hash::Hash;
 use std::time::Instant;
 
+use super::index::{HashIndex, SlotIndex};
 use super::TicketPool;
 
 /// What one full rebuild cost, for the probe bus and `lotteryctl`.
@@ -84,10 +83,11 @@ struct Cell {
 /// [`super::tree::TreeLottery`] applies — so selections agree with the
 /// list walk entry for entry.
 #[derive(Debug, Clone)]
-pub struct AliasLottery<T> {
+pub struct AliasLottery<T, I = HashIndex<T>> {
     /// Current entries in slot order (always up to date).
     items: Vec<(T, f64)>,
-    index: HashMap<T, usize>,
+    /// Item -> slot (pluggable: hash map or dense arena table).
+    index: I,
     /// Exact running total of current weights.
     total: f64,
 
@@ -123,14 +123,14 @@ pub struct AliasLottery<T> {
     last_probes: u32,
 }
 
-impl<T> Default for AliasLottery<T> {
+impl<T, I: SlotIndex<T>> Default for AliasLottery<T, I> {
     fn default() -> Self {
-        Self::new()
+        Self::with_index(0)
     }
 }
 
-impl<T> AliasLottery<T> {
-    /// Creates an empty pool.
+impl<T: Eq + std::hash::Hash + Clone> AliasLottery<T> {
+    /// Creates an empty pool with the default hash-based index.
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
@@ -138,9 +138,17 @@ impl<T> AliasLottery<T> {
     /// Creates an empty pool with room for `capacity` entries, so bulk
     /// population does not reallocate.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_index(capacity)
+    }
+}
+
+impl<T, I: SlotIndex<T>> AliasLottery<T, I> {
+    /// Creates an empty pool over a chosen reverse-index type, with room
+    /// for `capacity` entries (see [`super::index`]).
+    pub fn with_index(capacity: usize) -> Self {
         Self {
             items: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
+            index: I::with_capacity(capacity),
             total: 0.0,
             snap_w: Vec::new(),
             snap_prefix: vec![0.0],
@@ -374,7 +382,7 @@ impl<T> AliasLottery<T> {
     }
 }
 
-impl<T: Eq + Hash + Copy> TicketPool<T, f64> for AliasLottery<T> {
+impl<T: Copy, I: SlotIndex<T>> TicketPool<T, f64> for AliasLottery<T, I> {
     fn len(&self) -> usize {
         self.items.len()
     }
@@ -384,13 +392,13 @@ impl<T: Eq + Hash + Copy> TicketPool<T, f64> for AliasLottery<T> {
     }
 
     fn insert(&mut self, item: T, weight: f64) {
-        if self.index.contains_key(&item) {
+        if self.index.get(&item).is_some() {
             self.set_weight(&item, weight);
             return;
         }
         let slot = self.items.len();
         self.items.push((item, weight));
-        self.index.insert(item, slot);
+        self.index.set(&item, slot);
         self.total += weight;
         self.patch(slot, weight);
         self.maybe_rebuild();
@@ -405,7 +413,7 @@ impl<T: Eq + Hash + Copy> TicketPool<T, f64> for AliasLottery<T> {
             // The displaced last entry now occupies `slot` — the same
             // swap-remove motion the ready queues and the tree apply.
             let (moved, moved_w) = self.items[slot];
-            self.index.insert(moved, slot);
+            self.index.set(&moved, slot);
             self.patch(slot, moved_w);
         }
         // The vacated tail slot holds nothing; against a snapshot that
@@ -416,7 +424,7 @@ impl<T: Eq + Hash + Copy> TicketPool<T, f64> for AliasLottery<T> {
     }
 
     fn set_weight(&mut self, item: &T, weight: f64) -> bool {
-        let Some(&slot) = self.index.get(item) else {
+        let Some(slot) = self.index.get(item) else {
             return false;
         };
         let prev = self.items[slot].1;

@@ -1,0 +1,194 @@
+//! Pluggable item→slot reverse indexes for lottery pools.
+//!
+//! [`super::tree::TreeLottery`] and [`super::alias::AliasLottery`] keep
+//! their entries in a dense `Vec` of slots and need the reverse mapping —
+//! *which slot does this item occupy?* — to support keyed updates and
+//! swap-removal. The mapping is pluggable through [`SlotIndex`]:
+//!
+//! * [`HashIndex`] (the default) works for any hashable key — the `&str`
+//!   and integer keys of the unit tests and experiments.
+//! * [`DenseIndex`] exploits that scheduler keys are already *arena
+//!   indices* (thread ids, client handles): a plain `Vec<usize>` keyed by
+//!   [`SlotKey::slot_key`], replacing the hash probe on every insert,
+//!   remove, and weight update with a single array access. The schedulers'
+//!   per-decision pool maintenance is exactly these operations, so the
+//!   kernel's dispatch path carries no hashing at all.
+//!
+//! A dense index trades memory for time: its table spans the *key space*
+//! (the arena's high-water mark), not the live population. Arena indices
+//! are recycled densely, so the table never outgrows the peak population.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::arena::Handle;
+
+/// Reverse index from item to the slot it occupies in a pool.
+///
+/// Implementations only store the mapping; the pool's item vector remains
+/// the source of truth for membership and ordering.
+pub trait SlotIndex<T>: Default {
+    /// An empty index with room for `capacity` entries.
+    fn with_capacity(capacity: usize) -> Self;
+
+    /// The slot `item` occupies, if present.
+    fn get(&self, item: &T) -> Option<usize>;
+
+    /// Records that `item` occupies `slot` (inserting or re-homing).
+    fn set(&mut self, item: &T, slot: usize);
+
+    /// Forgets `item`, returning the slot it occupied.
+    fn remove(&mut self, item: &T) -> Option<usize>;
+}
+
+/// Hash-map backed index: works for any `Eq + Hash + Clone` key.
+#[derive(Debug, Clone)]
+pub struct HashIndex<T> {
+    map: HashMap<T, usize>,
+}
+
+impl<T> Default for HashIndex<T> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> SlotIndex<T> for HashIndex<T> {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+        }
+    }
+
+    fn get(&self, item: &T) -> Option<usize> {
+        self.map.get(item).copied()
+    }
+
+    fn set(&mut self, item: &T, slot: usize) {
+        self.map.insert(item.clone(), slot);
+    }
+
+    fn remove(&mut self, item: &T) -> Option<usize> {
+        self.map.remove(item)
+    }
+}
+
+/// Keys that are small dense integers — arena indices, thread ids.
+///
+/// `slot_key` must be stable for the key's lifetime and densely recycled
+/// (an arena's slot index), so a [`DenseIndex`] table stays proportional
+/// to the peak population.
+pub trait SlotKey {
+    /// The dense integer identity of this key.
+    fn slot_key(&self) -> usize;
+}
+
+impl<T> SlotKey for Handle<T> {
+    fn slot_key(&self) -> usize {
+        self.index() as usize
+    }
+}
+
+impl SlotKey for u32 {
+    fn slot_key(&self) -> usize {
+        *self as usize
+    }
+}
+
+impl SlotKey for usize {
+    fn slot_key(&self) -> usize {
+        *self
+    }
+}
+
+/// Vacant-slot sentinel in a [`DenseIndex`] table.
+const VACANT: usize = usize::MAX;
+
+/// Dense vector index over [`SlotKey`] keys: O(1) array lookups with no
+/// hashing, sized by the key space's high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct DenseIndex {
+    slots: Vec<usize>,
+}
+
+impl DenseIndex {
+    fn slot_at(&self, key: usize) -> Option<usize> {
+        match self.slots.get(key) {
+            Some(&slot) if slot != VACANT => Some(slot),
+            _ => None,
+        }
+    }
+}
+
+impl<T: SlotKey> SlotIndex<T> for DenseIndex {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn get(&self, item: &T) -> Option<usize> {
+        self.slot_at(item.slot_key())
+    }
+
+    fn set(&mut self, item: &T, slot: usize) {
+        let key = item.slot_key();
+        if key >= self.slots.len() {
+            self.slots.resize(key + 1, VACANT);
+        }
+        self.slots[key] = slot;
+    }
+
+    fn remove(&mut self, item: &T) -> Option<usize> {
+        let key = item.slot_key();
+        let slot = self.slot_at(key)?;
+        self.slots[key] = VACANT;
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_index_round_trips() {
+        let mut idx: HashIndex<&str> = HashIndex::with_capacity(4);
+        assert_eq!(idx.get(&"a"), None);
+        idx.set(&"a", 3);
+        idx.set(&"b", 1);
+        assert_eq!(idx.get(&"a"), Some(3));
+        idx.set(&"a", 0);
+        assert_eq!(idx.get(&"a"), Some(0));
+        assert_eq!(idx.remove(&"a"), Some(0));
+        assert_eq!(idx.get(&"a"), None);
+        assert_eq!(idx.remove(&"a"), None);
+        assert_eq!(idx.get(&"b"), Some(1));
+    }
+
+    #[test]
+    fn dense_index_round_trips() {
+        let mut idx = DenseIndex::default();
+        assert_eq!(SlotIndex::<u32>::get(&idx, &7), None);
+        idx.set(&7u32, 2);
+        idx.set(&0u32, 5);
+        assert_eq!(idx.get(&7u32), Some(2));
+        assert_eq!(idx.get(&0u32), Some(5));
+        assert_eq!(idx.get(&3u32), None, "hole between occupied keys");
+        idx.set(&7u32, 9);
+        assert_eq!(idx.get(&7u32), Some(9));
+        assert_eq!(idx.remove(&7u32), Some(9));
+        assert_eq!(idx.get(&7u32), None);
+        assert_eq!(idx.remove(&7u32), None);
+    }
+
+    #[test]
+    fn dense_index_grows_on_demand() {
+        let mut idx: DenseIndex = SlotIndex::<usize>::with_capacity(0);
+        idx.set(&1000usize, 1);
+        assert_eq!(idx.get(&1000usize), Some(1));
+        assert_eq!(idx.get(&999usize), None);
+    }
+}

@@ -21,8 +21,14 @@
 //! ticket counts and `f64` for currency-valued pools (base-unit values are
 //! rationals, held as floats as in Section 4.4's prototype). The alias
 //! table is `f64`-only — its cell geometry divides the value axis.
+//!
+//! Tree and alias pools additionally take a pluggable reverse index
+//! ([`index::SlotIndex`]): hash-based by default, or a dense arena table
+//! ([`index::DenseIndex`]) when keys are arena indices — the schedulers
+//! use the dense form so pool maintenance never hashes.
 
 pub mod alias;
+pub mod index;
 pub mod list;
 pub mod tree;
 

@@ -8,9 +8,7 @@
 //! subtree's sum; updates recompute the path from the touched leaf upward,
 //! so floating-point sums never drift.
 
-use std::collections::HashMap;
-use std::hash::Hash;
-
+use super::index::{HashIndex, SlotIndex};
 use super::{TicketPool, Weight};
 
 /// A partial-sum tree lottery pool.
@@ -29,35 +27,43 @@ use super::{TicketPool, Weight};
 /// assert!(["interactive", "batch"].contains(winner));
 /// ```
 #[derive(Debug, Clone)]
-pub struct TreeLottery<T, W> {
+pub struct TreeLottery<T, W, I = HashIndex<T>> {
     /// Leaf slot -> (item, weight).
     items: Vec<(T, W)>,
-    /// Item -> leaf slot.
-    index: HashMap<T, usize>,
+    /// Item -> leaf slot (pluggable: hash map or dense arena table).
+    index: I,
     /// 1-based implicit binary tree of `2 * capacity` sums.
     tree: Vec<W>,
     /// Number of leaf slots (a power of two).
     capacity: usize,
 }
 
-impl<T: Eq + Hash + Clone, W: Weight> Default for TreeLottery<T, W> {
+impl<T, W: Weight, I: SlotIndex<T>> Default for TreeLottery<T, W, I> {
     fn default() -> Self {
-        Self::new()
+        Self::with_index(1)
     }
 }
 
-impl<T: Eq + Hash + Clone, W: Weight> TreeLottery<T, W> {
-    /// Creates an empty pool.
+impl<T: Eq + std::hash::Hash + Clone, W: Weight> TreeLottery<T, W> {
+    /// Creates an empty pool with the default hash-based index.
     pub fn new() -> Self {
         Self::with_capacity(1)
     }
 
     /// Creates an empty pool with room for `n` entries before regrowing.
     pub fn with_capacity(n: usize) -> Self {
+        Self::with_index(n)
+    }
+}
+
+impl<T, W: Weight, I: SlotIndex<T>> TreeLottery<T, W, I> {
+    /// Creates an empty pool over a chosen reverse-index type, with room
+    /// for `n` entries before regrowing (see [`super::index`]).
+    pub fn with_index(n: usize) -> Self {
         let capacity = n.max(1).next_power_of_two();
         Self {
             items: Vec::new(),
-            index: HashMap::new(),
+            index: I::with_capacity(n),
             tree: vec![W::ZERO; 2 * capacity],
             capacity,
         }
@@ -104,7 +110,7 @@ impl<T: Eq + Hash + Clone, W: Weight> TreeLottery<T, W> {
     }
 }
 
-impl<T: Eq + Hash + Clone, W: Weight> TicketPool<T, W> for TreeLottery<T, W> {
+impl<T, W: Weight, I: SlotIndex<T>> TicketPool<T, W> for TreeLottery<T, W, I> {
     fn len(&self) -> usize {
         self.items.len()
     }
@@ -114,7 +120,7 @@ impl<T: Eq + Hash + Clone, W: Weight> TicketPool<T, W> for TreeLottery<T, W> {
     }
 
     fn insert(&mut self, item: T, weight: W) {
-        if let Some(&slot) = self.index.get(&item) {
+        if let Some(slot) = self.index.get(&item) {
             self.items[slot].1 = weight;
             self.set_leaf(slot, weight);
             return;
@@ -123,7 +129,7 @@ impl<T: Eq + Hash + Clone, W: Weight> TicketPool<T, W> for TreeLottery<T, W> {
             self.grow();
         }
         let slot = self.items.len();
-        self.index.insert(item.clone(), slot);
+        self.index.set(&item, slot);
         self.items.push((item, weight));
         self.set_leaf(slot, weight);
     }
@@ -134,7 +140,7 @@ impl<T: Eq + Hash + Clone, W: Weight> TicketPool<T, W> for TreeLottery<T, W> {
         if slot < self.items.len() {
             // The former last entry now occupies `slot`.
             let moved_weight = self.items[slot].1;
-            self.index.insert(self.items[slot].0.clone(), slot);
+            self.index.set(&self.items[slot].0, slot);
             self.set_leaf(slot, moved_weight);
         }
         // Clear the vacated last leaf.
@@ -143,7 +149,7 @@ impl<T: Eq + Hash + Clone, W: Weight> TicketPool<T, W> for TreeLottery<T, W> {
     }
 
     fn set_weight(&mut self, item: &T, weight: W) -> bool {
-        let Some(&slot) = self.index.get(item) else {
+        let Some(slot) = self.index.get(item) else {
             return false;
         };
         self.items[slot].1 = weight;

@@ -157,6 +157,15 @@ pub enum Command {
         /// Emit machine-readable JSON instead of text.
         json: bool,
     },
+    /// `events [--json]` — run a canned event-driven kernel window
+    /// (mixed runnable jobs and far-future sleepers) and report the
+    /// pending-event queue: depth, next-event instant, horizon to it,
+    /// and the decision count — sleepers sit in the queue at zero
+    /// per-decision cost.
+    Events {
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
     /// `structure [list|tree|alias] [--json]` — switch the winner-search
     /// structure the session rebuilds over its active processes (Section
     /// 4.2: list scan, partial-sum tree, or the O(1) alias sampler) and
@@ -292,6 +301,7 @@ commands (Section 4.7 of the paper):
   cluster [<nodes>] [--json]       canned multi-node market: allocations, conservation, shares
   shards [<n>|--json]              partition processes across n dirty shards / report
   structure [list|tree|alias] [--json]  switch the winner-search structure / report rebuild stats
+  events [--json]                  event-queue snapshot: depth, next event, horizon, decisions
   broker tenant <name> <grant> [static]  register a tenant grant split over cpu/disk/mem/net
   broker demand <tenant> <resource> <units>  record demand before a rebalance
   broker use <tenant> <resource> <units>     record observed usage
@@ -438,6 +448,9 @@ commands (Section 4.7 of the paper):
                 json: false,
             }),
             ["shards", ..] => Err(ParseError::Usage("shards [<n>|--json]")),
+            ["events"] => Ok(Command::Events { json: false }),
+            ["events", "--json"] => Ok(Command::Events { json: true }),
+            ["events", ..] => Err(ParseError::Usage("events [--json]")),
             ["structure"] => Ok(Command::Structure {
                 kind: None,
                 json: false,
@@ -744,6 +757,22 @@ mod tests {
         ));
         assert!(matches!(
             Command::parse("shards 2 --json"),
+            Err(ParseError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_events() {
+        assert_eq!(
+            Command::parse("events"),
+            Ok(Command::Events { json: false })
+        );
+        assert_eq!(
+            Command::parse("events --json"),
+            Ok(Command::Events { json: true })
+        );
+        assert!(matches!(
+            Command::parse("events now"),
             Err(ParseError::Usage(_))
         ));
     }

@@ -467,6 +467,7 @@ impl Session {
             Command::Dump => Ok(self.flight.with(|f| f.to_jsonl())),
             Command::Replay { path, json } => Self::exec_replay(&path, json),
             Command::Cluster { nodes, json } => Self::exec_cluster(nodes.unwrap_or(4), json),
+            Command::Events { json } => Ok(Self::exec_events(json)),
             Command::Shards { count, json } => {
                 if let Some(n) = count {
                     return self.partition_shards(n);
@@ -833,6 +834,65 @@ impl Session {
     /// tenant pair saturating every node under demand-following budgets,
     /// with the last node killed mid-run so the report shows loss
     /// detection, inverse-lottery reclaim, and conservation.
+    /// `events [--json]`: a canned event-driven kernel window. Three
+    /// runnable jobs (18 ms of CPU between them) and five far-future
+    /// sleepers run for a 10 ms window at a 1 ms quantum; the report
+    /// shows the pending-event queue the refactored core schedules
+    /// from — depth, the next-event instant, and the horizon to it —
+    /// alongside the decision count, which the sleepers never touch.
+    fn exec_events(json_out: bool) -> String {
+        use lottery_sim::prelude::*;
+
+        let policy = LotteryPolicy::with_quantum(42, SimDuration::from_ms(1));
+        let base = policy.base_currency();
+        let mut kernel = Kernel::new(policy);
+        for (i, (tickets, ms)) in [(300u64, 4u64), (200, 6), (100, 8)].iter().enumerate() {
+            kernel.spawn(
+                format!("job-{i}"),
+                Box::new(FiniteJob::new(SimDuration::from_ms(*ms))),
+                FundingSpec::new(base, *tickets),
+            );
+        }
+        for i in 0..5u64 {
+            kernel.spawn_sleeping(
+                format!("sleeper-{i}"),
+                Box::new(FiniteJob::new(SimDuration::from_ms(1))),
+                FundingSpec::new(base, 50),
+                SimTime::from_ms(20 + 5 * i),
+            );
+        }
+        kernel.run_until(SimTime::from_ms(10));
+
+        let now_us = kernel.now().as_us();
+        let depth = kernel.pending_events();
+        let next_us = kernel.next_event_at().map(|at| at.as_us());
+        let horizon_us = next_us.map(|at| at - now_us);
+        let decisions = kernel.metrics().decisions;
+        let live = kernel.live_threads();
+        if json_out {
+            return format!(
+                "{{\"mode\":\"event\",\"now_us\":{now_us},\"decisions\":{decisions},\
+                 \"live_threads\":{live},\"depth\":{depth},\"next_us\":{},\"horizon_us\":{}}}",
+                next_us.map_or("null".to_string(), |v| v.to_string()),
+                horizon_us.map_or("null".to_string(), |v| v.to_string()),
+            );
+        }
+        let mut out =
+            format!("event queue after a 10 ms window (1 ms quantum, {live} live threads)\n");
+        let _ = writeln!(out, "now            {now_us:>8} us");
+        let _ = writeln!(out, "decisions      {decisions:>8}");
+        let _ = writeln!(out, "pending events {depth:>8}");
+        match (next_us, horizon_us) {
+            (Some(next), Some(h)) => {
+                let _ = writeln!(out, "next event at  {next:>8} us (horizon {h} us)");
+            }
+            _ => {
+                let _ = writeln!(out, "next event at      none (queue empty)");
+            }
+        }
+        out
+    }
+
     fn exec_cluster(nodes: u32, json_out: bool) -> Result<String, CtlError> {
         use lottery_cluster::{BudgetPolicy, ClusterMarket, LOSS_TIMEOUT_ROUNDS};
         let mut market = ClusterMarket::new(
@@ -1697,6 +1757,31 @@ mod tests {
         assert_eq!(v.get("bit_exact").and_then(|b| b.as_bool()), Some(true));
         assert!(v.get("captured").and_then(|n| n.as_f64()).unwrap() > 0.0);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn events_verb_reports_queue_depth_and_horizon() {
+        let mut s = Session::new();
+        let out = eval(&mut s, "events");
+        assert!(out.contains("pending events        5"), "{out}");
+        assert!(
+            out.contains("next event at     20000 us (horizon 10000 us)"),
+            "{out}"
+        );
+        let out = eval(&mut s, "events --json");
+        let v = lottery_obs::json::parse(&out).expect("events --json parses");
+        assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("event"));
+        assert_eq!(v.get("now_us").and_then(|n| n.as_f64()), Some(10_000.0));
+        // The five far-future sleepers sit in the queue untouched: the
+        // 10 ms window costs its ten 1 ms-quantum decisions plus one
+        // for a job exit ending its quantum early — never a per-sleeper
+        // poll.
+        assert_eq!(v.get("depth").and_then(|n| n.as_f64()), Some(5.0));
+        assert_eq!(v.get("next_us").and_then(|n| n.as_f64()), Some(20_000.0));
+        assert_eq!(v.get("horizon_us").and_then(|n| n.as_f64()), Some(10_000.0));
+        assert_eq!(v.get("decisions").and_then(|n| n.as_f64()), Some(11.0));
+        // The heavily funded 4 ms job finished inside the window.
+        assert_eq!(v.get("live_threads").and_then(|n| n.as_f64()), Some(7.0));
     }
 
     #[test]

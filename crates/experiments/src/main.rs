@@ -9,6 +9,7 @@ mod ablations;
 mod broker;
 mod cluster;
 mod diverse;
+mod events;
 mod fig_apps;
 mod fig_basics;
 mod fig_insulation;
@@ -98,6 +99,11 @@ const EXPERIMENTS: &[(&str, &str, Entry)] = &[
         "replay",
         "deterministic record/replay: bit-exact round-trips & divergence diffing",
         replay::replay,
+    ),
+    (
+        "events",
+        "event-driven core: decision-free idle, mode equivalence, shared source loop",
+        events::run,
     ),
     (
         "binomial",

@@ -199,6 +199,11 @@ impl DiskScheduler {
         self.seek_distance
     }
 
+    /// Pending requests across every client.
+    pub fn pending_requests(&self) -> usize {
+        self.clients.iter().map(|c| c.queue.len()).sum()
+    }
+
     /// Picks the next request per the policy, services it, and advances
     /// the disk clock.
     ///
@@ -274,6 +279,16 @@ impl DiskScheduler {
             wait: response,
         });
         Ok(DiskClientId(chosen as u32))
+    }
+}
+
+/// The disk is work-conserving: while any request is pending, its next
+/// completion can start at the current disk clock; an idle disk has no
+/// future work of its own. A shared event loop therefore jumps straight
+/// past idle disk time instead of polling.
+impl lottery_sim::event::EventSource for DiskScheduler {
+    fn next_due(&self) -> Option<lottery_sim::time::SimTime> {
+        (self.pending_requests() > 0).then(|| lottery_sim::time::SimTime::from_us(self.clock_us))
     }
 }
 

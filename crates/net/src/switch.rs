@@ -181,6 +181,21 @@ impl Switch {
         });
         Ok((CircuitId(index as u32), cell))
     }
+
+    /// Cells waiting across every circuit.
+    pub fn pending_cells(&self) -> usize {
+        self.circuits.iter().map(|c| c.queue.len()).sum()
+    }
+}
+
+/// The switch forwards one cell per slot; with cells queued, its next
+/// forwarding opportunity is the upcoming slot boundary (slot `n` maps to
+/// simulated microsecond `n` — the driver owns the slot-time scale). An
+/// empty switch schedules nothing, so a shared event loop skips it.
+impl lottery_sim::event::EventSource for Switch {
+    fn next_due(&self) -> Option<lottery_sim::time::SimTime> {
+        (self.pending_cells() > 0).then(|| lottery_sim::time::SimTime::from_us(self.slot))
+    }
 }
 
 #[cfg(test)]

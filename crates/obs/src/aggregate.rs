@@ -426,6 +426,10 @@ impl Recorder for Aggregator {
                 self.dirty_depth.record(dirty_depth as f64);
             }
             EventKind::DirtyDrain { drained } => self.dirty_drained.record(drained as f64),
+            // Batched drains feed the same depth statistic: one batch of
+            // `depth` clients is the same revaluation work as `depth`
+            // notifications drained singly.
+            EventKind::DirtyBatch { depth, .. } => self.dirty_drained.record(depth as f64),
             EventKind::StructureRebuild { rebuild_ns, .. } => {
                 self.structure_rebuilds += 1;
                 self.structure_rebuild_ns.record(rebuild_ns as f64);

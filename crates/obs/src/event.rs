@@ -166,6 +166,15 @@ pub enum EventKind {
         /// Clients drained.
         drained: u32,
     },
+    /// A scheduler drained one shard's dirty queue in a single batch at a
+    /// dispatch point (the event-driven core's once-per-dispatch drain,
+    /// rather than a per-client walk).
+    DirtyBatch {
+        /// The dirty-queue shard drained.
+        shard: u32,
+        /// Clients revalued by the batch.
+        depth: u32,
+    },
     /// A winner-search structure was (re)built wholesale — the alias
     /// table snapshotting its prefix sums, or a tree/list repopulated by
     /// a runtime structure switch.
@@ -326,6 +335,7 @@ impl EventKind {
             EventKind::CacheLookup { .. } => "cache-lookup",
             EventKind::CacheInvalidate { .. } => "cache-invalidate",
             EventKind::DirtyDrain { .. } => "dirty-drain",
+            EventKind::DirtyBatch { .. } => "dirty-batch",
             EventKind::StructureRebuild { .. } => "structure-rebuild",
             EventKind::QueueDepth { .. } => "queue-depth",
             EventKind::ShardPick { .. } => "shard-pick",
@@ -453,6 +463,9 @@ impl Event {
             }
             EventKind::DirtyDrain { drained } => {
                 let _ = write!(s, ",\"drained\":{drained}");
+            }
+            EventKind::DirtyBatch { shard, depth } => {
+                let _ = write!(s, ",\"shard\":{shard},\"depth\":{depth}");
             }
             EventKind::StructureRebuild {
                 structure,
@@ -663,6 +676,10 @@ impl Event {
             },
             "dirty-drain" => EventKind::DirtyDrain {
                 drained: u32_field(v, "drained")?,
+            },
+            "dirty-batch" => EventKind::DirtyBatch {
+                shard: u32_field(v, "shard")?,
+                depth: u32_field(v, "depth")?,
             },
             "structure-rebuild" => EventKind::StructureRebuild {
                 structure: intern(v, "structure", STRUCTURES)?,
@@ -991,6 +1008,7 @@ mod tests {
                 dirty_depth: 7,
             },
             EventKind::DirtyDrain { drained: 12 },
+            EventKind::DirtyBatch { shard: 1, depth: 6 },
             EventKind::StructureRebuild {
                 structure: "alias",
                 clients: 1_000_000,
@@ -1093,6 +1111,7 @@ mod tests {
                 | EventKind::CacheLookup { .. }
                 | EventKind::CacheInvalidate { .. }
                 | EventKind::DirtyDrain { .. }
+                | EventKind::DirtyBatch { .. }
                 | EventKind::StructureRebuild { .. }
                 | EventKind::QueueDepth { .. }
                 | EventKind::ShardPick { .. }

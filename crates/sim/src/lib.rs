@@ -25,6 +25,7 @@
 //! assert!((ratio - 2.0).abs() < 0.2, "observed {ratio}");
 //! ```
 
+pub mod event;
 pub mod ipc;
 pub mod kernel;
 pub mod metrics;
@@ -45,6 +46,7 @@ pub mod prelude {
         TraceJob, TraceSpec,
     };
 
+    pub use crate::event::{EventQueue, EventSource, Scheduled, TimeMode};
     pub use crate::ipc::PortId;
     pub use crate::kernel::Kernel;
     pub use crate::metrics::Metrics;

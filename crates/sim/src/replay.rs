@@ -11,9 +11,14 @@
 //! difference is a real behavioural change, surfaced by
 //! [`first_divergence`] as the first index where the streams disagree.
 //!
-//! The one exemption is [`lottery_obs::EventKind::StructureRebuild`]'s
-//! `rebuild_ns` field, which measures host wall-clock time; divergence
-//! comparison canonicalises it to zero (see [`lottery_obs::replay::canonical`]).
+//! Two exemptions cover host-side cost telemetry that is not scheduling
+//! behaviour: [`lottery_obs::EventKind::StructureRebuild`]'s `rebuild_ns`
+//! field measures host wall-clock time, so divergence comparison
+//! canonicalises it to zero (see [`lottery_obs::replay::canonical`]); and
+//! [`lottery_obs::EventKind::DirtyBatch`] probes (the once-per-dispatch
+//! dirty-queue drains) are filtered out of [`drive`]'s stream entirely —
+//! they describe how the drain was batched, not which clients were
+//! revalued, and captures recorded before batching existed carry none.
 //!
 //! [`record`] captures a fresh window; [`Replayer`] re-executes one and
 //! diffs. [`run_fcfs`] drives the same trace through a run-to-completion
@@ -166,7 +171,10 @@ pub fn drive(header: &ReplayHeader) -> Result<Vec<Event>, String> {
         let mut kernel = Kernel::new(policy);
         kernel.set_probe_bus(bus);
         for &(i, job) in &jobs {
-            kernel.run_until(SimTime::from_us(job.arrival_us));
+            // The completing variant preserves the historical boundary
+            // semantics (in-flight quanta finish past an arrival), so
+            // captures recorded before the event rebase replay bit-exact.
+            kernel.run_until_completing(SimTime::from_us(job.arrival_us));
             let cur = currencies.get(job.tenant.as_str()).copied().unwrap_or(base);
             kernel.spawn(
                 format!("job{i}"),
@@ -174,7 +182,7 @@ pub fn drive(header: &ReplayHeader) -> Result<Vec<Event>, String> {
                 FundingSpec::new(cur, job.tickets.max(1)),
             );
         }
-        kernel.run_until(SimTime::from_us(header.until_us));
+        kernel.run_until_completing(SimTime::from_us(header.until_us));
     } else {
         let shards = header.shards as usize;
         let mut policy = if header.quantum_us > 0 {
@@ -210,7 +218,16 @@ pub fn drive(header: &ReplayHeader) -> Result<Vec<Event>, String> {
             .map_err(|e| format!("smp run: {e:?}"))?;
     }
 
-    Ok(flight.with(|f| f.events().cloned().collect()))
+    // `DirtyBatch` is excluded from capture streams (like `rebuild_ns`,
+    // it reflects the host-side cost model, not scheduling behaviour):
+    // batched drains were introduced after the first capture corpus was
+    // recorded, and filtering keeps those captures bit-exact.
+    Ok(flight.with(|f| {
+        f.events()
+            .filter(|e| !matches!(e.kind, lottery_obs::EventKind::DirtyBatch { .. }))
+            .cloned()
+            .collect()
+    }))
 }
 
 /// Captures a fresh window: runs `spec` under `config` and returns the
@@ -318,7 +335,7 @@ pub struct JobOutcome {
     /// Thread id the job ran as.
     pub thread: u32,
     /// The job's spec arrival time. The spawn itself may happen later —
-    /// `run_until` lets in-flight quanta finish — and that delay is
+    /// `run_until_completing` lets in-flight quanta finish — and that delay is
     /// queueing the response time must count.
     pub arrival_us: u64,
     /// Simulated time the job exited.
@@ -385,14 +402,14 @@ pub fn run_fcfs(spec: &TraceSpec, until_us: u64) -> Vec<Event> {
     bus.attach(flight.clone());
     kernel.set_probe_bus(bus);
     for &(i, job) in &spawn_order(spec) {
-        kernel.run_until(SimTime::from_us(job.arrival_us));
+        kernel.run_until_completing(SimTime::from_us(job.arrival_us));
         kernel.spawn(
             format!("job{i}"),
             Box::new(Scripted::once(job_script(job))),
             (),
         );
     }
-    kernel.run_until(SimTime::from_us(until_us));
+    kernel.run_until_completing(SimTime::from_us(until_us));
     flight.with(|f| f.events().cloned().collect())
 }
 

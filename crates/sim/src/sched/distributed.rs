@@ -42,6 +42,7 @@ use lottery_core::currency::CurrencyId;
 use lottery_core::errors::Result;
 use lottery_core::ledger::Ledger;
 use lottery_core::lottery::alias::AliasLottery;
+use lottery_core::lottery::index::DenseIndex;
 use lottery_core::lottery::tree::TreeLottery;
 use lottery_core::lottery::TicketPool;
 use lottery_core::rng::{ParkMiller, SchedRng};
@@ -68,10 +69,11 @@ struct Shard {
     /// Ready threads homed here, in scan order; removal swap-removes so
     /// the order always mirrors the mirror structure's slot order.
     ready: Vec<ThreadId>,
-    /// Cached-weight mirror of `ready` (tree mode — the default).
-    tree: TreeLottery<ThreadId, f64>,
+    /// Cached-weight mirror of `ready` (tree mode — the default). Thread
+    /// ids are dense, so the slot index is a flat table, not a hash map.
+    tree: TreeLottery<ThreadId, f64, DenseIndex>,
     /// Cached-weight mirror of `ready` (alias mode).
-    alias: AliasLottery<ThreadId>,
+    alias: AliasLottery<ThreadId, DenseIndex>,
     /// Lotteries resolved from this shard.
     picks: u64,
 }
@@ -80,8 +82,8 @@ impl Shard {
     fn new() -> Self {
         Self {
             ready: Vec::new(),
-            tree: TreeLottery::new(),
-            alias: AliasLottery::new(),
+            tree: TreeLottery::with_index(1),
+            alias: AliasLottery::with_index(0),
             picks: 0,
         }
     }
@@ -280,8 +282,8 @@ impl DistributedLottery {
             self.ledger.drain_dirty_shard_into(s, &mut dirty);
             self.dirty_buf = dirty;
             let sh = &mut self.shards[s as usize];
-            sh.tree = TreeLottery::with_capacity(sh.ready.len());
-            sh.alias = AliasLottery::with_capacity(sh.ready.len());
+            sh.tree = TreeLottery::with_index(sh.ready.len());
+            sh.alias = AliasLottery::with_index(sh.ready.len());
             for i in 0..self.shards[s as usize].ready.len() {
                 let tid = self.shards[s as usize].ready[i];
                 let client = self.funding_info(tid).client;
@@ -558,6 +560,13 @@ impl DistributedLottery {
     fn refresh_shard(&mut self, shard: u32) {
         let mut dirty = std::mem::take(&mut self.dirty_buf);
         self.ledger.drain_dirty_shard_into(shard, &mut dirty);
+        if !dirty.is_empty() {
+            // One batch per dispatch decision: the shard's queue is
+            // drained into the reusable scratch buffer above (ascending
+            // client-id order) and revalued in a single pass.
+            let depth = dirty.len() as u32;
+            self.bus.emit(|| EventKind::DirtyBatch { shard, depth });
+        }
         for &client in &dirty {
             let Some(tid) = self
                 .client_threads

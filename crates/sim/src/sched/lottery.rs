@@ -27,6 +27,7 @@ use lottery_core::currency::CurrencyId;
 use lottery_core::errors::Result;
 use lottery_core::ledger::Ledger;
 use lottery_core::lottery::alias::AliasLottery;
+use lottery_core::lottery::index::DenseIndex;
 use lottery_core::lottery::tree::TreeLottery;
 use lottery_core::lottery::TicketPool;
 use lottery_core::mutex::{TicketMutex, WaiterFunding};
@@ -125,10 +126,11 @@ pub struct LotteryPolicy {
     /// Lotteries held (for overhead accounting).
     lotteries: u64,
     structure: SelectStructure,
-    /// Cached-weight mirror of the ready queue, used in tree mode.
-    tree: TreeLottery<ThreadId, f64>,
+    /// Cached-weight mirror of the ready queue, used in tree mode. Thread
+    /// ids are dense, so the slot index is a flat table, not a hash map.
+    tree: TreeLottery<ThreadId, f64, DenseIndex>,
     /// Cached-weight mirror of the ready queue, used in alias mode.
-    alias: AliasLottery<ThreadId>,
+    alias: AliasLottery<ThreadId, DenseIndex>,
     /// Kernel mutexes (Section 6.1), scheduled by handoff lotteries.
     locks: Vec<TicketMutex>,
     /// Probe bus for per-draw observability (disabled by default).
@@ -162,8 +164,8 @@ impl LotteryPolicy {
             comp: CompensationHook::new(),
             lotteries: 0,
             structure: SelectStructure::List,
-            tree: TreeLottery::new(),
-            alias: AliasLottery::new(),
+            tree: TreeLottery::with_index(1),
+            alias: AliasLottery::with_index(0),
             locks: Vec::new(),
             bus: ProbeBus::disabled(),
         }
@@ -179,8 +181,8 @@ impl LotteryPolicy {
     pub fn set_structure(&mut self, structure: SelectStructure) {
         let start = Instant::now();
         self.structure = structure;
-        self.tree = TreeLottery::with_capacity(self.ready.len());
-        self.alias = AliasLottery::with_capacity(self.ready.len());
+        self.tree = TreeLottery::with_index(self.ready.len());
+        self.alias = AliasLottery::with_index(self.ready.len());
         if structure != SelectStructure::List {
             // Every ready weight is computed fresh below; notifications
             // accumulated while the mirror was dormant are obsolete.
@@ -292,6 +294,13 @@ impl LotteryPolicy {
     fn refresh_dirty_weights(&mut self) {
         let mut dirty = std::mem::take(&mut self.dirty_buf);
         self.ledger.drain_dirty_clients_into(&mut dirty);
+        if !dirty.is_empty() {
+            // One batch per dispatch decision: the whole queue is drained
+            // into the reusable scratch buffer above (ascending client-id
+            // order) and revalued in a single pass.
+            let depth = dirty.len() as u32;
+            self.bus.emit(|| EventKind::DirtyBatch { shard: 0, depth });
+        }
         for &client in &dirty {
             let Some(tid) = self
                 .client_threads

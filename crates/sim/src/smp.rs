@@ -18,20 +18,19 @@
 //! CPU's index through [`crate::sched::Policy::pick_on`], so each CPU
 //! holds lotteries on its own shard.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 
 use lottery_obs::{EventKind, ProbeBus};
 
+use crate::event::{EventQueue, TimeMode};
 use crate::metrics::Metrics;
 use crate::sched::{EndReason, Policy};
 use crate::thread::{BlockReason, Thread, ThreadId, ThreadState};
 use crate::time::{SimDuration, SimTime};
 use crate::workload::{Burst, Workload, WorkloadCtx};
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     /// A CPU finished its dispatch and needs a new thread.
     CpuFree { cpu: u32 },
@@ -78,8 +77,12 @@ pub struct SmpKernel<P: Policy> {
     policy: P,
     cpus: usize,
     idle_cpus: Vec<u32>,
-    events: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
-    seq: u64,
+    /// All future work — CPU frees, wakes, requeues — ordered by
+    /// `(when, seq)`. The payload never participates in ordering, so two
+    /// events due at the same instant pop in scheduling order.
+    events: EventQueue<Event>,
+    /// How the run loop discovers due events.
+    time_mode: TimeMode,
     metrics: Metrics,
     /// Per-CPU busy time, for utilization accounting.
     busy: Vec<SimDuration>,
@@ -104,8 +107,8 @@ impl<P: Policy> SmpKernel<P> {
             policy,
             cpus,
             idle_cpus: (0..cpus as u32).collect(),
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: EventQueue::new(),
+            time_mode: TimeMode::Event,
             metrics: Metrics::new(),
             busy: vec![SimDuration::ZERO; cpus],
             requeued: Vec::new(),
@@ -136,6 +139,27 @@ impl<P: Policy> SmpKernel<P> {
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.clock
+    }
+
+    /// Selects how the run loop discovers due events; both modes deliver
+    /// identical streams (see [`TimeMode`]).
+    pub fn set_time_mode(&mut self, mode: TimeMode) {
+        self.time_mode = mode;
+    }
+
+    /// The active time mode.
+    pub fn time_mode(&self) -> TimeMode {
+        self.time_mode
+    }
+
+    /// Pending future events (CPU frees, wakes, requeues).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// When the earliest pending event is due, if any.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.events.peek_at()
     }
 
     /// Number of CPUs.
@@ -196,9 +220,16 @@ impl<P: Policy> SmpKernel<P> {
     /// Wakes every idle CPU to try a dispatch at the current time.
     fn kick_idle_cpus(&mut self) {
         while let Some(cpu) = self.idle_cpus.pop() {
-            self.seq += 1;
-            self.events
-                .push(Reverse((self.clock, self.seq, Event::CpuFree { cpu })));
+            self.events.push(self.clock, Event::CpuFree { cpu });
+        }
+    }
+
+    /// When the earliest pending event is due. In stepping mode this is
+    /// the legacy linear callout scan; in event mode a heap peek.
+    fn next_event_due(&self) -> Option<SimTime> {
+        match self.time_mode {
+            TimeMode::Event => self.events.peek_at(),
+            TimeMode::Stepping => self.events.scan().map(|s| s.at).min(),
         }
     }
 
@@ -211,7 +242,7 @@ impl<P: Policy> SmpKernel<P> {
     /// RPC or mutex burst. The offending thread is exited; calling
     /// `run_until` again resumes the rest of the machine.
     pub fn run_until(&mut self, deadline: SimTime) -> Result<(), SmpError> {
-        while let Some(&Reverse((when, _, event))) = self.events.peek() {
+        while let Some(when) = self.next_event_due() {
             // Stop *at* the deadline: a dispatch beginning exactly there
             // belongs to the next run_until slice (mirrors the
             // uniprocessor kernel's `clock < deadline` loop condition).
@@ -219,7 +250,7 @@ impl<P: Policy> SmpKernel<P> {
                 self.clock = deadline.max(self.clock);
                 return Ok(());
             }
-            self.events.pop();
+            let event = self.events.pop().expect("a pending event was peeked").event;
             self.clock = self.clock.max(when);
             match event {
                 Event::Wake { tid } => {
@@ -314,12 +345,7 @@ impl<P: Policy> SmpKernel<P> {
                     Burst::Sleep(d) => {
                         let thread = &mut self.threads[tid.index() as usize];
                         thread.set_state(ThreadState::Blocked(BlockReason::Timer));
-                        self.seq += 1;
-                        self.events.push(Reverse((
-                            start + elapsed + d,
-                            self.seq,
-                            Event::Wake { tid },
-                        )));
+                        self.events.push(start + elapsed + d, Event::Wake { tid });
                         break EndReason::Blocked;
                     }
                     Burst::Exit => {
@@ -379,9 +405,7 @@ impl<P: Policy> SmpKernel<P> {
                 // *then*, via an event, or another CPU could dispatch the
                 // same thread concurrently. The requeue event is pushed
                 // before the CpuFree event so this CPU can win it back.
-                self.seq += 1;
-                self.events
-                    .push(Reverse((end, self.seq, Event::Requeue { tid })));
+                self.events.push(end, Event::Requeue { tid });
             }
             EndReason::Blocked => {
                 self.metrics.thread_mut(tid).blocks += 1;
@@ -393,9 +417,7 @@ impl<P: Policy> SmpKernel<P> {
                 });
             }
         }
-        self.seq += 1;
-        self.events
-            .push(Reverse((end, self.seq, Event::CpuFree { cpu })));
+        self.events.push(end, Event::CpuFree { cpu });
         match error {
             Some(e) => Err(e),
             None => Ok(()),

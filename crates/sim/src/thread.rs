@@ -36,6 +36,14 @@ impl fmt::Display for ThreadId {
     }
 }
 
+/// Thread ids are dense arena indices, so lottery pools can mirror them
+/// with a dense slot table instead of a hash map.
+impl lottery_core::lottery::index::SlotKey for ThreadId {
+    fn slot_key(&self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Why a thread is off the run queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockReason {

@@ -80,6 +80,27 @@ echo "$ctl_structure_out" | grep -q '"structure":"alias"' \
 echo "$ctl_structure_out" | grep -q '"rebuild_ns":' \
   || { echo "verify: ctl structure --json lacks rebuild_ns" >&2; exit 1; }
 
+# Event-driven core smoke: an all-sleeping kernel must cross its idle
+# window decision-free, event and stepping time modes must produce
+# bit-identical probe streams, and the shared loop must interleave the
+# kernel, disk, switch, and cluster-market event sources on one clock.
+events_out=$(cargo run -q --release -p lottery-experiments --bin experiments -- events)
+echo "$events_out" | grep -q "OK 400 ms idle gap crossed decision-free" \
+  || { echo "verify: idle gap cost scheduling decisions" >&2; exit 1; }
+echo "$events_out" | grep -q "OK event and stepping streams bit-identical" \
+  || { echo "verify: event and stepping modes diverged" >&2; exit 1; }
+echo "$events_out" | grep -q "OK four event sources interleaved on one clock" \
+  || { echo "verify: shared event loop failed to compose the sources" >&2; exit 1; }
+
+# ctl events smoke: the events verb must report the pending-event queue
+# machine-readably under --json.
+ctl_events_out=$(printf '%s\n' "events --json" \
+  | cargo run -q --release -p lottery-ctl --bin lotteryctl)
+echo "$ctl_events_out" | grep -q '"depth":' \
+  || { echo "verify: ctl events --json lacks the queue depth" >&2; exit 1; }
+echo "$ctl_events_out" | grep -q '"horizon_us":' \
+  || { echo "verify: ctl events --json lacks the next-event horizon" >&2; exit 1; }
+
 # Record/replay smoke: every capture configuration must replay
 # bit-identically, the JSONL round-trip must stay exact, and a tampered
 # event must be flagged with its index. The experiment leaves a capture

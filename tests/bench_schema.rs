@@ -294,6 +294,55 @@ fn cluster_summary_prices_reconciliation_at_every_width() {
 }
 
 #[test]
+fn idle_scale_summary_shows_event_core_immune_to_idle_population() {
+    // Committed by `cargo bench --bench idle_scale`: a 10 ms kernel
+    // window (1 ms quantum) over populations of 10^4..10^6 threads at
+    // 1%/10%/100% runnable, in both time modes, with `elements`
+    // carrying the total population. The event-driven core's headline
+    // acceptance bound: a million clients at 1% runnable must cost no
+    // more than 5x the ten-thousand-all-runnable window — sleepers sit
+    // in the pending-event heap and cost nothing per decision. The
+    // stepping ablation must show why: its per-decision linear deadline
+    // scan makes the same million-idle window orders of magnitude
+    // slower than the event core's.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_idle_scale.json");
+    let text = fs::read_to_string(&path).expect("BENCH_idle_scale.json committed");
+    let v = json::parse(&text).unwrap();
+    let results = v.get("results").and_then(Value::as_array).unwrap();
+    let median = |mode: &str, pct: u64, n: u64| -> f64 {
+        let id = format!("idle-scale/{mode}/{pct}pct/{n}");
+        let r = results
+            .iter()
+            .find(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str()))
+            .unwrap_or_else(|| panic!("missing result {id}"));
+        assert_eq!(
+            r.get("elements").and_then(Value::as_f64),
+            Some(n as f64),
+            "{id}: elements must record the population"
+        );
+        r.get("median_ns").and_then(Value::as_f64).unwrap()
+    };
+    for mode in ["event", "stepping"] {
+        for pct in [1u64, 10, 100] {
+            for n in [10_000u64, 100_000, 1_000_000] {
+                median(mode, pct, n);
+            }
+        }
+    }
+    let ratio = median("event", 1, 1_000_000) / median("event", 100, 10_000);
+    assert!(
+        ratio <= 5.0,
+        "event core: 10^6 clients at 1% runnable must stay within 5x of \
+         10^4 all-runnable, got {ratio:.2}x"
+    );
+    assert!(
+        median("stepping", 1, 1_000_000) > 10.0 * median("event", 1, 1_000_000),
+        "stepping's linear deadline scan should dwarf the event core on \
+         a million mostly-idle clients"
+    );
+}
+
+#[test]
 fn replay_summary_prices_record_and_replay_for_every_structure() {
     // Committed by `cargo bench --bench replay`: a live recorded run and
     // a full replay-and-diff of the same capture, per selection
