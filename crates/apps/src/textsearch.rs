@@ -20,7 +20,7 @@ use std::thread::JoinHandle;
 use lottery_core::errors::{LotteryError, Result};
 use lottery_core::lottery::{list::ListLottery, TicketPool};
 use lottery_core::rng::{ParkMiller, SchedRng, SplitMix64};
-use parking_lot::{Condvar, Mutex};
+use lottery_sync::primitives::{Condvar, Mutex};
 
 /// Deterministically generates `words` words of pseudo-prose.
 ///

@@ -1,4 +1,4 @@
-//! Mostly-idle populations: event-driven core vs quantum stepping.
+//! Mostly-idle populations under the event-driven core.
 //!
 //! Each configuration builds a kernel with `n` threads of which only
 //! `pct` percent are runnable (compute-bound); the rest start asleep on
@@ -7,19 +7,18 @@
 //! advances the kernel a 10 ms simulated window at a 1 ms quantum — ten
 //! dispatch decisions when work exists.
 //!
-//! The contrast under measurement is the cost of *sleepers*. In
-//! [`TimeMode::Event`] the kernel peeks the event heap (O(1)) at each
-//! scheduling point, so a million parked threads cost nothing per
-//! decision and `1_000_000 @ 1%` runs at the same per-window cost as
-//! `10_000 @ 100%`. In [`TimeMode::Stepping`] — the pre-refactor
-//! behaviour, kept for comparison — each scheduling point scans the
-//! pending set linearly for the earliest deadline, so idle population
-//! size leaks into every decision.
+//! The property under measurement is the cost of *sleepers*: the kernel
+//! peeks the event heap (O(1)) at each scheduling point, so a million
+//! parked threads cost nothing per decision and `1_000_000 @ 1%` runs at
+//! the same per-window cost as `10_000 @ 100%`. (The quantum-stepping
+//! ablation this bench once carried — a linear deadline scan per
+//! decision — is retired along with the public `TimeMode::Stepping`; the
+//! equivalence proof lives on as an in-crate sim property test.)
 //!
 //! `elements` records the total population so BENCH_idle_scale.json
 //! carries each configuration's scale alongside its per-window cost;
-//! `tests/bench_schema.rs` asserts the event core's million-idle row
-//! stays within 5x of its ten-thousand-all-runnable row.
+//! `tests/bench_schema.rs` asserts the million-idle row stays within 5x
+//! of the ten-thousand-all-runnable row.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lottery_sim::prelude::*;
@@ -31,11 +30,10 @@ const RUNNABLE_PCT: [usize; 3] = [1, 10, 100];
 /// 10 ms measurement windows.
 const FAR_FUTURE: SimTime = SimTime::from_us(1_000_000 * 1_000_000);
 
-fn build_kernel(n: usize, pct: usize, mode: TimeMode) -> Kernel<LotteryPolicy> {
+fn build_kernel(n: usize, pct: usize) -> Kernel<LotteryPolicy> {
     let policy = LotteryPolicy::with_quantum(7, SimDuration::from_ms(1));
     let base = policy.base_currency();
     let mut kernel = Kernel::new(policy);
-    kernel.set_time_mode(mode);
     let runnable = (n * pct / 100).max(1);
     for i in 0..n {
         let spec = FundingSpec::new(base, 100);
@@ -51,31 +49,24 @@ fn build_kernel(n: usize, pct: usize, mode: TimeMode) -> Kernel<LotteryPolicy> {
         }
     }
     // Alias winner search keeps the decision itself O(1) at every scale,
-    // so the measured difference is the time-advance machinery, not the
-    // draw.
+    // so the measured cost is the time-advance machinery, not the draw.
     kernel.policy_mut().set_structure(SelectStructure::Alias);
     kernel
 }
 
 fn bench_idle_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("idle-scale");
-    for &(label, mode) in &[("event", TimeMode::Event), ("stepping", TimeMode::Stepping)] {
-        for &n in &POPULATIONS {
-            for &pct in &RUNNABLE_PCT {
-                let mut kernel = build_kernel(n, pct, mode);
-                group.throughput(Throughput::Elements(n as u64));
-                group.bench_with_input(
-                    BenchmarkId::new(format!("{label}/{pct}pct"), n),
-                    &n,
-                    |b, _| {
-                        b.iter(|| {
-                            let deadline = kernel.now() + SimDuration::from_ms(10);
-                            kernel.run_until(deadline);
-                            kernel.now()
-                        })
-                    },
-                );
-            }
+    for &n in &POPULATIONS {
+        for &pct in &RUNNABLE_PCT {
+            let mut kernel = build_kernel(n, pct);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::new(format!("{pct}pct"), n), &n, |b, _| {
+                b.iter(|| {
+                    let deadline = kernel.now() + SimDuration::from_ms(10);
+                    kernel.run_until(deadline);
+                    kernel.now()
+                })
+            });
         }
     }
     group.finish();

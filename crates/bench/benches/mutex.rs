@@ -2,9 +2,9 @@
 //!
 //! Measures the simulated mutex's acquire/release lottery against the
 //! waiter count, and the real-thread [`lottery_sync::LotteryMutex`]
-//! against `parking_lot::Mutex` under no contention (the contended case is
-//! dominated by OS scheduling and belongs to the example, not a
-//! microbenchmark).
+//! against the plain [`lottery_sync::Mutex`] primitive under no
+//! contention (the contended case is dominated by OS scheduling and
+//! belongs to the example, not a microbenchmark).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lottery_core::ledger::Ledger;
@@ -63,8 +63,8 @@ fn bench_os_mutex_uncontended(c: &mut Criterion) {
             *g += 1;
         })
     });
-    let pm = parking_lot::Mutex::new(0u64);
-    group.bench_function("parking-lot", |b| {
+    let pm = lottery_sync::Mutex::new(0u64);
+    group.bench_function("plain-mutex", |b| {
         b.iter(|| {
             let mut g = pm.lock();
             *g += 1;

@@ -282,6 +282,13 @@ impl CompensationLedger {
 /// an insertion-ordered `Vec`; a `forget` or re-home leaves a tombstone
 /// behind that the next drain skips (membership is authoritative in the
 /// per-slot `pending` word, never in the queue vector).
+///
+/// The queue is plain owned data — `Send`, like the [`Ledger`] holding
+/// it — so a real-thread scheduler (`lottery-par`) can move the ledger
+/// into a mutex shared by its workers. Per-shard drains keep their point
+/// there: each worker takes the lock briefly and drains *only its own
+/// shard's* queue, so one worker's invalidation burst never forces
+/// another to walk notifications it cannot act on.
 #[derive(Debug)]
 pub struct ShardedDirtyQueue {
     /// Home shard per client slot; [`NO_SHARD`] routes to shard 0.
@@ -1583,6 +1590,17 @@ impl<'a> Valuator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The real-thread backend moves a ledger into a mutex shared across
+    /// OS workers; that requires `Send` (the valuation cache's `RefCell`
+    /// keeps it `!Sync`, which the mutex provides). A regression here is
+    /// a compile error, not a runtime failure.
+    #[test]
+    fn ledger_and_dirty_queue_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Ledger>();
+        assert_send::<ShardedDirtyQueue>();
+    }
 
     /// Builds the Figure 3 currency graph and checks the published values:
     /// thread2 = 400, thread3 = 600, thread4 = 2000 base units.

@@ -166,6 +166,17 @@ pub enum Command {
         /// Emit machine-readable JSON instead of text.
         json: bool,
     },
+    /// `par [<workers>] [--json]` — run the canned real-thread scenario
+    /// on that many OS worker threads (default 4): a 3:1 funded compute
+    /// pair per shard plus one early-exiting job, work stealing on, and
+    /// report per-worker decisions, steals, and the machine-wide
+    /// dispatch ratio.
+    Par {
+        /// Number of OS worker threads (default 4).
+        workers: Option<u32>,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
     /// `structure [list|tree|alias] [--json]` — switch the winner-search
     /// structure the session rebuilds over its active processes (Section
     /// 4.2: list scan, partial-sum tree, or the O(1) alias sampler) and
@@ -302,6 +313,7 @@ commands (Section 4.7 of the paper):
   shards [<n>|--json]              partition processes across n dirty shards / report
   structure [list|tree|alias] [--json]  switch the winner-search structure / report rebuild stats
   events [--json]                  event-queue snapshot: depth, next event, horizon, decisions
+  par [<workers>] [--json]         canned real-thread run: per-worker decisions, steals, ratio
   broker tenant <name> <grant> [static]  register a tenant grant split over cpu/disk/mem/net
   broker demand <tenant> <resource> <units>  record demand before a rebalance
   broker use <tenant> <resource> <units>     record observed usage
@@ -451,6 +463,23 @@ commands (Section 4.7 of the paper):
             ["events"] => Ok(Command::Events { json: false }),
             ["events", "--json"] => Ok(Command::Events { json: true }),
             ["events", ..] => Err(ParseError::Usage("events [--json]")),
+            ["par"] => Ok(Command::Par {
+                workers: None,
+                json: false,
+            }),
+            ["par", "--json"] => Ok(Command::Par {
+                workers: None,
+                json: true,
+            }),
+            ["par", n] => Ok(Command::Par {
+                workers: Some(amount(n)? as u32),
+                json: false,
+            }),
+            ["par", n, "--json"] | ["par", "--json", n] => Ok(Command::Par {
+                workers: Some(amount(n)? as u32),
+                json: true,
+            }),
+            ["par", ..] => Err(ParseError::Usage("par [<workers>] [--json]")),
             ["structure"] => Ok(Command::Structure {
                 kind: None,
                 json: false,
@@ -773,6 +802,39 @@ mod tests {
         );
         assert!(matches!(
             Command::parse("events now"),
+            Err(ParseError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_par() {
+        assert_eq!(
+            Command::parse("par"),
+            Ok(Command::Par {
+                workers: None,
+                json: false
+            })
+        );
+        assert_eq!(
+            Command::parse("par 8 --json"),
+            Ok(Command::Par {
+                workers: Some(8),
+                json: true
+            })
+        );
+        assert_eq!(
+            Command::parse("par --json"),
+            Ok(Command::Par {
+                workers: None,
+                json: true
+            })
+        );
+        assert!(matches!(
+            Command::parse("par 0"),
+            Err(ParseError::BadAmount(_))
+        ));
+        assert!(matches!(
+            Command::parse("par 2 4"),
             Err(ParseError::Usage(_))
         ));
     }

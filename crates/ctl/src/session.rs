@@ -468,6 +468,7 @@ impl Session {
             Command::Replay { path, json } => Self::exec_replay(&path, json),
             Command::Cluster { nodes, json } => Self::exec_cluster(nodes.unwrap_or(4), json),
             Command::Events { json } => Ok(Self::exec_events(json)),
+            Command::Par { workers, json } => Ok(Self::exec_par(workers.unwrap_or(4), json)),
             Command::Shards { count, json } => {
                 if let Some(n) = count {
                     return self.partition_shards(n);
@@ -890,6 +891,81 @@ impl Session {
                 let _ = writeln!(out, "next event at      none (queue empty)");
             }
         }
+        out
+    }
+
+    /// `par [<workers>]`: the canned real-thread scenario. Every shard
+    /// gets a 300-ticket and a 100-ticket compute thread (least-loaded
+    /// placement deals the heavy group first, then the light group), plus
+    /// one heavily funded job that exits 6 ms in, destroying its funding.
+    /// Work stealing is on; the report shows per-worker decisions and
+    /// steal traffic (zero here — every shard keeps its pair, so none
+    /// runs dry; the `par` experiment forces the dry case), the roughly
+    /// 3:1 machine-wide dispatch ratio, and the surviving ledger value.
+    fn exec_par(workers: u32, json_out: bool) -> String {
+        use lottery_par::{ParKernel, WorkSpec};
+        use lottery_sim::prelude::*;
+
+        let mut kernel = ParKernel::with_quantum(42, workers, SimDuration::from_ms(5));
+        let base = kernel.base_currency();
+        for _ in 0..workers {
+            kernel.spawn(WorkSpec::Compute, FundingSpec::new(base, 300));
+        }
+        for _ in 0..workers {
+            kernel.spawn(WorkSpec::Compute, FundingSpec::new(base, 100));
+        }
+        kernel.spawn(
+            WorkSpec::Finite(SimDuration::from_ms(6)),
+            FundingSpec::new(base, 1_000),
+        );
+        let report = kernel.run(SimTime::ZERO + SimDuration::from_secs(2));
+        let (mut heavy, mut light) = (0u64, 0u64);
+        for worker in &report.workers {
+            for &(_, tid) in &worker.winners {
+                if tid < workers {
+                    heavy += 1;
+                } else if tid < 2 * workers {
+                    light += 1;
+                }
+            }
+        }
+        let ratio = heavy as f64 / light.max(1) as f64;
+        let decisions = report.decisions();
+        let steals = report.steals();
+        let value = report.client_value_total();
+        if json_out {
+            return format!(
+                "{{\"workers\":{workers},\"decisions\":{decisions},\"steals\":{steals},\
+                 \"ratio\":{ratio:.2},\"heavy\":{heavy},\"light\":{light},\
+                 \"value\":{value:.1}}}"
+            );
+        }
+        let mut out = format!(
+            "real-thread run: {workers} OS workers, 2 s window, 5 ms quantum \
+             ({decisions} decisions, {steals} steals)\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>10} {:>10} {:>9}",
+            "worker", "decisions", "steals-in", "steals-out", "resident"
+        );
+        for worker in &report.workers {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10} {:>10} {:>10} {:>9}",
+                worker.id,
+                worker.decisions,
+                worker.steals_in,
+                worker.steals_out,
+                worker.resident.len(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "3:1 funded compute pairs: {heavy} heavy vs {light} light dispatches \
+             (ratio {ratio:.2})"
+        );
+        let _ = writeln!(out, "surviving ledger value {value:.1} (base units)");
         out
     }
 
@@ -1782,6 +1858,27 @@ mod tests {
         assert_eq!(v.get("decisions").and_then(|n| n.as_f64()), Some(11.0));
         // The heavily funded 4 ms job finished inside the window.
         assert_eq!(v.get("live_threads").and_then(|n| n.as_f64()), Some(7.0));
+    }
+
+    #[test]
+    fn par_verb_reports_workers_and_ratio() {
+        let mut s = Session::new();
+        let out = eval(&mut s, "par 2");
+        assert!(out.contains("2 OS workers"), "{out}");
+        assert!(out.contains("3:1 funded compute pairs"), "{out}");
+        let out = eval(&mut s, "par 2 --json");
+        let v = lottery_obs::json::parse(&out).expect("par --json parses");
+        assert_eq!(v.get("workers").and_then(|n| n.as_f64()), Some(2.0));
+        // 2 s window, 5 ms quantum, both workers busy throughout: 400
+        // decisions each, plus one extra on the finite job's worker —
+        // its 6 ms job ends a quantum 1 ms early, freeing the CPU off
+        // the 5 ms grid.
+        assert_eq!(v.get("decisions").and_then(|n| n.as_f64()), Some(801.0));
+        // The finite job's funding is destroyed on exit; the four
+        // compute threads' 300+300+100+100 base tickets survive.
+        assert_eq!(v.get("value").and_then(|n| n.as_f64()), Some(800.0));
+        let ratio = v.get("ratio").and_then(|n| n.as_f64()).unwrap();
+        assert!((2.0..=4.5).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! kernel whose every thread is asleep crosses a long idle gap in zero
 //! scheduling decisions — the clock jumps straight to the earliest
 //! pending wake instead of ticking quantum by quantum. Second, the
-//! event-driven and quantum-stepping time modes produce bit-identical
-//! probe-bus streams on a mixed compute/IO workload: the rebase changed
-//! how time advances, not what happens. Third, a shared loop composes
+//! event-driven core is reproducible: two runs from the same seed emit
+//! bit-identical probe-bus streams on a mixed compute/IO workload. (The
+//! legacy quantum-stepping mode is retired from the public API; the
+//! two-mode equivalence proof lives on as an in-crate property test next
+//! to the test-only variant.) Third, a shared loop composes
 //! four heterogeneous [`EventSource`]s — the CPU kernel, the disk
 //! scheduler, the cell switch, and the cluster market's reconciliation
 //! timer — and services whichever is due earliest, interleaving all
@@ -21,12 +23,11 @@ use lottery_sim::prelude::*;
 use lottery_sim::replay::canonical_stream;
 
 /// A kernel with a handful of threads, mixed compute and I/O, for the
-/// mode-equivalence section.
-fn mixed_kernel(seed: u32, mode: TimeMode) -> (Kernel<LotteryPolicy>, Shared<FlightRecorder>) {
+/// reproducibility section.
+fn mixed_kernel(seed: u32) -> (Kernel<LotteryPolicy>, Shared<FlightRecorder>) {
     let policy = LotteryPolicy::with_quantum(seed, SimDuration::from_ms(1));
     let base = policy.base_currency();
     let mut kernel = Kernel::new(policy);
-    kernel.set_time_mode(mode);
     let bus = ProbeBus::enabled();
     let flight = Shared::new(FlightRecorder::new(1 << 16));
     bus.attach(flight.clone());
@@ -93,28 +94,28 @@ pub fn run(seed: u32) {
         );
     }
 
-    // --- 2. Event and stepping modes are bit-identical. -------------
+    // --- 2. The event-driven stream is reproducible. ----------------
     let mut streams = Vec::new();
-    for mode in [TimeMode::Event, TimeMode::Stepping] {
-        let (mut kernel, flight) = mixed_kernel(seed, mode);
+    for run in 0..2 {
+        let (mut kernel, flight) = mixed_kernel(seed);
         kernel.run_until(SimTime::from_ms(200));
         let events: Vec<_> = flight.with(|f| f.events().cloned().collect());
         println!(
-            "{:?} mode: {} probe events, {} decisions, idle {} us",
-            mode,
+            "run {}: {} probe events, {} decisions, idle {} us",
+            run + 1,
             events.len(),
             kernel.metrics().decisions,
             kernel.metrics().idle.as_us(),
         );
         streams.push(events);
     }
-    let (event, stepping) = (&streams[0], &streams[1]);
-    match first_divergence(&canonical_stream(event), &canonical_stream(stepping)) {
+    let (first, second) = (&streams[0], &streams[1]);
+    match first_divergence(&canonical_stream(first), &canonical_stream(second)) {
         None => println!(
-            "OK event and stepping streams bit-identical over 200 ms ({} events)",
-            event.len()
+            "OK event-driven stream reproducible bit-for-bit over 200 ms ({} events)",
+            first.len()
         ),
-        Some(d) => println!("FAIL modes diverged at index {}", d.index),
+        Some(d) => println!("FAIL repeat runs diverged at index {}", d.index),
     }
 
     // --- 3. One loop over four heterogeneous sources. ---------------

@@ -18,6 +18,7 @@ mod fig_rates;
 mod math;
 mod obs;
 mod overhead;
+mod par;
 mod replay;
 mod traces;
 
@@ -104,6 +105,11 @@ const EXPERIMENTS: &[(&str, &str, Entry)] = &[
         "events",
         "event-driven core: decision-free idle, mode equivalence, shared source loop",
         events::run,
+    ),
+    (
+        "par",
+        "real-thread backend: 1-worker bit-equality, 4-worker ratio, steal conservation",
+        par::run,
     ),
     (
         "binomial",

@@ -18,6 +18,9 @@
 //!   (Figure 4's error statistics, continuously). [`DominantShareMonitor`]
 //!   extends the same idea across resources: it folds disk/net completion
 //!   and broker funding events into per-tenant dominant-share drift.
+//! * [`PerThreadFlight`] — per-worker flight lanes for the real-thread
+//!   backend, merged deterministically by `(time_us, lane, arrival)` at
+//!   quiesce so multi-threaded captures stay reproducible.
 //! * Exporters — JSONL flight records ([`FlightRecorder::to_jsonl`]),
 //!   Chrome `trace_event` timeline JSON ([`FlightRecorder::to_chrome_trace`]),
 //!   and a Prometheus-style text snapshot ([`Aggregator::prometheus_text`]).
@@ -41,6 +44,7 @@ pub mod event;
 pub mod fairness;
 pub mod flight;
 pub mod json;
+pub mod perthread;
 pub mod recorder;
 pub mod replay;
 
@@ -50,6 +54,7 @@ pub use dominant::{DominantShareMonitor, DominantShareReport, ResourceShareRow, 
 pub use event::{Event, EventKind};
 pub use fairness::{DriftRow, FairnessMonitor, FairnessReport};
 pub use flight::FlightRecorder;
+pub use perthread::PerThreadFlight;
 pub use recorder::{NopRecorder, Recorder, Shared};
 pub use replay::{
     first_divergence, CurrencySnapshot, Divergence, ReplayHeader, ReplayLog, TraceJob, TraceSpec,

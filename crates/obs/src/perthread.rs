@@ -1,0 +1,183 @@
+//! Per-thread flight recording for real-thread kernels.
+//!
+//! A single [`FlightRecorder`] behind one lock would serialize every
+//! probe emission across worker threads — exactly the contention the
+//! real-thread backend (`lottery-par`) exists to remove. Instead each
+//! worker records into its own lane ([`PerThreadFlight::recorder`]), and
+//! the lanes are merged **deterministically at quiesce**: events sort by
+//! `(time_us, lane, arrival index)`, so two runs that produce the same
+//! per-lane streams produce the same merged stream, regardless of how
+//! the OS interleaved the workers.
+//!
+//! The merge key is worth spelling out: `time_us` orders across lanes on
+//! the virtual clock; `lane` breaks cross-worker ties (worker 0 before
+//! worker 1 at the same instant); the arrival index preserves each
+//! lane's own emission order. Wall-clock arrival order across lanes is
+//! deliberately *not* part of the key — it is the one thing a
+//! multi-threaded run cannot reproduce.
+
+use crate::event::Event;
+use crate::flight::FlightRecorder;
+use crate::recorder::Shared;
+
+/// A set of per-worker [`FlightRecorder`] lanes with a deterministic
+/// merge.
+#[derive(Debug)]
+pub struct PerThreadFlight {
+    lanes: Vec<Shared<FlightRecorder>>,
+}
+
+impl PerThreadFlight {
+    /// Creates `lanes` independent recorders, each retaining the most
+    /// recent `capacity` events of its own worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero lanes or zero capacity.
+    pub fn new(lanes: usize, capacity: usize) -> Self {
+        assert!(lanes > 0, "per-thread flight needs at least one lane");
+        Self {
+            lanes: (0..lanes)
+                .map(|_| Shared::new(FlightRecorder::new(capacity)))
+                .collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The recorder handle for `lane` — attach the clone to that worker's
+    /// probe bus; this handle keeps reading the same buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range lane.
+    pub fn recorder(&self, lane: usize) -> Shared<FlightRecorder> {
+        self.lanes[lane].clone()
+    }
+
+    /// Events dropped across all lanes (per-lane capacity evictions).
+    pub fn dropped(&self) -> u64 {
+        self.lanes.iter().map(|l| l.with(|r| r.dropped())).sum()
+    }
+
+    /// Merges every lane's retained events into one deterministic
+    /// stream, ordered by `(time_us, lane, arrival index)`.
+    ///
+    /// Call at quiesce (workers joined): a lane still being written to
+    /// merges whatever it holds at lock acquisition.
+    pub fn merged(&self) -> Vec<Event> {
+        let mut tagged: Vec<(u64, usize, usize, Event)> = Vec::new();
+        for (lane, shared) in self.lanes.iter().enumerate() {
+            shared.with(|r| {
+                for (i, ev) in r.events().enumerate() {
+                    tagged.push((ev.time_us, lane, i, *ev));
+                }
+            });
+        }
+        tagged.sort_by_key(|&(t, lane, i, _)| (t, lane, i));
+        tagged.into_iter().map(|(_, _, _, ev)| ev).collect()
+    }
+
+    /// The merged stream as JSONL, one event per line.
+    pub fn merged_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.merged() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::recorder::Recorder;
+
+    fn ev(time_us: u64, thread: u32) -> Event {
+        Event {
+            time_us,
+            kind: EventKind::Wake { thread },
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_lane_then_arrival() {
+        let flight = PerThreadFlight::new(2, 16);
+        let mut lane0 = flight.recorder(0);
+        let mut lane1 = flight.recorder(1);
+        // Lane 1 records "first" in wall time; the merge must not care.
+        lane1.record(&ev(5, 10));
+        lane1.record(&ev(5, 11));
+        lane0.record(&ev(3, 0));
+        lane0.record(&ev(5, 1));
+        let merged = flight.merged();
+        let keys: Vec<(u64, u32)> = merged
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Wake { thread } => (e.time_us, thread),
+                _ => unreachable!(),
+            })
+            .collect();
+        // time 3 first; at time 5 lane 0 precedes lane 1; within lane 1,
+        // arrival order holds.
+        assert_eq!(keys, vec![(3, 0), (5, 1), (5, 10), (5, 11)]);
+    }
+
+    #[test]
+    fn merge_is_interleaving_invariant() {
+        // Two runs with different wall-clock interleavings of the same
+        // per-lane streams merge identically.
+        let run = |flip: bool| {
+            let flight = PerThreadFlight::new(2, 16);
+            let mut l0 = flight.recorder(0);
+            let mut l1 = flight.recorder(1);
+            if flip {
+                l1.record(&ev(2, 20));
+                l0.record(&ev(1, 10));
+                l1.record(&ev(4, 21));
+                l0.record(&ev(3, 11));
+            } else {
+                l0.record(&ev(1, 10));
+                l0.record(&ev(3, 11));
+                l1.record(&ev(2, 20));
+                l1.record(&ev(4, 21));
+            }
+            flight.merged_jsonl()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn dropped_counts_all_lanes() {
+        let flight = PerThreadFlight::new(2, 1);
+        let mut l0 = flight.recorder(0);
+        for t in 0..3 {
+            l0.record(&ev(t, 0));
+        }
+        assert_eq!(flight.dropped(), 2);
+        assert_eq!(flight.merged().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = PerThreadFlight::new(0, 8);
+    }
+
+    /// The probe path crosses OS threads in the real-thread backend: a
+    /// bus and its attached recorders move into worker threads and are
+    /// read from the spawning thread at quiesce. Compile-time evidence.
+    #[test]
+    fn probe_path_is_send_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::ProbeBus>();
+        assert_send_sync::<Shared<FlightRecorder>>();
+        assert_send::<PerThreadFlight>();
+    }
+}

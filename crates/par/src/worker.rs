@@ -1,0 +1,734 @@
+//! The per-shard worker engine.
+//!
+//! One OS thread per shard. Each worker privately owns its shard's ready
+//! queue, partial-sum tree mirror, and event queue; the only shared
+//! mutable state is the ticket [`Ledger`] behind one
+//! [`lottery_sync::Mutex`] (the ledger's valuation cache is `Send` but
+//! not `Sync`). Cross-worker traffic — steal requests and thread
+//! migration — travels over bounded MPSC channels
+//! ([`lottery_sync::channel`]); thread *state* moves by message, never by
+//! shared memory, so a thread is owned by exactly one worker at every
+//! instant.
+//!
+//! The engine is a deliberate port of [`lottery_sim::smp::SmpKernel`]
+//! driving [`DistributedLottery`]: the same `(when, seq)` event queue,
+//! the same dispatch burst loop, the same ledger-operation order, and the
+//! same RNG discipline (one `next_f64` per non-degenerate draw). With one
+//! worker there is no cross-thread traffic at all, and the winner stream
+//! is bit-identical to the simulated pair — the property
+//! `tests/equivalence.rs` proves. With several workers, virtual clocks
+//! advance independently (as real CPUs' quantum streams do), so the
+//! guarantees weaken by design from bit-equality to conservation: value
+//! never leaks, every thread has exactly one owner.
+//!
+//! [`DistributedLottery`]: lottery_sim::sched::distributed::DistributedLottery
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lottery_core::client::ClientId;
+use lottery_core::ledger::Ledger;
+use lottery_core::lottery::index::DenseIndex;
+use lottery_core::lottery::tree::TreeLottery;
+use lottery_core::lottery::TicketPool;
+use lottery_core::rng::ParkMiller;
+use lottery_core::rng::SchedRng;
+use lottery_obs::{EventKind, ProbeBus};
+use lottery_sim::prelude::{
+    CompensationHook, EndReason, EventQueue, SimDuration, SimTime, ThreadId,
+};
+use lottery_sync::channel::{Receiver, RecvTimeoutError, Sender};
+use lottery_sync::Mutex;
+
+use crate::work::{Step, WorkState};
+
+/// How long a dry worker waits on one victim before moving on.
+const STEAL_WAIT: Duration = Duration::from_millis(50);
+/// Poll granularity inside steal waits and the quiesce serve loop.
+const POLL: Duration = Duration::from_millis(1);
+
+/// State shared by every worker: the one ledger, plus quiesce tracking.
+pub(crate) struct Shared {
+    /// The single ticket ledger. Workers take the lock for short, bounded
+    /// critical sections: a dirty-batch settle, a compensation
+    /// grant/revoke, an (de)activation, an exit teardown.
+    pub ledger: Mutex<Ledger>,
+    /// Workers that have finished their window (deadline reached or ran
+    /// dry). Incremented exactly once per worker, release-ordered after
+    /// its last ledger mutation.
+    pub done: AtomicU32,
+    /// Total worker count — `done == workers` is quiesce.
+    pub workers: u32,
+}
+
+/// A thread's complete migratable state. Only *ready* threads are stolen,
+/// so no pending wake event ever needs to travel with one.
+pub(crate) struct ParThread {
+    pub tid: ThreadId,
+    pub client: ClientId,
+    pub work: WorkState,
+    /// Unconsumed remainder of the current run burst.
+    pub burst_remaining: SimDuration,
+    /// Total CPU time consumed.
+    pub cpu_time: SimDuration,
+    /// CPU time within the current quantum.
+    pub quantum_used: SimDuration,
+    /// When the thread last became ready (for dispatch-wait probes).
+    pub ready_since: Option<SimTime>,
+}
+
+/// Cross-worker messages.
+pub(crate) enum Msg {
+    /// A dry worker asks for one ready thread.
+    StealRequest {
+        /// The asking worker, for the reply address.
+        thief: u32,
+    },
+    /// The victim had nothing to spare (or is past its window).
+    StealFail,
+    /// A migrating thread: the receiver becomes its owner.
+    Migrate(Box<ParThread>),
+}
+
+/// A worker's spawn-time work assignment, in spawn order.
+pub(crate) struct PendingSpawn {
+    pub thread: ParThread,
+    /// The client's cached value at enqueue time — the weight the
+    /// simulator's tree would carry until the first refresh.
+    pub value: f64,
+}
+
+/// Per-worker future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WEvent {
+    /// This worker's CPU finished a dispatch and needs a new thread.
+    CpuFree,
+    /// A sleeping thread wakes.
+    Wake { tid: ThreadId },
+    /// A preempted thread rejoins the ready queue.
+    Requeue { tid: ThreadId },
+}
+
+/// What one worker did with its window, reported at quiesce.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Worker (= shard) index.
+    pub id: u32,
+    /// Final virtual clock (clamped to the deadline).
+    pub clock: SimTime,
+    /// Virtual CPU time dispatched.
+    pub busy: SimDuration,
+    /// Dispatch decisions made.
+    pub decisions: u64,
+    /// Threads received from other workers.
+    pub steals_in: u64,
+    /// Threads donated to other workers.
+    pub steals_out: u64,
+    /// The winner stream: `(virtual start µs, thread index)` per decision.
+    pub winners: Vec<(u64, u32)>,
+    /// Threads this worker still owns (ready or blocked).
+    pub resident: Vec<ThreadId>,
+    /// Threads that exited here.
+    pub exited: Vec<ThreadId>,
+    /// Threads on the ready queue at quiesce.
+    pub ready: Vec<ThreadId>,
+    /// The settled partial-sum tree total at quiesce, in base units.
+    pub ready_total: f64,
+}
+
+pub(crate) struct Worker {
+    id: u32,
+    shared: Arc<Shared>,
+    inbox: Receiver<Msg>,
+    /// Send handles to every *other* worker, as `(id, sender)`.
+    peers: Vec<(u32, Sender<Msg>)>,
+    quantum: SimDuration,
+    /// Wall-clock sleep per dispatch decision: the CPU model that turns
+    /// virtual throughput into measurable wall-clock parallelism.
+    pace: Option<Duration>,
+    deadline: SimTime,
+    steal: bool,
+    clock: SimTime,
+    rng: ParkMiller,
+    events: EventQueue<WEvent>,
+    cpu_idle: bool,
+    /// Owned threads, indexed by thread id.
+    threads: Vec<Option<ParThread>>,
+    exited: Vec<ThreadId>,
+    /// Ready queue in scan order; swap-removal mirrors the tree's slot
+    /// motion, as in the distributed policy.
+    ready: Vec<ThreadId>,
+    ready_pos: Vec<Option<u32>>,
+    /// Cached-weight mirror of `ready`.
+    tree: TreeLottery<ThreadId, f64, DenseIndex>,
+    /// Reverse map from ledger clients to owned threads.
+    client_threads: Vec<Option<ThreadId>>,
+    dirty_buf: Vec<ClientId>,
+    winners: Vec<(u64, u32)>,
+    comp: CompensationHook,
+    bus: ProbeBus,
+    busy: SimDuration,
+    decisions: u64,
+    steals_in: u64,
+    steals_out: u64,
+    /// Steal responses still owed to us.
+    outstanding: u32,
+}
+
+impl Worker {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: u32,
+        shared: Arc<Shared>,
+        inbox: Receiver<Msg>,
+        peers: Vec<(u32, Sender<Msg>)>,
+        pending: Vec<PendingSpawn>,
+        quantum: SimDuration,
+        pace: Option<Duration>,
+        deadline: SimTime,
+        steal: bool,
+        seed: u32,
+        bus: ProbeBus,
+    ) -> Self {
+        let mut w = Self {
+            id,
+            shared,
+            inbox,
+            peers,
+            quantum,
+            pace,
+            deadline,
+            steal,
+            clock: SimTime::ZERO,
+            rng: ParkMiller::new(seed),
+            events: EventQueue::new(),
+            cpu_idle: true,
+            threads: Vec::new(),
+            exited: Vec::new(),
+            ready: Vec::new(),
+            ready_pos: Vec::new(),
+            tree: TreeLottery::with_index(pending.len().max(1)),
+            client_threads: Vec::new(),
+            dirty_buf: Vec::new(),
+            winners: Vec::new(),
+            comp: CompensationHook::new(),
+            bus,
+            busy: SimDuration::ZERO,
+            decisions: 0,
+            steals_in: 0,
+            steals_out: 0,
+            outstanding: 0,
+        };
+        // Load the spawn-time assignment in spawn order: the tree carries
+        // each client's enqueue-time value, exactly as the simulator's
+        // shard tree does until the first pick refreshes it.
+        for p in pending {
+            let tid = p.thread.tid;
+            let client = p.thread.client;
+            w.store_thread(p.thread);
+            w.map_client(client, tid);
+            w.push_ready(tid);
+            w.tree.insert(tid, p.value);
+        }
+        // The first spawn kicks the idle CPU, as `SmpKernel::spawn` does;
+        // later spawns find it already kicked.
+        if !w.ready.is_empty() {
+            w.cpu_idle = false;
+            w.events.push(SimTime::ZERO, WEvent::CpuFree);
+        }
+        w
+    }
+
+    /// Runs the window, then serves steal traffic until machine quiesce.
+    pub(crate) fn run(mut self) -> WorkerReport {
+        loop {
+            self.drain_inbox();
+            match self.events.peek_at() {
+                // Stop *at* the deadline: a dispatch beginning exactly
+                // there belongs to the next window (mirrors the SMP
+                // kernel's `when >= deadline` check).
+                Some(when) if when < self.deadline => self.step(),
+                Some(_) => break,
+                None => {
+                    if !(self.steal && self.try_acquire_work()) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.clock = self.deadline.max(self.clock);
+        // Release-order the increment after our last ledger mutation so a
+        // worker observing `done == workers` also observes every write.
+        self.shared.done.fetch_add(1, Ordering::AcqRel);
+        self.serve_until_quiesce();
+        // Settle our shard's pending invalidations now that no worker can
+        // mutate the ledger: the reported total is exact.
+        self.refresh();
+        WorkerReport {
+            id: self.id,
+            clock: self.clock,
+            busy: self.busy,
+            decisions: self.decisions,
+            steals_in: self.steals_in,
+            steals_out: self.steals_out,
+            winners: self.winners,
+            resident: self
+                .threads
+                .iter()
+                .filter_map(|slot| slot.as_ref().map(|t| t.tid))
+                .collect(),
+            exited: self.exited,
+            ready: self.ready,
+            ready_total: self.tree.total(),
+        }
+    }
+
+    fn probe(&self, at: SimTime, build: impl FnOnce() -> EventKind) {
+        if self.bus.is_enabled() {
+            self.bus.set_time_us(at.as_us());
+            self.bus.emit(build);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Event loop
+    // ---------------------------------------------------------------
+
+    fn step(&mut self) {
+        let sched = self.events.pop().expect("a pending event was peeked");
+        self.clock = self.clock.max(sched.at);
+        match sched.event {
+            WEvent::Wake { tid } => self.on_ready(tid, true),
+            WEvent::Requeue { tid } => self.on_ready(tid, false),
+            WEvent::CpuFree => {
+                self.refresh();
+                if self.ready.is_empty() {
+                    self.cpu_idle = true;
+                } else {
+                    let tid = self.draw();
+                    self.dispatch(tid);
+                }
+            }
+        }
+    }
+
+    /// A thread becomes ready: activate its tickets, queue it, mirror its
+    /// value, and kick the CPU if idle — the `enqueue` + `kick_idle_cpus`
+    /// sequence of the simulated pair.
+    fn on_ready(&mut self, tid: ThreadId, wake: bool) {
+        let Some(thread) = self
+            .threads
+            .get_mut(tid.index() as usize)
+            .and_then(|s| s.as_mut())
+        else {
+            // Exited (or stolen mid-sleep — impossible: only ready
+            // threads migrate). Matches the SMP kernel's exited check.
+            return;
+        };
+        thread.ready_since = Some(self.clock);
+        let client = thread.client;
+        let value = {
+            let mut ledger = self.shared.ledger.lock();
+            ledger.activate_client(client).expect("client liveness");
+            ledger.cached_client_value(client).unwrap_or(0.0)
+        };
+        self.push_ready(tid);
+        self.tree.insert(tid, value);
+        if wake {
+            self.probe(self.clock, || EventKind::Wake {
+                thread: tid.index(),
+            });
+        }
+        if self.cpu_idle {
+            self.cpu_idle = false;
+            self.events.push(self.clock, WEvent::CpuFree);
+        }
+    }
+
+    /// One lottery over the local tree; removes and returns the winner.
+    /// Same discipline as the distributed policy's `draw_from`: a winning
+    /// value is consumed from the RNG precisely when the pool has
+    /// positive value; a worthless pool degenerates to FIFO.
+    fn draw(&mut self) -> ThreadId {
+        let entries = self.ready.len() as u32;
+        let total = self.tree.total();
+        let (tid, winning) = if self.tree.is_empty() || total <= 0.0 {
+            (self.ready[0], -1.0)
+        } else {
+            let winning = self.rng.next_f64() * total;
+            let tid = self.tree.select(winning).copied().unwrap_or(self.ready[0]);
+            (tid, winning)
+        };
+        let levels = self.tree.depth();
+        let winner = tid.index();
+        self.probe(self.clock, || EventKind::LotteryDraw {
+            structure: "shard",
+            entries,
+            levels,
+            total,
+            winning,
+            winner,
+        });
+        let (cpu, shard) = (self.id, self.id);
+        self.probe(self.clock, || EventKind::ShardPick {
+            cpu,
+            shard,
+            stolen: false,
+        });
+        self.tree.remove(&tid);
+        self.remove_ready(tid);
+        let client = self.threads[tid.index() as usize]
+            .as_ref()
+            .expect("drawn thread is owned")
+            .client;
+        {
+            let mut ledger = self.shared.ledger.lock();
+            self.comp.on_dispatch(&mut ledger, &self.bus, tid, client);
+        }
+        tid
+    }
+
+    /// Runs one quantum of `tid`: the SMP kernel's dispatch burst loop,
+    /// verbatim, against the thread's [`WorkState`].
+    fn dispatch(&mut self, tid: ThreadId) {
+        let quantum = self.quantum;
+        let start = self.clock;
+        let idx = tid.index() as usize;
+        let queue_depth = self.ready.len() as u32;
+        let waited = {
+            let thread = self.threads[idx].as_mut().expect("dispatched thread");
+            let since = thread.ready_since.take().unwrap_or(start);
+            thread.quantum_used = SimDuration::ZERO;
+            start.saturating_since(since)
+        };
+        self.probe(start, || EventKind::Dispatch {
+            thread: tid.index(),
+            cpu: self.id,
+            wait_us: waited.as_us(),
+            queue_depth,
+        });
+        self.probe(start, || EventKind::QueueDepth {
+            cpu: self.id,
+            depth: queue_depth,
+        });
+
+        let mut elapsed = SimDuration::ZERO;
+        let mut remaining = quantum;
+        let reason = loop {
+            let thread = self.threads[idx].as_mut().expect("dispatched thread");
+            if thread.burst_remaining.is_zero() {
+                match thread.work.next() {
+                    Step::Run(d) if !d.is_zero() => {
+                        thread.burst_remaining = d;
+                        continue;
+                    }
+                    Step::Run(_) | Step::Yield => break EndReason::Yielded,
+                    Step::Sleep(d) => {
+                        self.events.push(start + elapsed + d, WEvent::Wake { tid });
+                        break EndReason::Blocked;
+                    }
+                    Step::Exit => break EndReason::Exited,
+                }
+            }
+            let slice = thread.burst_remaining.min(remaining);
+            thread.burst_remaining -= slice;
+            thread.cpu_time += slice;
+            thread.quantum_used += slice;
+            elapsed += slice;
+            remaining -= slice;
+            if remaining.is_zero() {
+                break EndReason::QuantumExpired;
+            }
+        };
+
+        let end = start + elapsed.max(SimDuration::from_us(1));
+        self.busy += elapsed;
+        self.decisions += 1;
+        self.winners.push((start.as_us(), tid.index()));
+        let (used, client) = {
+            let thread = self.threads[idx].as_ref().expect("dispatched thread");
+            (thread.quantum_used, thread.client)
+        };
+        self.probe(end, || EventKind::QuantumEnd {
+            thread: tid.index(),
+            cpu: self.id,
+            reason: reason.as_str(),
+            used_us: used.as_us(),
+        });
+        {
+            let mut ledger = self.shared.ledger.lock();
+            self.comp
+                .on_charge(&mut ledger, &self.bus, tid, client, used, quantum, reason);
+        }
+        match reason {
+            EndReason::QuantumExpired | EndReason::Yielded => {
+                // The thread occupies the CPU until `end`; requeue before
+                // the CpuFree so this worker can win it back — the same
+                // push order as the SMP kernel.
+                self.events.push(end, WEvent::Requeue { tid });
+            }
+            EndReason::Blocked => {}
+            EndReason::Exited => {
+                self.client_threads[client.index() as usize] = None;
+                {
+                    let mut ledger = self.shared.ledger.lock();
+                    ledger.deactivate_client(client).expect("client liveness");
+                    ledger
+                        .destroy_client_and_funding(client)
+                        .expect("client liveness");
+                }
+                self.threads[idx] = None;
+                self.exited.push(tid);
+                self.probe(end, || EventKind::ThreadExit {
+                    thread: tid.index(),
+                });
+            }
+        }
+        self.events.push(end, WEvent::CpuFree);
+        if let Some(pace) = self.pace {
+            // The CPU model: one decision per `pace` of wall time. Paced
+            // workers sleep concurrently, so machine decision throughput
+            // scales with worker count on any host — including this
+            // repo's single-CPU CI container (see DESIGN.md §10).
+            std::thread::sleep(pace);
+        }
+    }
+
+    /// Settles this shard's pending valuation invalidations into the tree
+    /// under one lock acquisition — the per-decision dirty batch.
+    fn refresh(&mut self) {
+        let mut dirty = std::mem::take(&mut self.dirty_buf);
+        {
+            let mut ledger = self.shared.ledger.lock();
+            ledger.drain_dirty_shard_into(self.id, &mut dirty);
+            if !dirty.is_empty() && self.bus.is_enabled() {
+                let (shard, depth) = (self.id, dirty.len() as u32);
+                self.bus.set_time_us(self.clock.as_us());
+                self.bus.emit(|| EventKind::DirtyBatch { shard, depth });
+            }
+            for &client in &dirty {
+                let Some(tid) = self
+                    .client_threads
+                    .get(client.index() as usize)
+                    .copied()
+                    .flatten()
+                else {
+                    continue;
+                };
+                if !self.is_ready(tid) {
+                    continue;
+                }
+                let value = ledger.cached_client_value(client).unwrap_or(0.0);
+                self.tree.set_weight(&tid, value);
+            }
+        }
+        self.dirty_buf = dirty;
+    }
+
+    // ---------------------------------------------------------------
+    // Ready-queue bookkeeping (same swap-remove motion as the policy)
+    // ---------------------------------------------------------------
+
+    fn is_ready(&self, tid: ThreadId) -> bool {
+        self.ready_pos
+            .get(tid.index() as usize)
+            .copied()
+            .flatten()
+            .is_some()
+    }
+
+    fn push_ready(&mut self, tid: ThreadId) {
+        let idx = tid.index() as usize;
+        if self.ready_pos.len() <= idx {
+            self.ready_pos.resize(idx + 1, None);
+        }
+        debug_assert!(self.ready_pos[idx].is_none(), "double enqueue of {tid}");
+        self.ready_pos[idx] = Some(self.ready.len() as u32);
+        self.ready.push(tid);
+    }
+
+    fn remove_ready(&mut self, tid: ThreadId) -> bool {
+        let idx = tid.index() as usize;
+        let Some(pos) = self.ready_pos.get(idx).copied().flatten() else {
+            return false;
+        };
+        let pos = pos as usize;
+        self.ready.swap_remove(pos);
+        self.ready_pos[idx] = None;
+        if pos < self.ready.len() {
+            let moved = self.ready[pos];
+            self.ready_pos[moved.index() as usize] = Some(pos as u32);
+        }
+        true
+    }
+
+    fn store_thread(&mut self, thread: ParThread) {
+        let idx = thread.tid.index() as usize;
+        if self.threads.len() <= idx {
+            self.threads.resize_with(idx + 1, || None);
+        }
+        self.threads[idx] = Some(thread);
+    }
+
+    fn map_client(&mut self, client: ClientId, tid: ThreadId) {
+        let slot = client.index() as usize;
+        if self.client_threads.len() <= slot {
+            self.client_threads.resize(slot + 1, None);
+        }
+        self.client_threads[slot] = Some(tid);
+    }
+
+    // ---------------------------------------------------------------
+    // Cross-worker traffic
+    // ---------------------------------------------------------------
+
+    fn reply(&self, to: u32, msg: Msg) {
+        if let Some((_, tx)) = self.peers.iter().find(|(id, _)| *id == to) {
+            // A gone receiver means that worker already quiesced and its
+            // thief-side timeout will cover the lost reply.
+            let _ = tx.send(msg);
+        }
+    }
+
+    fn drain_inbox(&mut self) {
+        if self.peers.is_empty() {
+            return;
+        }
+        while let Ok(msg) = self.inbox.try_recv() {
+            self.handle_msg(msg);
+        }
+    }
+
+    fn handle_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::StealRequest { thief } => {
+                if self.steal && self.ready.len() > 1 {
+                    self.donate(thief);
+                } else {
+                    self.reply(thief, Msg::StealFail);
+                }
+            }
+            Msg::StealFail => {
+                self.outstanding = self.outstanding.saturating_sub(1);
+            }
+            Msg::Migrate(thread) => {
+                self.outstanding = self.outstanding.saturating_sub(1);
+                self.accept_migrant(*thread);
+            }
+        }
+    }
+
+    /// Gives the thief the tail of our ready queue. Only ready threads
+    /// migrate, so ownership moves in one message with no pending events
+    /// left behind.
+    fn donate(&mut self, thief: u32) {
+        let tid = *self.ready.last().expect("caller checked len > 1");
+        self.tree.remove(&tid);
+        self.remove_ready(tid);
+        let mut thread = self.threads[tid.index() as usize]
+            .take()
+            .expect("ready thread is owned");
+        thread.ready_since = None;
+        let client = thread.client;
+        self.client_threads[client.index() as usize] = None;
+        {
+            // Re-home the client's dirty notifications; invalidations
+            // already queued on our shard drain here and skip the now-
+            // unmapped client.
+            let mut ledger = self.shared.ledger.lock();
+            ledger.assign_dirty_shard(client, thief);
+        }
+        self.steals_out += 1;
+        let from = self.id;
+        self.probe(self.clock, || EventKind::ShardMigrate {
+            thread: tid.index(),
+            from_shard: from,
+            to_shard: thief,
+        });
+        self.reply(thief, Msg::Migrate(Box::new(thread)));
+    }
+
+    fn accept_migrant(&mut self, mut thread: ParThread) {
+        let tid = thread.tid;
+        let client = thread.client;
+        thread.ready_since = Some(self.clock);
+        self.store_thread(thread);
+        self.map_client(client, tid);
+        let value = {
+            let ledger = self.shared.ledger.lock();
+            ledger.cached_client_value(client).unwrap_or(0.0)
+        };
+        self.push_ready(tid);
+        self.tree.insert(tid, value);
+        self.steals_in += 1;
+        if self.cpu_idle {
+            self.cpu_idle = false;
+            self.events.push(self.clock, WEvent::CpuFree);
+        }
+    }
+
+    /// Dry worker: ask each peer in turn for a thread, waiting briefly
+    /// for the response. Answers incoming requests while waiting, so two
+    /// dry workers probing each other both fail fast instead of
+    /// deadlocking. Returns whether we now have ready work.
+    fn try_acquire_work(&mut self) -> bool {
+        if self.peers.is_empty() {
+            return false;
+        }
+        for k in 0..self.peers.len() {
+            // Rotate by our own id so thieves spread across victims.
+            let (_, tx) = &self.peers[(self.id as usize + k) % self.peers.len()];
+            if tx.send(Msg::StealRequest { thief: self.id }).is_err() {
+                continue;
+            }
+            self.outstanding += 1;
+            let began = Instant::now();
+            while self.outstanding > 0 && began.elapsed() < STEAL_WAIT {
+                match self.inbox.recv_timeout(POLL) {
+                    Ok(msg) => self.handle_msg(msg),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            if !self.ready.is_empty() {
+                return true;
+            }
+        }
+        !self.ready.is_empty()
+    }
+
+    /// After finishing the window: answer steal traffic until every
+    /// worker is done, so no thief blocks on a silent peer. Sends from us
+    /// stopped at `done`, so nobody waits on *us* after this returns.
+    fn serve_until_quiesce(&mut self) {
+        while self.shared.done.load(Ordering::Acquire) < self.shared.workers {
+            match self.inbox.recv_timeout(POLL) {
+                Ok(msg) => self.handle_quiesce_msg(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Late messages posted before the last worker quiesced.
+        while let Ok(msg) = self.inbox.try_recv() {
+            self.handle_quiesce_msg(msg);
+        }
+    }
+
+    fn handle_quiesce_msg(&mut self, msg: Msg) {
+        match msg {
+            // Our window is over; we donate nothing more.
+            Msg::StealRequest { thief } => self.reply(thief, Msg::StealFail),
+            Msg::StealFail => {
+                self.outstanding = self.outstanding.saturating_sub(1);
+            }
+            // A response that raced our quiesce: accept ownership so the
+            // thread-partition invariant holds (it just won't run again
+            // this window).
+            Msg::Migrate(thread) => {
+                self.outstanding = self.outstanding.saturating_sub(1);
+                self.accept_migrant(*thread);
+            }
+        }
+    }
+}

@@ -29,11 +29,12 @@ use crate::time::{SimDuration, SimTime};
 
 /// How a kernel's run loop discovers due work and passes idle time.
 ///
-/// Both modes deliver the same events in the same `(when, seq)` order, so
-/// winner streams and captures are bit-identical; only the host-side cost
-/// differs. [`TimeMode::Stepping`] exists to *measure* what the refactor
-/// removed — it re-creates the tick-kernel cost profile on top of the
-/// same queue so benches can compare the two shapes honestly.
+/// Since the event rebase there is one production mode: jump-to-next-
+/// event. The legacy quantum-stepping cost model is retired from the
+/// public API; it survives only inside this crate's test builds, where
+/// the stepping-equivalence property proves both modes deliver the same
+/// events in the same `(when, seq)` order — so winner streams and
+/// captures stay bit-identical to the pre-refactor core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TimeMode {
     /// Jump-to-next-event: `O(log n)` heap peek/pop per scheduling point;
@@ -43,6 +44,8 @@ pub enum TimeMode {
     /// Legacy tick-kernel cost model: a linear callout-list scan per
     /// scheduling point (see [`EventQueue::scan`]) and quantum-granular
     /// idle, as a 4.3BSD-style `timeout()` wheel-less kernel would pay.
+    /// Test-only: kept to prove stream equivalence, not to run.
+    #[cfg(test)]
     Stepping,
 }
 

@@ -164,9 +164,10 @@ impl<P: Policy> Kernel<P> {
         self.clock
     }
 
-    /// Selects how the run loop discovers due events ([`TimeMode::Event`]
-    /// jumps; [`TimeMode::Stepping`] re-creates the tick-kernel cost
-    /// model). Winner streams are identical in both modes.
+    /// Selects how the run loop discovers due events. In production
+    /// builds the only [`TimeMode`] is `Event` (jump-to-next-event); the
+    /// legacy stepping cost model survives in test builds solely for the
+    /// stream-equivalence proof. Winner streams are identical in both.
     pub fn set_time_mode(&mut self, mode: TimeMode) {
         self.time_mode = mode;
     }
@@ -405,11 +406,17 @@ impl<P: Policy> Kernel<P> {
                     return;
                 };
                 let target = when.min(deadline).max(self.clock);
-                let step = self.policy.quantum();
                 let next = match self.time_mode {
                     TimeMode::Event => target,
-                    TimeMode::Stepping if step.is_zero() => target,
-                    TimeMode::Stepping => (self.clock + step).min(target),
+                    #[cfg(test)]
+                    TimeMode::Stepping => {
+                        let step = self.policy.quantum();
+                        if step.is_zero() {
+                            target
+                        } else {
+                            (self.clock + step).min(target)
+                        }
+                    }
                 };
                 self.metrics.idle += next.since(self.clock);
                 self.clock = next;
@@ -433,6 +440,7 @@ impl<P: Policy> Kernel<P> {
     fn next_event_due(&self) -> Option<SimTime> {
         match self.time_mode {
             TimeMode::Event => self.events.peek_at(),
+            #[cfg(test)]
             TimeMode::Stepping => self.events.scan().map(|s| s.at).min(),
         }
     }

@@ -32,6 +32,8 @@ pub mod metrics;
 pub mod replay;
 pub mod sched;
 pub mod smp;
+#[cfg(test)]
+mod stepping_equivalence;
 pub mod task;
 pub mod thread;
 pub mod time;

@@ -141,8 +141,10 @@ impl<P: Policy> SmpKernel<P> {
         self.clock
     }
 
-    /// Selects how the run loop discovers due events; both modes deliver
-    /// identical streams (see [`TimeMode`]).
+    /// Selects how the run loop discovers due events. In production
+    /// builds the only [`TimeMode`] is `Event`; the legacy stepping cost
+    /// model survives in test builds solely for the stream-equivalence
+    /// proof. Both modes deliver identical streams.
     pub fn set_time_mode(&mut self, mode: TimeMode) {
         self.time_mode = mode;
     }
@@ -229,6 +231,7 @@ impl<P: Policy> SmpKernel<P> {
     fn next_event_due(&self) -> Option<SimTime> {
         match self.time_mode {
             TimeMode::Event => self.events.peek_at(),
+            #[cfg(test)]
             TimeMode::Stepping => self.events.scan().map(|s| s.at).min(),
         }
     }

@@ -1,0 +1,202 @@
+//! The stepping-equivalence proof, kept where the retired mode lives.
+//!
+//! [`TimeMode::Stepping`] is no longer public API — the event rebase made
+//! jump-to-next-event the only production mode — but the *property* that
+//! justified the rebase still needs standing evidence: both modes deliver
+//! the same events in the same `(when, seq)` order, so winner streams and
+//! captures are bit-identical. The variant is `#[cfg(test)]`-gated, and
+//! this module (compiled only under test) drives random workloads through
+//! both modes across the full structure × shard matrix and requires
+//! identical probe streams.
+
+use std::collections::HashMap;
+
+use lottery_obs::{CurrencySnapshot, Event, FlightRecorder, ProbeBus, Shared, TraceJob, TraceSpec};
+use proptest::prelude::*;
+
+use crate::event::TimeMode;
+use crate::kernel::Kernel;
+use crate::replay::{canonical_stream, structure_name, CaptureConfig};
+use crate::sched::distributed::DistributedLottery;
+use crate::sched::lottery::{FundingSpec, LotteryPolicy, SelectStructure};
+use crate::smp::SmpKernel;
+use crate::time::{SimDuration, SimTime};
+use crate::workload::{Burst, Scripted};
+
+/// The structure × shard matrix the original acceptance criteria named.
+const MATRIX: &[(SelectStructure, u32)] = &[
+    (SelectStructure::List, 0),
+    (SelectStructure::Tree, 0),
+    (SelectStructure::Alias, 0),
+    (SelectStructure::List, 2),
+    (SelectStructure::Tree, 2),
+    (SelectStructure::Alias, 2),
+    (SelectStructure::List, 4),
+    (SelectStructure::Tree, 4),
+    (SelectStructure::Alias, 4),
+];
+
+/// The burst script a [`TraceJob`] runs — the same split the capture
+/// corpus uses: half the service, the sleep, the rest.
+fn job_script(job: &TraceJob) -> Vec<Burst> {
+    if job.service_us == 0 {
+        return Vec::new();
+    }
+    if job.sleep_us == 0 {
+        return vec![Burst::Run(SimDuration::from_us(job.service_us))];
+    }
+    let first = job.service_us / 2;
+    let rest = job.service_us - first;
+    let mut script = Vec::new();
+    if first > 0 {
+        script.push(Burst::Run(SimDuration::from_us(first)));
+    }
+    script.push(Burst::Sleep(SimDuration::from_us(job.sleep_us)));
+    if rest > 0 {
+        script.push(Burst::Run(SimDuration::from_us(rest)));
+    }
+    script
+}
+
+/// Jobs in deterministic spawn order: by arrival time, ties by index.
+fn spawn_order(spec: &TraceSpec) -> Vec<(usize, &TraceJob)> {
+    let mut jobs: Vec<(usize, &TraceJob)> = spec.jobs.iter().enumerate().collect();
+    jobs.sort_by_key(|&(i, job)| (job.arrival_us, i));
+    jobs
+}
+
+/// Runs `spec` under `config` with the kernel pinned to `mode`, returning
+/// the probe-bus stream. The equivalence proof below holds exactly when
+/// the stream is invariant under the mode.
+fn drive_mode(spec: &TraceSpec, config: &CaptureConfig, mode: TimeMode) -> Vec<Event> {
+    let quantum = SimDuration::from_us(config.quantum_us);
+    let flight = Shared::new(FlightRecorder::new(1 << 16));
+    let bus = ProbeBus::enabled();
+    bus.attach(flight.clone());
+    let jobs = spawn_order(spec);
+
+    if config.shards == 0 {
+        let mut policy = LotteryPolicy::with_quantum(config.seed, quantum);
+        policy.set_structure(config.structure);
+        policy.set_compensation_enabled(config.compensation);
+        let base = policy.base_currency();
+        let mut currencies = HashMap::new();
+        for cur in &spec.currencies {
+            let id = policy.create_currency(&cur.name, cur.amount).unwrap();
+            currencies.insert(cur.name.clone(), id);
+        }
+        let mut kernel = Kernel::new(policy);
+        kernel.set_time_mode(mode);
+        kernel.set_probe_bus(bus);
+        for &(i, job) in &jobs {
+            kernel.run_until_completing(SimTime::from_us(job.arrival_us));
+            let cur = currencies.get(job.tenant.as_str()).copied().unwrap_or(base);
+            kernel.spawn(
+                format!("job{i}"),
+                Box::new(Scripted::once(job_script(job))),
+                FundingSpec::new(cur, job.tickets.max(1)),
+            );
+        }
+        kernel.run_until_completing(SimTime::from_us(config.until_us));
+    } else {
+        let shards = config.shards as usize;
+        let mut policy = DistributedLottery::with_quantum(config.seed, shards, quantum);
+        policy.set_structure(config.structure);
+        policy.set_compensation_enabled(config.compensation);
+        let base = policy.base_currency();
+        let mut currencies = HashMap::new();
+        for cur in &spec.currencies {
+            let id = policy.create_currency(&cur.name, cur.amount).unwrap();
+            currencies.insert(cur.name.clone(), id);
+        }
+        let mut kernel = SmpKernel::new(policy, shards);
+        kernel.set_time_mode(mode);
+        kernel.set_probe_bus(bus);
+        for &(i, job) in &jobs {
+            kernel.run_until(SimTime::from_us(job.arrival_us)).unwrap();
+            let cur = currencies.get(job.tenant.as_str()).copied().unwrap_or(base);
+            kernel.spawn(
+                format!("job{i}"),
+                Box::new(Scripted::once(job_script(job))),
+                FundingSpec::new(cur, job.tickets.max(1)),
+            );
+        }
+        kernel.run_until(SimTime::from_us(config.until_us)).unwrap();
+    }
+
+    flight.with(|f| f.events().cloned().collect())
+}
+
+/// Random workloads over the three-tenant currency set: staggered
+/// arrivals, mixed service demands, optional sleeps (compensation).
+fn spec_strategy() -> impl Strategy<Value = TraceSpec> {
+    let job = (
+        0..60_000u64,
+        500..30_000u64,
+        prop_oneof![Just(0u64), 500..6_000u64],
+        0..3usize,
+        1..400u64,
+    )
+        .prop_map(
+            |(arrival_us, service_us, sleep_us, tenant, tickets)| TraceJob {
+                arrival_us,
+                service_us,
+                sleep_us,
+                tenant: ["gold", "silver", "bronze"][tenant].into(),
+                tickets,
+            },
+        );
+    prop::collection::vec(job, 1..7).prop_map(|jobs| TraceSpec {
+        currencies: vec![
+            CurrencySnapshot {
+                name: "gold".into(),
+                amount: 400,
+            },
+            CurrencySnapshot {
+                name: "silver".into(),
+                amount: 200,
+            },
+            CurrencySnapshot {
+                name: "bronze".into(),
+                amount: 100,
+            },
+        ],
+        jobs,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Jump-to-next-event and legacy quantum stepping produce
+    /// bit-identical streams (winner sequence, probe payloads,
+    /// timestamps) across every structure and shard count.
+    #[test]
+    fn event_and_stepping_streams_are_bit_identical(
+        spec in spec_strategy(),
+        seed in 1u32..10_000,
+        quantum_us in 400..2_500u64,
+    ) {
+        for &(structure, shards) in MATRIX {
+            let config = CaptureConfig {
+                seed,
+                structure,
+                shards,
+                compensation: true,
+                quantum_us,
+                until_us: 90_000,
+            };
+            let event = drive_mode(&spec, &config, TimeMode::Event);
+            let stepping = drive_mode(&spec, &config, TimeMode::Stepping);
+            // Canonicalise wall-clock rebuild costs; everything else must
+            // match bit for bit, element for element.
+            prop_assert_eq!(
+                canonical_stream(&event),
+                canonical_stream(&stepping),
+                "{} shards={} diverged between time modes",
+                structure_name(structure),
+                shards
+            );
+        }
+    }
+}

@@ -8,11 +8,20 @@
 //!   acquisition counts and waiting-time histograms.
 //! * [`os_mutex`] — a lottery-handoff mutex for real OS threads, showing
 //!   the mechanism outside the simulator.
+//! * [`primitives`] — the workspace's OS-backed [`Mutex`], [`Condvar`],
+//!   and [`RwLock`] (panic-free guard API), the substrate for the
+//!   real-thread scheduler backend in `lottery-par`.
+//! * [`channel`] — a hand-rolled bounded MPSC channel built on those
+//!   primitives; carries steal/migrate messages between shard workers.
 
+pub mod channel;
 pub mod experiment;
 pub mod os_mutex;
+pub mod primitives;
 pub mod sim_mutex;
 
+pub use channel::{bounded, Receiver, Sender};
 pub use experiment::{run as run_mutex_experiment, MutexExperiment, MutexReport};
 pub use os_mutex::{LotteryMutex, LotteryMutexGuard};
+pub use primitives::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub use sim_mutex::{SimLotteryMutex, WaiterFunding};

@@ -7,15 +7,17 @@
 //! acquire a contended lock proportionally more often, so relative waiting
 //! times track ticket allocations — the experiment behind Figure 11.
 //!
-//! The implementation uses `parking_lot`'s raw mutex/condvar for the
-//! queueing substrate; lottery scheduling here governs *who gets the lock*,
-//! not how the OS schedules runnable threads.
+//! The implementation uses the workspace's own [`crate::primitives`]
+//! mutex/condvar for the queueing substrate; lottery scheduling here
+//! governs *who gets the lock*, not how the OS schedules runnable
+//! threads.
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 
 use lottery_core::rng::{ParkMiller, SchedRng};
-use parking_lot::{Condvar, Mutex};
+
+use crate::primitives::{Condvar, Mutex};
 
 struct Waiter {
     id: u64,

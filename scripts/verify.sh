@@ -81,16 +81,36 @@ echo "$ctl_structure_out" | grep -q '"rebuild_ns":' \
   || { echo "verify: ctl structure --json lacks rebuild_ns" >&2; exit 1; }
 
 # Event-driven core smoke: an all-sleeping kernel must cross its idle
-# window decision-free, event and stepping time modes must produce
-# bit-identical probe streams, and the shared loop must interleave the
-# kernel, disk, switch, and cluster-market event sources on one clock.
+# window decision-free, repeat seeded runs must produce bit-identical
+# probe streams, and the shared loop must interleave the kernel, disk,
+# switch, and cluster-market event sources on one clock.
 events_out=$(cargo run -q --release -p lottery-experiments --bin experiments -- events)
 echo "$events_out" | grep -q "OK 400 ms idle gap crossed decision-free" \
   || { echo "verify: idle gap cost scheduling decisions" >&2; exit 1; }
-echo "$events_out" | grep -q "OK event and stepping streams bit-identical" \
-  || { echo "verify: event and stepping modes diverged" >&2; exit 1; }
+echo "$events_out" | grep -q "OK event-driven stream reproducible bit-for-bit" \
+  || { echo "verify: repeat event-driven runs diverged" >&2; exit 1; }
 echo "$events_out" | grep -q "OK four event sources interleaved on one clock" \
   || { echo "verify: shared event loop failed to compose the sources" >&2; exit 1; }
+
+# Real-thread backend smoke: four OS worker threads must replay the
+# simulator bit-for-bit at one worker, hold a 3:1 funding ratio
+# machine-wide at four, and conserve ledger value under work stealing.
+par_out=$(cargo run -q --release -p lottery-experiments --bin experiments -- par)
+echo "$par_out" | grep -q "OK 1-worker winner stream bit-identical to the simulated SmpKernel tree" \
+  || { echo "verify: 1-worker ParKernel diverged from the simulator" >&2; exit 1; }
+echo "$par_out" | grep -q "OK 4 real workers hold the 3:1 funding ratio machine-wide" \
+  || { echo "verify: real-thread workers missed the 3:1 ratio" >&2; exit 1; }
+echo "$par_out" | grep -q "OK work stealing conserved currency value" \
+  || { echo "verify: work stealing leaked or destroyed ledger value" >&2; exit 1; }
+
+# ctl par smoke: the par verb must run the canned real-thread scenario
+# and report per-worker stats machine-readably under --json.
+ctl_par_out=$(printf '%s\n' "par 4 --json" \
+  | cargo run -q --release -p lottery-ctl --bin lotteryctl)
+echo "$ctl_par_out" | grep -q '"workers":4' \
+  || { echo "verify: ctl par --json lacks the worker count" >&2; exit 1; }
+echo "$ctl_par_out" | grep -q '"ratio":' \
+  || { echo "verify: ctl par --json lacks the dispatch ratio" >&2; exit 1; }
 
 # ctl events smoke: the events verb must report the pending-event queue
 # machine-readably under --json.
